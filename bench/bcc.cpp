@@ -1,0 +1,96 @@
+// SEC2 — the broadcast congested clique. The related-work section singles
+// the BCC out as the variant where lower bounds ARE provable [19]; the
+// unicast clique's power comes from having no bandwidth bottleneck. This
+// bench makes the model comparison concrete:
+//   (a) the all-to-all personalised-messages task: 1 unicast round vs
+//       Θ(n) broadcast rounds — a measured, per-task separation;
+//   (b) exact one-round achievability: at enumerable scales both models
+//       compute the same function class once inputs fit a word (the
+//       saturation caveat of hierarchy/bcast_protocol.hpp);
+//   (c) tasks the BCC handles at no loss (degree sums, learn-the-graph).
+
+#include <cstdio>
+
+#include "clique/broadcast.hpp"
+#include "graph/generators.hpp"
+#include "hierarchy/bcast_protocol.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+using namespace ccq;
+
+int main() {
+  std::printf("SEC2: broadcast vs unicast congested clique\n\n");
+
+  std::printf("(a) All-to-all personalised messages (each ordered pair a\n"
+              "    distinct word):\n");
+  Table ta({"n", "unicast rounds", "broadcast rounds", "ratio"});
+  for (NodeId n : {8u, 16u, 32u, 64u}) {
+    const unsigned idb = node_id_bits(n);
+    auto uni = Engine::run(gen::empty(n), [idb](NodeCtx& ctx) {
+      std::vector<std::pair<NodeId, Word>> sends;
+      for (NodeId u = 0; u < ctx.n(); ++u)
+        if (u != ctx.id())
+          sends.emplace_back(u, Word((ctx.id() + u) % ctx.n(), idb));
+      ctx.round(sends);
+      ctx.output(0);
+    });
+    auto bc = run_broadcast_clique(gen::empty(n), [idb](BcastCtx& ctx) {
+      for (NodeId r = 0; r + 1 < ctx.n(); ++r) {
+        const NodeId target = (ctx.id() + 1 + r) % ctx.n();
+        ctx.round(Word((ctx.id() + target) % ctx.n(), idb));
+      }
+      ctx.output(0);
+    });
+    ta.add_row({std::to_string(n), std::to_string(uni.cost.rounds),
+                std::to_string(bc.cost.rounds),
+                Table::fmt(static_cast<double>(bc.cost.rounds) /
+                               uni.cost.rounds,
+                           0)});
+  }
+  ta.print();
+
+  std::printf("\n(b) One-round achievable function counts (exact, via the\n"
+              "    view-measurability analysis):\n");
+  Table tb({"(n,b,L)", "unicast", "broadcast", "of"});
+  for (auto [n, b, L] : {std::tuple<unsigned, unsigned, unsigned>{2, 1, 1},
+                         {2, 1, 2},
+                         {3, 1, 1}}) {
+    auto gap = one_round_model_gap(n, b, L);
+    const std::size_t total = std::size_t{1} << (std::size_t{1} << (n * L));
+    tb.add_row({"(" + std::to_string(n) + "," + std::to_string(b) + "," +
+                    std::to_string(L) + ")",
+                std::to_string(gap.unicast_count),
+                std::to_string(gap.broadcast_count), std::to_string(total)});
+  }
+  tb.print();
+
+  std::printf("\n(c) BCC-friendly tasks (no loss vs unicast):\n");
+  Graph g = gen::gnp(32, 0.25, 11);
+  auto deg = run_broadcast_clique(g, [](BcastCtx& ctx) {
+    auto in = ctx.round(Word(ctx.adj_row().popcount(),
+                             node_id_bits(ctx.n())));
+    std::uint64_t sum = 0;
+    for (NodeId v = 0; v < ctx.n(); ++v) sum += in[v]->value;
+    ctx.output(sum);
+  });
+  auto learn = run_broadcast_clique(g, [](BcastCtx& ctx) {
+    auto rows = ctx.broadcast(ctx.adj_row());
+    std::size_t m = 0;
+    for (auto& r : rows) m += r.popcount();
+    ctx.output(m / 2);
+  });
+  std::printf("    degree sum (=2m): %llu in %llu round; learn-the-graph "
+              "(m=%llu) in %llu rounds\n",
+              static_cast<unsigned long long>(deg.outputs[0]),
+              static_cast<unsigned long long>(deg.cost.rounds),
+              static_cast<unsigned long long>(learn.outputs[0]),
+              static_cast<unsigned long long>(learn.cost.rounds));
+
+  std::printf(
+      "\nShape check: the broadcast restriction costs a factor n-1 exactly "
+      "on\npersonalised communication — the bandwidth bottleneck that "
+      "makes BCC lower\nbounds provable [19] while the unicast clique "
+      "resists them (Drucker et al.).\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// SEC2 — CONGEST vs congested clique: the bottleneck motivation. "CONGEST
+// lower bounds generally ... boil down to constructing graphs with
+// bottlenecks, that is, graphs where large amounts of information have to
+// be transmitted over a small cut. A key motivation for the study of the
+// congested clique model is to understand computation in networks that do
+// not have such bottlenecks."
+//
+// Workload: two n/2-cliques joined by ONE bridge edge; node n-1 must learn
+// an L-bit string held by node 0. In CONGEST every bit crosses the bridge
+// (⌈L/B⌉ rounds, an information-theoretic floor); in the clique node 0
+// stripes the string across n-1 helpers (cut capacity Θ(n²·B)).
+
+#include <cstdio>
+
+#include "clique/congest.hpp"
+#include "graph/generators.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace ccq;
+
+namespace {
+
+Graph two_cliques_with_bridge(NodeId n) {
+  const NodeId half = n / 2;
+  Graph g = Graph::undirected(n);
+  for (NodeId u = 0; u < half; ++u)
+    for (NodeId v = u + 1; v < half; ++v) g.add_edge(u, v);
+  for (NodeId u = half; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  g.add_edge(half - 1, half);
+  return g;
+}
+
+std::uint64_t congest_transfer_rounds(const Graph& g, unsigned L) {
+  auto run = run_congest(g, [L](CongestCtx& ctx) {
+    const unsigned B = ctx.bandwidth();
+    const unsigned chunks = static_cast<unsigned>(ceil_div(L, B));
+    std::vector<std::uint64_t> buffer;
+    SplitMix64 src(7);
+    if (ctx.id() == 0) {
+      for (unsigned c = 0; c < chunks; ++c)
+        buffer.push_back(src.next() & ((1ull << B) - 1));
+    }
+    std::uint64_t got = 0;
+    const unsigned steps = chunks + ctx.n();
+    for (unsigned s = 0; s < steps; ++s) {
+      std::vector<std::pair<NodeId, Word>> sends;
+      if (!buffer.empty() && ctx.id() + 1 < ctx.n()) {
+        sends.emplace_back(ctx.id() + 1, Word(buffer.front(), B));
+        buffer.erase(buffer.begin());
+      }
+      auto in = ctx.round(sends);
+      if (ctx.id() > 0 && in[ctx.id() - 1]) {
+        buffer.push_back(in[ctx.id() - 1]->value);
+        if (ctx.id() + 1 == ctx.n()) ++got;
+      }
+    }
+    ctx.output(ctx.id() + 1 == ctx.n() ? got : 0);
+  });
+  return run.cost.rounds;
+}
+
+std::uint64_t clique_transfer_rounds(const Graph& g, unsigned L) {
+  auto run = Engine::run(g, [L](NodeCtx& ctx) {
+    const unsigned B = ctx.bandwidth();
+    const unsigned chunks = static_cast<unsigned>(ceil_div(L, B));
+    SplitMix64 src(7);
+    WordQueues out(ctx.n());
+    if (ctx.id() == 0) {
+      for (unsigned c = 0; c < chunks; ++c)
+        out[1 + (c % (ctx.n() - 1))].emplace_back(
+            src.next() & ((1ull << B) - 1), B);
+    }
+    auto in = ctx.exchange(out);
+    WordQueues fwd(ctx.n());
+    if (ctx.id() != 0)
+      for (const Word& w : in[0]) fwd[ctx.n() - 1].push_back(w);
+    auto fin = ctx.exchange(fwd);
+    std::uint64_t got = 0;
+    if (ctx.id() + 1 == ctx.n())
+      for (NodeId v = 0; v < ctx.n(); ++v) got += fin[v].size();
+    ctx.output(got);
+  });
+  return run.cost.rounds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("SEC2: the bottleneck motivation — CONGEST vs clique\n\n");
+  std::printf("Two n/2-cliques + one bridge; node n-1 must learn node 0's\n"
+              "L-bit string (L = 16·n bits, scaling with the instance):\n");
+  Table t({"n", "L bits", "cut floor ⌈L/B⌉", "CONGEST rounds",
+           "clique rounds", "speedup"});
+  for (NodeId n : {8u, 16u, 32u, 64u}) {
+    const unsigned L = 16 * n;
+    Graph g = two_cliques_with_bridge(n);
+    const auto cr = congest_transfer_rounds(g, L);
+    const auto qr = clique_transfer_rounds(g, L);
+    t.add_row({std::to_string(n), std::to_string(L),
+               std::to_string(ceil_div(L, node_id_bits(n))),
+               std::to_string(cr), std::to_string(qr),
+               Table::fmt(static_cast<double>(cr) / qr, 1)});
+  }
+  t.print();
+  std::printf(
+      "\nShape check: CONGEST rounds track the single-edge cut floor "
+      "⌈L/B⌉ and grow\nlinearly in L, while the clique moves the same data "
+      "in a near-constant number of\nrounds — the \"no bottlenecks\" point "
+      "§2 uses to motivate the model.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Micro-benchmarks (google-benchmark) of the hot kernels under everything
+// else: engine collectives, routing, local matrix multiplication, and the
+// exact oracles used as local computation.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/mm.hpp"
+#include "clique/routing.hpp"
+#include "graph/generators.hpp"
+#include "graph/oracles.hpp"
+#include "util/rng.hpp"
+
+namespace ccq {
+namespace {
+
+void BM_EngineBroadcast(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Graph g = gen::gnp(n, 0.3, 7);
+  for (auto _ : state) {
+    auto r = Engine::run(g, [](NodeCtx& ctx) {
+      auto rows = ctx.broadcast(ctx.adj_row());
+      ctx.output(rows[0].popcount());
+    });
+    benchmark::DoNotOptimize(r.outputs.data());
+  }
+  state.SetLabel("thread-per-node engine, one full row broadcast");
+}
+BENCHMARK(BM_EngineBroadcast)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_EngineShareBit(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Graph g = gen::empty(n);
+  for (auto _ : state) {
+    auto r = Engine::run(g, [](NodeCtx& ctx) {
+      bool b = ctx.id() % 2 == 0;
+      for (int i = 0; i < 8; ++i) b = ctx.any(b);
+      ctx.decide(b);
+    });
+    benchmark::DoNotOptimize(r.outputs.data());
+  }
+}
+BENCHMARK(BM_EngineShareBit)->Arg(16)->Arg(64);
+
+void BM_RouteBalanced(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Graph g = gen::empty(n);
+  for (auto _ : state) {
+    auto r = Engine::run(g, [](NodeCtx& ctx) {
+      SplitMix64 rng(ctx.id() + 1);
+      std::vector<RoutedMessage> msgs;
+      for (NodeId i = 0; i < ctx.n(); ++i) {
+        NodeId dst;
+        do {
+          dst = static_cast<NodeId>(rng.next_below(ctx.n()));
+        } while (dst == ctx.id());
+        msgs.push_back({dst, Word(1, 1)});
+      }
+      auto got = route_balanced(ctx, msgs);
+      ctx.output(got.size());
+    });
+    benchmark::DoNotOptimize(r.outputs.data());
+  }
+}
+BENCHMARK(BM_RouteBalanced)->Arg(16)->Arg(64);
+
+template <typename S>
+Matrix<typename S::Value> random_square(std::size_t n, std::uint64_t seed,
+                                        std::uint64_t cap) {
+  SplitMix64 rng(seed);
+  Matrix<typename S::Value> m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      m.at(i, j) = static_cast<typename S::Value>(rng.next_below(cap));
+  return m;
+}
+
+void BM_MmNaive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto a = random_square<I64Ring>(n, 1, 100);
+  auto b = random_square<I64Ring>(n, 2, 100);
+  for (auto _ : state) {
+    auto c = mm_naive<I64Ring>(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+}
+BENCHMARK(BM_MmNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MmBlocked(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto a = random_square<I64Ring>(n, 1, 100);
+  auto b = random_square<I64Ring>(n, 2, 100);
+  for (auto _ : state) {
+    auto c = mm_blocked<I64Ring>(a, b, 32);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+}
+BENCHMARK(BM_MmBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MmStrassen(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto a = random_square<I64Ring>(n, 1, 100);
+  auto b = random_square<I64Ring>(n, 2, 100);
+  for (auto _ : state) {
+    auto c = mm_strassen<I64Ring>(a, b, 64);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+}
+BENCHMARK(BM_MmStrassen)->Arg(128)->Arg(256);
+
+void BM_OracleMaxIS(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Graph g = gen::gnp(n, 0.6, 11);
+  for (auto _ : state) {
+    auto w = oracle::max_independent_set(g);
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+BENCHMARK(BM_OracleMaxIS)->Arg(24)->Arg(40);
+
+void BM_OracleDominatingSet(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Graph g = gen::gnp(n, 0.25, 13);
+  for (auto _ : state) {
+    auto w = oracle::dominating_set(g, 3);
+    benchmark::DoNotOptimize(&w);
+  }
+}
+BENCHMARK(BM_OracleDominatingSet)->Arg(20)->Arg(28);
+
+}  // namespace
+}  // namespace ccq
+
+BENCHMARK_MAIN();

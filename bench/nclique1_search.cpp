@@ -1,0 +1,58 @@
+// SEC8 ("NCLIQUE(1) as an LCL analogue") — the labelling SEARCH problems
+// the paper names: 2-colouring, sinkless orientation, maximal independent
+// set. For each: the constant-round relation check, the trivial δ ≤ 1
+// clique solver, and solvability statistics across a density sweep. The
+// paper's point — "this class captures many natural graph problems of
+// interest, but we do not have lower bounds for any problem in this
+// class" — is why the solver column shows only the trivial upper bound.
+
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "nondet/search.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace ccq;
+
+int main() {
+  std::printf("SEC8: NCLIQUE(1)-labelling search problems\n\n");
+
+  const NodeId n = 32;
+  Table t({"problem", "label bits/node", "verify rounds",
+           "solve rounds (δ≤1)", "solved (of 12 G(n,p) sweeps)"});
+  SplitMix64 rng(0x5ea);
+  for (auto p : {two_colouring_search(), mis_search(),
+                 sinkless_orientation_search()}) {
+    int solved = 0;
+    std::uint64_t verify_rounds = 0, solve_rounds = 0;
+    for (int trial = 0; trial < 12; ++trial) {
+      Graph g = gen::gnp(n, 0.02 + 0.015 * trial, rng.next());
+      auto r = solve_search_clique(g, p);
+      solve_rounds = r.cost.rounds;
+      if (r.solved) {
+        ++solved;
+        auto check = check_labelling(g, p, r.labels);
+        verify_rounds = check.cost.rounds;
+        if (!check.accepted()) {
+          std::printf("!! %s produced an invalid labelling\n",
+                      p.name.c_str());
+          return 1;
+        }
+      }
+    }
+    t.add_row({p.name, std::to_string(p.relation.label_bits(n)),
+               std::to_string(verify_rounds), std::to_string(solve_rounds),
+               std::to_string(solved)});
+  }
+  t.print();
+  std::printf(
+      "\nShape check: each relation verifies in O(1) rounds with O(log n)-"
+      "or-smaller labels\n(sinkless carries one bit per incident edge), the "
+      "only known solver is the trivial\nlearn-the-graph ⌈n/B⌉-round one, "
+      "and no lower bound separates them — exactly the\nopen landscape §8 "
+      "describes. 2-colouring/sinkless solve only where bipartite-/\n"
+      "cycle-structure permits; MIS always.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// SEC7.3 — the fixed-parameter tractability comparison table:
+//   k-VC     : poly(k) rounds, no n dependence        (Theorem 11)
+//   k-path   : exp(k) rounds, no n dependence          ([20, 35])
+//   k-IS     : O(n^{1-2/k}) rounds                     ([16])
+//   k-DS     : O(n^{1-1/k}) rounds                     (Theorem 9)
+// One row per (problem, n) at fixed k, demonstrating which columns move
+// with n and which do not.
+
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "graphalg/kds.hpp"
+#include "graphalg/kpath.hpp"
+#include "graphalg/kvc.hpp"
+#include "graphalg/subgraph.hpp"
+#include "util/table.hpp"
+
+using namespace ccq;
+
+int main() {
+  std::printf("SEC7.3: parameterised problems in the congested clique\n");
+  std::printf("(k = 3 throughout; entries are measured engine rounds)\n\n");
+  const unsigned k = 3;
+
+  Table t({"n", "3-VC (Thm11)", "3-path (exp k)", "3-IS ([16])",
+           "3-DS (Thm9)"});
+  for (NodeId n : {27u, 64u, 125u}) {
+    const auto vc =
+        k_vertex_cover_clique(gen::planted_vertex_cover(n, k, 10, 3).graph,
+                              k)
+            .cost.rounds;
+    const auto path =
+        k_path_clique(gen::planted_hamiltonian_path(n, 0.02, 3).graph, k, 8)
+            .cost.rounds;
+    const auto is =
+        independent_set_clique(
+            gen::planted_independent_set(n, k, 0.35, 3).graph, k)
+            .cost.rounds;
+    const auto ds =
+        k_dominating_set_clique(
+            gen::planted_dominating_set(n, k, 0.05, 3).graph, k)
+            .cost.rounds;
+    t.add_row({std::to_string(n), std::to_string(vc), std::to_string(path),
+               std::to_string(is), std::to_string(ds)});
+  }
+  t.print();
+  std::printf(
+      "\nShape check (paper's §7.3 contrast): the k-VC and k-path columns "
+      "are flat in n\n(FPT-style), while k-IS and k-DS grow polynomially — "
+      "and k-DS grows faster than k-IS\n(exponent 1-1/k vs 1-2/k), matching "
+      "the W[1]/W[2] analogy the paper draws.\n");
+  return 0;
+}

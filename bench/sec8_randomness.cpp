@@ -1,0 +1,90 @@
+// SEC8 — "Randomness": the paper closes by noting (a) problems like MST
+// where randomised algorithms beat deterministic ones, and (b) that
+// one-sided Monte Carlo algorithms convert to nondeterministic ones, so
+// Theorem 4's separations extend to randomised computation. This bench
+// regenerates both halves with running code:
+//   (a) the deterministic Borůvka MST baseline and its O(log n) phase /
+//       O(log n · logn/B) round growth — the curve the randomised
+//       O(log log n) literature [45, 27] improves on;
+//   (b) the Monte Carlo → nondeterministic conversion, run concretely on
+//       colour-coding k-path: certificate = successful seed.
+
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "graph/oracles.hpp"
+#include "graphalg/mst.hpp"
+#include "nondet/monte_carlo.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+using namespace ccq;
+
+int main() {
+  std::printf("SEC8: randomness — MST baseline and MC->nondet\n\n");
+
+  std::printf("(a) Deterministic Boruvka MST (the baseline the randomised\n"
+              "    O(log log n) algorithms [45] improve on):\n");
+  Table ta({"n", "phases", "ceil(log2 n)", "rounds", "MST weight ok"});
+  for (NodeId n : {16u, 32u, 64u, 128u, 256u}) {
+    Graph g = gen::gnp_weighted(n, 0.15, 40, 1000 + n);
+    auto r = mst_boruvka_clique(g);
+    const bool ok = r.weight == oracle::msf_weight(g);
+    ta.add_row({std::to_string(n), std::to_string(r.phases),
+                std::to_string(ceil_log2(n)), std::to_string(r.cost.rounds),
+                ok ? "yes" : "NO"});
+  }
+  ta.print();
+
+  std::printf(
+      "\n(b) Monte Carlo -> nondeterministic conversion (one-sided\n"
+      "    colour-coding 3-path trials; certificate = successful seed):\n");
+  Table tb({"instance", "has 3-path", "prover finds seed",
+            "verify rounds", "seeds tried"});
+  struct Case {
+    const char* name;
+    Graph g;
+  };
+  std::vector<Case> cases = {
+      {"path(12)", gen::path(12)},
+      {"planted Ham(12)", gen::planted_hamiltonian_path(12, 0.05, 5).graph},
+      {"matching(12)",
+       [] {
+         Graph g = Graph::undirected(12);
+         for (NodeId v = 0; v + 1 < 12; v += 2) g.add_edge(v, v + 1);
+         return g;
+       }()},
+      {"empty(12)", gen::empty(12)},
+  };
+  MonteCarloVerifier verifier(k_path_monte_carlo(3));
+  for (auto& c : cases) {
+    const bool expect = oracle::k_path(c.g, 3).has_value();
+    unsigned tried = 0;
+    std::optional<Labelling> z;
+    auto mc = k_path_monte_carlo(3);
+    for (std::uint64_t seed = 0; seed < 64 && !z; ++seed) {
+      ++tried;
+      if (mc.trial(c.g, seed).accepted())
+        z = verifier.certificate(c.g.n(), seed);
+    }
+    std::uint64_t vrounds = 0;
+    bool ok = false;
+    if (z) {
+      auto run = verifier.verify(c.g, *z);
+      ok = run.accepted();
+      vrounds = run.cost.rounds;
+    }
+    tb.add_row({c.name, expect ? "yes" : "no",
+                z ? (ok ? "yes (verified)" : "FAIL") : "no seed works",
+                z ? std::to_string(vrounds) : "-", std::to_string(tried)});
+  }
+  tb.print();
+  std::printf(
+      "\nShape check: (a) Boruvka phases stay ≤ ⌈log₂n⌉ (random graphs "
+      "merge faster)\nand rounds stay O(log n · w/B); (b) yes-instances "
+      "admit a certificate seed "
+      "found quickly\n(success prob ≥ k!/k^k per trial) and verification is "
+      "deterministic, while\nno-instances admit none — the §8 conversion, "
+      "end to end.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// THM11 — "Vertex cover of size k can be found in O(k) rounds" (§7.3).
+// Regenerates the claim's two halves: rounds grow (at most) linearly in k,
+// and are independent of n.
+
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "graphalg/kvc.hpp"
+#include "util/table.hpp"
+
+using namespace ccq;
+
+int main() {
+  std::printf("THM11: k-vertex cover in O(k) rounds\n\n");
+
+  std::printf("Sweep over k at fixed n = 64 (planted covers, m = 4k):\n");
+  Table tk({"k", "rounds", "found"});
+  for (unsigned k : {0u, 1u, 2u, 4u, 6u, 8u, 12u}) {
+    auto inst = gen::planted_vertex_cover(64, std::max(k, 1u), 4 * k + 2,
+                                          99 + k);
+    auto r = k_vertex_cover_clique(inst.graph, k);
+    tk.add_row({std::to_string(k), std::to_string(r.cost.rounds),
+                r.found ? "yes" : "no"});
+  }
+  tk.print();
+
+  std::printf("\nSweep over n at fixed k = 4 (the paper's headline —\n");
+  std::printf("rounds must NOT grow with n):\n");
+  Table tn({"n", "rounds", "found"});
+  for (NodeId n : {16u, 32u, 64u, 128u, 256u}) {
+    auto inst = gen::planted_vertex_cover(n, 4, 14, 7);
+    auto r = k_vertex_cover_clique(inst.graph, 4);
+    tn.add_row({std::to_string(n), std::to_string(r.cost.rounds),
+                r.found ? "yes" : "no"});
+  }
+  tn.print();
+  std::printf(
+      "\nShape check: the n-sweep row count is flat; the k-sweep grows "
+      "≈ linearly in k\n(each kernel node broadcasts ≤ k edge endpoints).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// THM2 — the deterministic time hierarchy. Two parts:
+//
+//  (a) the counting table behind the proof: for the theorem's parameters
+//      (L = T·log n, lower budget t = T/2) the Lemma 1 protocol count is
+//      doubly-exponentially smaller than the function count, so the
+//      lexicographically-first hard f_n exists at every (n, T);
+//  (b) the construction run constructively at toy scale: exhaustive
+//      protocol enumeration finds f_n, the Theorem 2 algorithm decides the
+//      diagonal language on the metered engine in ⌈L/B⌉ rounds, and f_n is
+//      certified unachievable within the lower budget.
+
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "hierarchy/counting.hpp"
+#include "hierarchy/diagonal.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace ccq;
+
+int main() {
+  std::printf("THM2: time hierarchy for the congested clique\n\n");
+
+  std::printf(
+      "(a) Counting table (log2 log2 of the counts; 'protocols' uses the\n"
+      "    Lemma 1 bound at t = T/2):\n");
+  Table ta({"n", "T", "L=T·logn", "ll(protocols)", "ll(functions)",
+            "hard fn exists"});
+  for (std::uint64_t n : {16u, 64u, 256u, 1024u}) {
+    for (std::uint64_t T : {1u, 2u, 4u, 8u}) {
+      auto row = thm2_row(n, T);
+      ta.add_row({std::to_string(n), std::to_string(T),
+                  std::to_string(row.L), Table::fmt(row.loglog_protocols, 1),
+                  Table::fmt(row.loglog_funcs, 1),
+                  row.hard_function_exists ? "yes" : "NO"});
+    }
+  }
+  ta.print();
+
+  std::printf(
+      "\n(b) Constructive toy diagonalisation (exact protocol "
+      "enumeration):\n");
+  Table tb({"n", "L", "t_lower", "protocols", "hard fn (lex-first)",
+            "engine rounds", "all inputs correct"});
+  for (auto [n, L, t] : {std::tuple<NodeId, unsigned, unsigned>{2, 1, 0},
+                         {3, 1, 0},
+                         {4, 1, 0}}) {
+    auto diag = ToyDiagonalisation::make(n, L, t);
+    if (!diag) {
+      tb.add_row({std::to_string(n), std::to_string(L), std::to_string(t),
+                  "-", "none (all achievable)", "-", "-"});
+      continue;
+    }
+    // Exhaustively check the clique algorithm on every graph (n ≤ 3) or a
+    // sample (n = 4).
+    bool all_ok = true;
+    std::uint64_t rounds = 0;
+    SplitMix64 rng(11);
+    const int cases = n <= 3 ? (1 << (n * (n - 1) / 2)) : 24;
+    for (int c = 0; c < cases; ++c) {
+      Graph g = Graph::undirected(n);
+      std::uint64_t code = n <= 3 ? static_cast<std::uint64_t>(c)
+                                  : rng.next();
+      std::size_t bit = 0;
+      for (NodeId u = 0; u < n; ++u)
+        for (NodeId v = u + 1; v < n; ++v)
+          if ((code >> bit++) & 1) g.add_edge(u, v);
+      auto run = diag->decide_clique(g);
+      rounds = run.cost.rounds;
+      if (run.accepted() != diag->in_language(g)) all_ok = false;
+    }
+    const std::size_t protocols = std::size_t{1}
+                                  << diag->space().genome_bits();
+    tb.add_row({std::to_string(n), std::to_string(L), std::to_string(t),
+                std::to_string(protocols),
+                diag->hard_function().to_string(), std::to_string(rounds),
+                all_ok ? "yes" : "NO"});
+  }
+  tb.print();
+  std::printf(
+      "\nShape check: (a) every row has protocols ≪ functions, so CLIQUE(S) "
+      "⊊ CLIQUE(T)\nfor S = o(T); (b) the diagonal language is decided "
+      "correctly in ⌈L/B⌉ rounds while\nno protocol in the lower budget "
+      "computes f_n (certified by enumeration).\n");
+  return 0;
+}

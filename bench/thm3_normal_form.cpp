@@ -1,0 +1,73 @@
+// THM3 — the NCLIQUE normal form: any T(n)-round nondeterministic verifier
+// converts to one whose certificates are communication transcripts of
+// O(T·n·log n) bits. This bench measures, for each concrete verifier:
+// original certificate bits vs transcript bits vs the theorem's bound, and
+// confirms the transformed verifier still accepts (honest prover) in the
+// same number of rounds.
+
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "nondet/transcript.hpp"
+#include "nondet/verifiers.hpp"
+#include "util/table.hpp"
+
+using namespace ccq;
+
+int main() {
+  std::printf("THM3: NCLIQUE normal form — certificate sizes\n\n");
+
+  struct Case {
+    RoundVerifier v;
+    Graph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back(
+      {verifiers::k_colouring(3),
+       gen::planted_k_colourable(12, 3, 0.5, 3).graph});
+  cases.push_back({verifiers::hamiltonian_path(),
+                   gen::planted_hamiltonian_path(12, 0.2, 5).graph});
+  cases.push_back({verifiers::k_clique(4),
+                   gen::planted_clique(12, 4, 0.2, 7).graph});
+  cases.push_back({verifiers::connectivity(),
+                   gen::planted_hamiltonian_path(12, 0.1, 9).graph});
+
+  Table t({"verifier", "T", "orig label bits", "transcript bits",
+           "bound 2T·n·(logn+⌈log(logn+1)⌉+1)", "B accepts", "B rounds"});
+  for (auto& c : cases) {
+    const NodeId n = c.g.n();
+    auto b = normal_form(c.v);
+    const unsigned T = c.v.rounds(n);
+    const unsigned idb = node_id_bits(n);
+    const unsigned wbits = std::max(1u, ceil_log2(idb + 1));
+    const std::size_t bound =
+        2ull * T * n * (1 + wbits + idb);  // exact codec size with n-1→n
+    auto run = run_with_prover(c.g, b);
+    t.add_row({c.v.name, std::to_string(T),
+               std::to_string(c.v.label_bits(n)),
+               std::to_string(b.label_bits(n)), std::to_string(bound),
+               run && run->accepted() ? "yes" : "NO",
+               run ? std::to_string(run->cost.rounds) : "-"});
+  }
+  t.print();
+
+  std::printf(
+      "\nScaling of the transcript certificate (connectivity verifier, "
+      "T = 2):\n");
+  Table ts({"n", "transcript bits", "bits / (T·n·logn)"});
+  auto b = normal_form(verifiers::connectivity());
+  for (NodeId n : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    const std::size_t bits = b.label_bits(n);
+    const double norm =
+        static_cast<double>(bits) / (2.0 * n * ceil_log2(n));
+    ts.add_row({std::to_string(n), std::to_string(bits),
+                Table::fmt(norm, 2)});
+  }
+  ts.print();
+  std::printf(
+      "\nShape check: transcript bits / (T·n·log n) stays a constant (~3: "
+      "two directions\nplus a presence flag and width field per B-bit "
+      "slot), i.e. the label size is\nΘ(T·n·log n) exactly as Theorem 3 "
+      "states; the converted verifier keeps the\noriginal round count.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// THM6 — edge labelling problems are the canonical family for NCLIQUE(1):
+// every O(1)-round verifier's language becomes "does an admissible edge
+// labelling exist", with O(log n)-bit labels per clique edge. This bench
+// reports, for each NCLIQUE(1) verifier, the induced per-edge label width
+// (transcript slots) and validates the equivalence on planted yes/no
+// instances.
+
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "graph/oracles.hpp"
+#include "nondet/edge_labelling.hpp"
+#include "nondet/verifiers.hpp"
+#include "util/table.hpp"
+
+using namespace ccq;
+
+int main() {
+  std::printf("THM6: the edge-labelling canonical family for NCLIQUE(1)\n\n");
+
+  struct Case {
+    RoundVerifier v;
+    Graph yes, no;
+  };
+  std::vector<Case> cases;
+  // Yes/no instances share n so forged-label checks are well-typed.
+  Graph odd_cycle_plus = Graph::undirected(8);  // C7 + isolated node
+  for (NodeId v = 0; v < 7; ++v)
+    odd_cycle_plus.add_edge(v, (v + 1) % 7);
+  cases.push_back({verifiers::k_colouring(2),
+                   gen::path(8),  // 2-colourable
+                   odd_cycle_plus});
+  cases.push_back({verifiers::k_clique(3),
+                   gen::planted_clique(8, 3, 0.1, 3).graph,
+                   gen::complete_bipartite(4, 4)});
+  cases.push_back({verifiers::hamiltonian_path(),
+                   gen::planted_hamiltonian_path(8, 0.1, 5).graph,
+                   gen::star(8)});
+
+  Table t({"verifier", "edge label bits", "O(log n)?", "yes-instance",
+           "no-instance"});
+  for (auto& c : cases) {
+    const NodeId n = c.yes.n();
+    auto p = edge_labelling_from_verifier(c.v);
+    const unsigned bits = p.label_bits(n);
+    // Yes-instance: honest transcripts satisfy all node constraints.
+    auto z = c.v.prover(c.yes);
+    const bool yes_ok =
+        z && edge_labelling_satisfied(c.yes, p,
+                                      edge_labels_from_run(c.yes, c.v, *z));
+    // No-instance: the honest prover refuses; forged labels from the
+    // yes-instance fail the constraints on the no-instance.
+    bool no_ok = !c.v.prover(c.no).has_value();
+    if (no_ok && z) {
+      auto forged = edge_labels_from_run(c.yes, c.v, *z);
+      no_ok = !edge_labelling_satisfied(c.no, p, forged);
+    }
+    t.add_row({c.v.name, std::to_string(bits),
+               bits <= 4 * (node_id_bits(n) + 3) * c.v.rounds(n) ? "yes"
+                                                                 : "NO",
+               yes_ok ? "labels exist+verify" : "FAIL",
+               no_ok ? "rejected" : "FAIL"});
+  }
+  t.print();
+
+  std::printf("\nPer-edge label width vs n (k-colouring verifier):\n");
+  Table ts({"n", "edge label bits", "4·logn reference"});
+  auto p = edge_labelling_from_verifier(verifiers::k_colouring(3));
+  for (NodeId n : {8u, 32u, 128u, 512u}) {
+    ts.add_row({std::to_string(n), std::to_string(p.label_bits(n)),
+                std::to_string(4 * ceil_log2(n))});
+  }
+  ts.print();
+  std::printf(
+      "\nShape check: induced labels are Θ(log n) bits per edge, and the "
+      "labelling is\nsolvable exactly on the verifier's yes-instances — "
+      "Theorem 6's canonical-family\nclaim, run concretely.\n");
+  return 0;
+}

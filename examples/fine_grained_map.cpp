@@ -1,0 +1,54 @@
+// Fine-grained mini-map (§7 / Figure 1): measure a few problems' round
+// complexities across n, fit their exponents and verify two arrows of the
+// reduction DAG.
+//
+//   $ ./example_fine_grained_map
+
+#include <cstdio>
+
+#include "finegrained/registry.hpp"
+#include "util/table.hpp"
+
+using namespace ccq;
+
+int main() {
+  auto problems = figure1_problems();
+  const std::vector<NodeId> ns = {16, 32, 64};
+
+  std::printf("mini Figure 1: measured exponents at n in {16,32,64}\n\n");
+  Table t({"problem", "fitted δ", "paper δ ≤", "source"});
+  std::vector<ExponentEstimate> ests;
+  for (const char* name :
+       {"3-VC", "2-IS", "Triangle/3-IS", "2-DS", "MaxIS"}) {
+    auto est = estimate_exponent(find_problem(problems, name), ns);
+    t.add_row({name, Table::fmt(est.fit.slope, 3),
+               Table::fmt(find_problem(problems, name).analytic_upper, 3),
+               find_problem(problems, name).upper_source});
+    ests.push_back(std::move(est));
+  }
+  t.print();
+
+  std::printf("\narrow checks (δ(to) ≤ δ(from), tolerance 0.35):\n");
+  auto violated = check_measured_edges(figure1_edges(), ests, 0.35);
+  int checked = 0;
+  for (const auto& e : figure1_edges()) {
+    bool both = false, bad = false;
+    for (const auto& est : ests) {
+      if (est.name == e.to) {
+        for (const auto& est2 : ests)
+          if (est2.name == e.from) both = true;
+      }
+    }
+    if (!both || e.analytic_only) continue;
+    for (const auto& v : violated)
+      if (v.to == e.to && v.from == e.from) bad = true;
+    std::printf("  δ(%s) ≤ δ(%s)   [%s]  %s\n", e.to.c_str(),
+                e.from.c_str(), e.source.c_str(),
+                bad ? "VIOLATED" : "holds");
+    ++checked;
+  }
+  std::printf("\n%d measured arrows checked; the full sweep lives in "
+              "bench_fig1_exponents.\n",
+              checked);
+  return 0;
+}

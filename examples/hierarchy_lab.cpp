@@ -1,0 +1,59 @@
+// Hierarchy laboratory: the counting arguments behind Theorems 2/4/8 and a
+// constructive diagonal language, end to end (§3–§4 of the paper).
+//
+//   $ ./example_hierarchy_lab
+
+#include <cstdio>
+
+#include "hierarchy/counting.hpp"
+#include "hierarchy/diagonal.hpp"
+
+using namespace ccq;
+
+int main() {
+  // 1. Lemma 1 at toy scale, EXACTLY: enumerate every protocol.
+  ProtocolSpace space(2, 1, 1, 0);  // 2 nodes, 1-bit messages, 0 rounds
+  auto achievable = space.achievable_functions();
+  std::size_t count = 0;
+  for (bool a : achievable) count += a;
+  std::printf("[1] (n=2,b=1,L=1,t=0): %zu protocols realise %zu of 16 "
+              "functions\n",
+              std::size_t{1} << space.genome_bits(), count);
+  std::printf("    Lemma 1 upper bound: 2^%.0f protocols (exact count "
+              "2^%zu)\n\n",
+              lemma1_log2_protocols(2, 1, 1, 0), space.genome_bits());
+
+  // 2. The diagonal language: lexicographically-first hard function.
+  auto diag = ToyDiagonalisation::make(2, 1, 0);
+  std::printf("[2] first hard function (lex order): f = %s  (this is AND)\n",
+              diag->hard_function().to_string().c_str());
+
+  // 3. Run the Theorem 2 deciding algorithm on both 2-node graphs.
+  for (bool edge : {false, true}) {
+    Graph g = Graph::undirected(2);
+    if (edge) g.add_edge(0, 1);
+    auto run = diag->decide_clique(g);
+    std::printf("    G %s edge: algorithm says %s (definition says %s), "
+                "%llu round(s)\n",
+                edge ? "with" : "without",
+                run.accepted() ? "in L" : "not in L",
+                diag->in_language(g) ? "in L" : "not in L",
+                static_cast<unsigned long long>(run.cost.rounds));
+  }
+
+  // 4. Theorem-scale counting: the hierarchy is strict everywhere.
+  std::printf("\n[4] theorem-scale counting (log2 log2 of the counts):\n");
+  for (std::uint64_t n : {64u, 1024u}) {
+    auto row = thm2_row(n, 4);
+    std::printf("    n=%-5llu T=4: protocols 2^2^%.1f  <<  functions "
+                "2^2^%.1f  -> hard language exists\n",
+                static_cast<unsigned long long>(n), row.loglog_protocols,
+                row.loglog_funcs);
+  }
+
+  std::printf(
+      "\nThe same counting engine powers the nondeterministic (Thm 4) and\n"
+      "logarithmic-hierarchy (Thm 8) separations — see bench_thm4_* and\n"
+      "bench_thm8_*.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: simulate a congested clique, run two algorithms, read the
+// meter.
+//
+//   $ ./example_quickstart
+//
+// Walks through the three core concepts: (1) a graph instance whose rows
+// are the nodes' initial knowledge, (2) an SPMD node program built from
+// collectives, (3) the cost meter that counts synchronous rounds exactly.
+
+#include <cstdio>
+
+#include "clique/engine.hpp"
+#include "graph/generators.hpp"
+#include "graphalg/sssp.hpp"
+#include "graphalg/subgraph.hpp"
+
+using namespace ccq;
+
+int main() {
+  // A random 32-node input graph; the communication network is always the
+  // full clique regardless of the input's shape.
+  const NodeId n = 32;
+  Graph g = gen::gnp(n, 0.15, /*seed=*/42);
+  std::printf("input: G(n=%u, p=0.15) with m=%zu edges; bandwidth B=%u "
+              "bits/word\n\n",
+              n, g.m(), node_id_bits(n));
+
+  // --- 1. A hand-written one-round program: who has the max degree? -----
+  auto res = Engine::run(g, [](NodeCtx& ctx) {
+    // Each node broadcasts its degree (fits in one word: deg < n).
+    std::vector<std::pair<NodeId, Word>> sends;
+    const Word w(ctx.adj_row().popcount(), node_id_bits(ctx.n()));
+    for (NodeId v = 0; v < ctx.n(); ++v)
+      if (v != ctx.id()) sends.emplace_back(v, w);
+    auto in = ctx.round(sends);
+
+    std::uint64_t best = ctx.adj_row().popcount();
+    for (NodeId v = 0; v < ctx.n(); ++v)
+      if (in[v]) best = std::max(best, in[v]->value);
+    ctx.output(best);
+  });
+  std::printf("max degree      : %llu   (rounds=%llu, messages=%llu)\n",
+              static_cast<unsigned long long>(res.outputs[0]),
+              static_cast<unsigned long long>(res.cost.rounds),
+              static_cast<unsigned long long>(res.cost.messages));
+
+  // --- 2. Library algorithm: triangle detection (Dolev-style) -----------
+  auto tri = triangle_clique(g);
+  std::printf("triangle        : %s", tri.found ? "found {" : "none");
+  if (tri.found) {
+    std::printf("%u,%u,%u}", tri.witness[0], tri.witness[1],
+                tri.witness[2]);
+  }
+  std::printf("   (rounds=%llu)\n",
+              static_cast<unsigned long long>(tri.cost.rounds));
+
+  // --- 3. Library algorithm: BFS tree from node 0 -----------------------
+  auto bfs = bfs_clique(g, 0);
+  std::uint64_t ecc = 0;
+  for (auto d : bfs.dist)
+    if (d < kUnreachable) ecc = std::max(ecc, d);
+  std::printf("BFS from node 0 : eccentricity=%llu   (rounds=%llu)\n",
+              static_cast<unsigned long long>(ecc),
+              static_cast<unsigned long long>(bfs.cost.rounds));
+
+  std::printf(
+      "\nEvery number above was metered by the engine: one ≤B-bit word per "
+      "ordered\npair per round, divergence-checked collectives, no "
+      "analytic shortcuts.\n");
+  return 0;
+}

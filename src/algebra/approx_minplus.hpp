@@ -1,0 +1,97 @@
+#pragma once
+
+// Approximate (min,+) semirings — compact floating-point distance codes.
+//
+// Exact (min,+) entries need ⌈log₂(n·w_max)⌉ bits; a (1+ε)-approximation
+// can carry an M-bit mantissa + small exponent instead. ApproxMinPlus<M>
+// stores value ≈ mant·2^{exp} (normalised, rounded UP on encode, so
+// distances only over-estimate: one-sided (1+2^{1-M})-error per addition).
+// The code (exp << M | mant) is order-preserving, so min is a plain integer
+// min. Over ⌈log₂n⌉ squarings the accumulated factor stays ≤
+// (1+2^{1-M})^{⌈log₂n⌉+1} — pick M from ε via required_mantissa_bits().
+
+#include <cstdint>
+
+#include "algebra/semiring.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace ccq {
+
+template <unsigned M>
+struct ApproxMinPlus {
+  static_assert(M >= 2 && M <= 20, "mantissa width out of range");
+  using Value = std::uint32_t;
+
+  static constexpr unsigned kExpBits = 7;  // exponents up to 127
+  /// ∞ sentinel: the all-ones pattern of the wire width — order-max above
+  /// every real code and directly transmissible in entry_bits() bits.
+  static constexpr Value kInf =
+      (Value{1} << (M + kExpBits + 1)) - 1;
+
+  static constexpr Value zero() { return kInf; }  // additive identity (∞)
+  static constexpr Value one() { return 0; }      // multiplicative (0)
+
+  static constexpr Value add(Value a, Value b) { return a < b ? a : b; }
+
+  static Value mul(Value a, Value b) {
+    if (a >= kInf || b >= kInf) return kInf;
+    return encode(decode(a) + decode(b));
+  }
+
+  /// Round a real distance UP to the nearest representable code.
+  static Value encode(std::uint64_t v) {
+    if (v == 0) return 0;
+    // Normalise: mant in [2^{M-1}, 2^M) except for small values stored
+    // denormalised with exp = 0.
+    if (v < (std::uint64_t{1} << M)) {
+      return static_cast<Value>(v);  // exact, exp = 0
+    }
+    const unsigned msb = floor_log2(v);
+    const unsigned exp = msb - (M - 1);
+    CCQ_CHECK_MSG(exp + 2 < (1u << kExpBits), "approx distance overflow");
+    std::uint64_t mant = v >> exp;
+    if ((mant << exp) != v) ++mant;  // round up
+    if (mant == (std::uint64_t{1} << M)) {
+      mant >>= 1;
+      return (static_cast<Value>(exp + 2) << M) |
+             static_cast<Value>(mant - (std::uint64_t{1} << (M - 1)));
+    }
+    // Store exp+1 so that exp-field 0 means "denormalised/exact".
+    return (static_cast<Value>(exp + 1) << M) |
+           static_cast<Value>(mant - (std::uint64_t{1} << (M - 1)));
+  }
+
+  static std::uint64_t decode(Value code) {
+    if (code >= kInf) return ~std::uint64_t{0} / 4;
+    const Value expf = code >> M;
+    const Value rest = code & ((Value{1} << M) - 1);
+    if (expf == 0) return rest;
+    // Wire defence: a (malformed) code whose shift would overflow uint64
+    // decodes to the ∞ value instead of undefined behaviour. encode()
+    // never produces such codes from uint64 inputs.
+    if (expf - 1 + M > 63) return ~std::uint64_t{0} / 4;
+    const std::uint64_t mant = (std::uint64_t{1} << (M - 1)) + rest;
+    return mant << (expf - 1);
+  }
+
+  /// Wire width of a code.
+  static constexpr unsigned entry_bits() { return M + kExpBits + 1; }
+};
+
+static_assert(Semiring<ApproxMinPlus<8>>);
+
+/// Mantissa bits so that (1+2^{1-M})^{steps+1} ≤ 1+ε (sufficient:
+/// 2^{1-M}·(steps+1)·2 ≤ ε for ε ≤ 1).
+inline unsigned required_mantissa_bits(double epsilon, unsigned steps) {
+  CCQ_CHECK_MSG(epsilon > 0 && epsilon <= 1.0, "need 0 < ε ≤ 1");
+  unsigned m = 2;
+  while (2.0 * (steps + 1) * 2.0 / static_cast<double>(1u << (m - 1)) >
+         epsilon) {
+    ++m;
+    CCQ_CHECK(m <= 20);
+  }
+  return m;
+}
+
+}  // namespace ccq

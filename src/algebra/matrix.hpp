@@ -1,0 +1,63 @@
+#pragma once
+
+// Dense row-major matrices over arbitrary value types.
+
+#include <cstddef>
+#include <vector>
+
+#include "algebra/semiring.hpp"
+#include "util/check.hpp"
+
+namespace ccq {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix zero(std::size_t n) { return Matrix(n, n); }
+
+  template <Semiring S>
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n, S::zero());
+    for (std::size_t i = 0; i < n; ++i) m.at(i, i) = S::one();
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  T& at(std::size_t i, std::size_t j) {
+    CCQ_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  const T& at(std::size_t i, std::size_t j) const {
+    CCQ_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Row i as a span-like pointer pair (contiguous row-major storage).
+  const T* row_data(std::size_t i) const { return &data_[i * cols_]; }
+  T* row_data(std::size_t i) { return &data_[i * cols_]; }
+
+  Matrix transpose() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < cols_; ++j) t.at(j, i) = at(i, j);
+    return t;
+  }
+
+  bool operator==(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+  const std::vector<T>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace ccq

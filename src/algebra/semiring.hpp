@@ -1,0 +1,93 @@
+#pragma once
+
+// Semirings for matrix multiplication.
+//
+// Figure 1 of the paper distinguishes Boolean MM, Ring MM, (min,+) MM and
+// generic Semiring MM; all share one distributed algorithm parameterised by
+// the algebraic structure. A semiring here is a stateless type with the
+// static operations below; `Ring` additionally has subtraction (needed by
+// Strassen).
+
+#include <concepts>
+#include <cstdint>
+#include <limits>
+
+namespace ccq {
+
+template <typename S>
+concept Semiring = requires(typename S::Value a, typename S::Value b) {
+  typename S::Value;
+  { S::zero() } -> std::convertible_to<typename S::Value>;
+  { S::one() } -> std::convertible_to<typename S::Value>;
+  { S::add(a, b) } -> std::convertible_to<typename S::Value>;
+  { S::mul(a, b) } -> std::convertible_to<typename S::Value>;
+};
+
+template <typename S>
+concept Ring = Semiring<S> && requires(typename S::Value a,
+                                       typename S::Value b) {
+  { S::sub(a, b) } -> std::convertible_to<typename S::Value>;
+};
+
+/// Boolean (OR, AND) semiring — Boolean MM, transitive closure.
+struct BoolSemiring {
+  using Value = std::uint8_t;
+  static constexpr Value zero() { return 0; }
+  static constexpr Value one() { return 1; }
+  static constexpr Value add(Value a, Value b) { return a | b; }
+  static constexpr Value mul(Value a, Value b) { return a & b; }
+};
+
+/// Tropical (min, +) semiring — APSP via matrix powers. zero() is the
+/// additive identity +∞; mul saturates so ∞ + x = ∞.
+struct MinPlusSemiring {
+  using Value = std::uint64_t;
+  static constexpr Value infinity() {
+    return std::numeric_limits<std::uint64_t>::max() / 4;
+  }
+  static constexpr Value zero() { return infinity(); }
+  static constexpr Value one() { return 0; }
+  static constexpr Value add(Value a, Value b) { return a < b ? a : b; }
+  static constexpr Value mul(Value a, Value b) {
+    return (a >= infinity() || b >= infinity()) ? infinity() : a + b;
+  }
+};
+
+/// Integer ring (ℤ, +, ×) with wrap-around 64-bit arithmetic — Ring MM.
+struct I64Ring {
+  using Value = std::int64_t;
+  static constexpr Value zero() { return 0; }
+  static constexpr Value one() { return 1; }
+  static constexpr Value add(Value a, Value b) {
+    return static_cast<Value>(static_cast<std::uint64_t>(a) +
+                              static_cast<std::uint64_t>(b));
+  }
+  static constexpr Value mul(Value a, Value b) {
+    return static_cast<Value>(static_cast<std::uint64_t>(a) *
+                              static_cast<std::uint64_t>(b));
+  }
+  static constexpr Value sub(Value a, Value b) {
+    return static_cast<Value>(static_cast<std::uint64_t>(a) -
+                              static_cast<std::uint64_t>(b));
+  }
+};
+
+/// (max, min) "bottleneck" semiring — widest-path problems; exercises the
+/// generic-semiring code path with a third distinct algebra.
+struct MaxMinSemiring {
+  using Value = std::uint32_t;
+  static constexpr Value zero() { return 0; }
+  static constexpr Value one() {
+    return std::numeric_limits<std::uint32_t>::max();
+  }
+  static constexpr Value add(Value a, Value b) { return a > b ? a : b; }
+  static constexpr Value mul(Value a, Value b) { return a < b ? a : b; }
+};
+
+static_assert(Semiring<BoolSemiring>);
+static_assert(Semiring<MinPlusSemiring>);
+static_assert(Semiring<MaxMinSemiring>);
+static_assert(Ring<I64Ring>);
+static_assert(!Ring<BoolSemiring>);
+
+}  // namespace ccq

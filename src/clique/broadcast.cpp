@@ -1,0 +1,31 @@
+#include "clique/broadcast.hpp"
+
+namespace ccq {
+
+std::vector<std::optional<Word>> BcastCtx::round(std::optional<Word> mine) {
+  std::vector<std::pair<NodeId, Word>> sends;
+  if (mine.has_value()) {
+    sends.reserve(n() > 0 ? n() - 1 : 0);
+    for (NodeId v = 0; v < n(); ++v) {
+      if (v != id()) sends.emplace_back(v, *mine);
+    }
+  }
+  auto received = inner_.round(sends);
+  if (mine.has_value()) received[id()] = *mine;  // own word visible locally
+  return received;
+}
+
+RunResult run_broadcast_clique(const Instance& instance,
+                               const BcastProgram& program) {
+  return Engine::run(instance, [&program](NodeCtx& ctx) {
+    BcastCtx bctx(ctx);
+    program(bctx);
+  });
+}
+
+RunResult run_broadcast_clique(const Graph& g,
+                               const BcastProgram& program) {
+  return run_broadcast_clique(Instance::of(g), program);
+}
+
+}  // namespace ccq

@@ -1,0 +1,23 @@
+#include "clique/congest.hpp"
+
+namespace ccq {
+
+std::vector<std::optional<Word>> CongestCtx::round(
+    std::span<const std::pair<NodeId, Word>> sends) {
+  for (const auto& [dst, w] : sends) {
+    (void)w;
+    CCQ_CHECK_MSG(dst < inner_.n() && inner_.adj_row().get(dst),
+                  "CONGEST violation: node "
+                      << inner_.id() << " sent along non-edge to " << dst);
+  }
+  return inner_.round(sends);
+}
+
+RunResult run_congest(const Graph& g, const CongestProgram& program) {
+  return Engine::run(g, [&program](NodeCtx& ctx) {
+    CongestCtx cctx(ctx);
+    program(cctx);
+  });
+}
+
+}  // namespace ccq

@@ -1,0 +1,35 @@
+#pragma once
+
+// Round and bandwidth accounting.
+//
+// The round counter is the experimental instrument of this whole repository:
+// every table reproduced from the paper reports values of this meter, never
+// an analytic formula. Messages and bits are tracked as secondary statistics
+// (they drive e.g. the Theorem 3 certificate-size experiment).
+
+#include <cstdint>
+
+namespace ccq {
+
+struct CostMeter {
+  std::uint64_t rounds = 0;    ///< synchronous communication rounds
+  std::uint64_t messages = 0;  ///< individual ≤B-bit words sent (self excl.)
+  std::uint64_t bits = 0;      ///< total bits across those words
+  std::uint64_t collectives = 0;  ///< engine synchronisation points
+  /// Heaviest per-node traffic over the whole run (words sent by any one
+  /// node / received by any one node) — the quantities Lenzen-style
+  /// routing bounds are stated in (≤ n each ⇒ O(1) rounds).
+  std::uint64_t max_node_sent = 0;
+  std::uint64_t max_node_received = 0;
+
+  void add(const CostMeter& o) {
+    rounds += o.rounds;
+    messages += o.messages;
+    bits += o.bits;
+    collectives += o.collectives;
+    max_node_sent += o.max_node_sent;
+    max_node_received += o.max_node_received;
+  }
+};
+
+}  // namespace ccq

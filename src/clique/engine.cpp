@@ -1,0 +1,440 @@
+#include "clique/engine.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace ccq {
+
+namespace detail {
+
+// Thrown into node threads to unwind them after another node failed (or a
+// model rule was violated); never escapes Engine::run.
+struct Aborted {};
+
+struct OpTag {
+  int opcode = 0;
+  std::uint64_t param = 0;
+  bool operator==(const OpTag& o) const {
+    return opcode == o.opcode && param == o.param;
+  }
+};
+
+enum OpCode : int {
+  kOpRound = 1,
+  kOpExchange = 2,
+  kOpBroadcast = 3,
+};
+
+struct SharedState {
+  // Immutable run parameters.
+  const Instance* instance = nullptr;
+  NodeId n = 0;
+  unsigned bandwidth = 1;
+  std::uint64_t max_rounds = 0;
+  std::uint64_t seed = 0;
+  std::vector<BitVector> in_rows;       // transposed adjacency (directed)
+  std::vector<BitVector> private_bits;  // resolved §3 encoding
+
+  // Rendezvous state (all guarded by mu).
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t arrived = 0;
+  std::uint64_t generation = 0;
+  std::size_t finished = 0;
+  bool aborted = false;
+  std::exception_ptr error;
+
+  // Collective payload slots (written under mu before arrival; read by the
+  // leader; results read by each node after release, still under mu).
+  std::vector<OpTag> tags;
+  std::vector<const WordQueues*> out_slots;
+  std::vector<WordQueues> in_slots;
+
+  // Results.
+  CostMeter cost;
+  std::vector<std::uint64_t> sent_words;      // per-node totals (run-wide)
+  std::vector<std::uint64_t> received_words;
+  std::vector<std::uint64_t> outputs;
+  std::vector<std::uint8_t> has_output;
+
+  void abort_locked(std::exception_ptr e) {
+    if (!aborted) {
+      aborted = true;
+      error = std::move(e);
+    }
+    cv.notify_all();
+  }
+
+  void abort(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lk(mu);
+    abort_locked(std::move(e));
+  }
+
+  [[noreturn]] void fail_locked(const std::string& msg) {
+    abort_locked(std::make_exception_ptr(ModelViolation(msg)));
+    throw Aborted{};
+  }
+
+  // Rendezvous: deposit this node's payload, wait for everyone, have the
+  // last arrival validate the op tags and run `leader` (delivery +
+  // accounting), then release all nodes.
+  template <typename Deposit, typename Leader>
+  void collective(NodeId id, OpTag tag, Deposit&& deposit, Leader&& leader) {
+    std::unique_lock<std::mutex> lk(mu);
+    if (aborted) throw Aborted{};
+    if (finished > 0) {
+      fail_locked(
+          "divergent collectives: a node entered a collective after another "
+          "node finished its program");
+    }
+    tags[id] = tag;
+    deposit();
+    ++arrived;
+    if (arrived == n) {
+      arrived = 0;
+      ++generation;
+      for (NodeId v = 0; v < n; ++v) {
+        if (!(tags[v] == tag)) {
+          fail_locked(
+              "divergent collectives: nodes issued different operations");
+        }
+      }
+      try {
+        leader();
+      } catch (...) {
+        abort_locked(std::current_exception());
+        throw Aborted{};
+      }
+      if (cost.rounds > max_rounds) {
+        fail_locked("round limit exceeded (runaway algorithm?)");
+      }
+      cv.notify_all();
+    } else {
+      const std::uint64_t my_gen = generation;
+      cv.wait(lk, [&] { return generation != my_gen || aborted; });
+      if (aborted) throw Aborted{};
+    }
+  }
+
+  void node_finished() {
+    std::lock_guard<std::mutex> lk(mu);
+    if (aborted) return;
+    if (arrived > 0) {
+      abort_locked(std::make_exception_ptr(ModelViolation(
+          "divergent collectives: a node finished while others were inside "
+          "a collective")));
+    }
+    ++finished;
+  }
+};
+
+namespace {
+
+void validate_words(const WordQueues& out, NodeId self, unsigned bandwidth,
+                    NodeId n) {
+  CCQ_CHECK_MSG(out.size() == n, "outbox must have one queue per node");
+  for (NodeId dst = 0; dst < n; ++dst) {
+    if (dst == self) continue;  // self-delivery is free local computation
+    for (const Word& w : out[dst]) {
+      CCQ_CHECK_MSG(
+          w.bits <= bandwidth,
+          "bandwidth violation: node " << self << " sent a " << w.bits
+                                       << "-bit word to node " << dst
+                                       << " but B = " << bandwidth);
+    }
+  }
+}
+
+// Deliver all deposited queues; cost = max over ordered (u,v), u != v, of
+// the queue length (one word per ordered pair per synchronous round).
+// Returns the number of rounds charged.
+std::uint64_t deliver(SharedState& st) {
+  const NodeId n = st.n;
+  std::uint64_t max_queue = 0, msgs = 0, bits = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    st.in_slots[v].assign(n, {});
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    const WordQueues& out = *st.out_slots[u];
+    for (NodeId v = 0; v < n; ++v) {
+      if (out[v].empty()) continue;
+      if (u != v) {
+        max_queue = std::max<std::uint64_t>(max_queue, out[v].size());
+        msgs += out[v].size();
+        for (const Word& w : out[v]) bits += w.bits;
+        st.sent_words[u] += out[v].size();
+        st.received_words[v] += out[v].size();
+      }
+      st.in_slots[v][u] = out[v];
+    }
+  }
+  st.cost.messages += msgs;
+  st.cost.bits += bits;
+  st.cost.collectives += 1;
+  return max_queue;
+}
+
+}  // namespace
+}  // namespace detail
+
+using detail::OpTag;
+using detail::SharedState;
+
+NodeId NodeCtx::n() const { return st_->n; }
+unsigned NodeCtx::bandwidth() const { return st_->bandwidth; }
+std::uint64_t NodeCtx::common_seed() const { return st_->seed; }
+
+const BitVector& NodeCtx::adj_row() const {
+  return st_->instance->graph.row(id_);
+}
+
+const BitVector& NodeCtx::in_row() const {
+  return st_->instance->graph.is_directed() ? st_->in_rows[id_]
+                                            : st_->instance->graph.row(id_);
+}
+
+bool NodeCtx::directed() const { return st_->instance->graph.is_directed(); }
+bool NodeCtx::weighted() const { return st_->instance->graph.is_weighted(); }
+
+std::uint32_t NodeCtx::edge_weight(NodeId u) const {
+  // Incident edges in either orientation are local knowledge (§3).
+  const Graph& g = st_->instance->graph;
+  if (g.has_edge(id_, u)) return g.weight(id_, u);
+  return g.weight(u, id_);  // throws for a non-edge
+}
+
+const BitVector& NodeCtx::private_bits() const {
+  return st_->private_bits[id_];
+}
+
+const BitVector& NodeCtx::label(std::size_t i) const {
+  CCQ_CHECK_MSG(i < st_->instance->labels.size(),
+                "label index " << i << " out of range");
+  return st_->instance->labels[i][id_];
+}
+
+std::size_t NodeCtx::label_count() const {
+  return st_->instance->labels.size();
+}
+
+std::uint64_t NodeCtx::rounds_so_far() const {
+  std::lock_guard<std::mutex> lk(st_->mu);
+  return st_->cost.rounds;
+}
+
+WordQueues NodeCtx::exchange(const WordQueues& out) {
+  detail::validate_words(out, id_, st_->bandwidth, st_->n);
+  WordQueues result;
+  st_->collective(
+      id_, OpTag{detail::kOpExchange, 0},
+      [&] { st_->out_slots[id_] = &out; },
+      [&] { st_->cost.rounds += detail::deliver(*st_); });
+  {
+    std::lock_guard<std::mutex> lk(st_->mu);
+    result = std::move(st_->in_slots[id_]);
+  }
+  return result;
+}
+
+std::vector<std::optional<Word>> NodeCtx::round(
+    std::span<const std::pair<NodeId, Word>> sends) {
+  const NodeId nn = st_->n;
+  WordQueues out(nn);
+  for (const auto& [dst, w] : sends) {
+    CCQ_CHECK_MSG(dst < nn, "round(): destination out of range");
+    CCQ_CHECK_MSG(dst != id_, "round(): no self-messages in round()");
+    CCQ_CHECK_MSG(out[dst].empty(),
+                  "round(): at most one word per destination per round");
+    out[dst].push_back(w);
+  }
+  detail::validate_words(out, id_, st_->bandwidth, nn);
+
+  st_->collective(
+      id_, OpTag{detail::kOpRound, 0},
+      [&] { st_->out_slots[id_] = &out; },
+      [&] {
+        // A round costs exactly 1 regardless of occupancy.
+        detail::deliver(*st_);
+        st_->cost.rounds += 1;
+      });
+
+  std::vector<std::optional<Word>> received(nn);
+  {
+    std::lock_guard<std::mutex> lk(st_->mu);
+    const WordQueues& in = st_->in_slots[id_];
+    for (NodeId src = 0; src < nn; ++src) {
+      if (!in[src].empty()) received[src] = in[src].front();
+    }
+  }
+  return received;
+}
+
+std::vector<BitVector> NodeCtx::broadcast(const BitVector& mine) {
+  const NodeId nn = st_->n;
+  const unsigned B = st_->bandwidth;
+  const std::vector<Word> words = encode_bits(mine, B);
+  WordQueues out(nn);
+  for (NodeId v = 0; v < nn; ++v) {
+    if (v == id_) continue;
+    out[v] = words;
+  }
+  st_->collective(
+      id_, OpTag{detail::kOpBroadcast, mine.size()},
+      [&] { st_->out_slots[id_] = &out; },
+      [&] {
+        detail::deliver(*st_);
+        // ⌈L/B⌉ rounds (equals the max queue length by construction, but we
+        // charge it explicitly so an all-empty broadcast of L bits still
+        // costs its rounds).
+        st_->cost.rounds += ceil_div(mine.size(), B);
+      });
+
+  std::vector<BitVector> result(nn);
+  {
+    std::lock_guard<std::mutex> lk(st_->mu);
+    const WordQueues& in = st_->in_slots[id_];
+    for (NodeId src = 0; src < nn; ++src) {
+      if (src == id_) {
+        result[src] = mine;
+      } else {
+        result[src] = decode_words(in[src], mine.size());
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<bool> NodeCtx::share_bit(bool mine) {
+  const NodeId nn = st_->n;
+  std::vector<std::pair<NodeId, Word>> sends;
+  sends.reserve(nn > 0 ? nn - 1 : 0);
+  for (NodeId v = 0; v < nn; ++v) {
+    if (v != id_) sends.emplace_back(v, Word(mine ? 1 : 0, 1));
+  }
+  auto received = round(sends);
+  std::vector<bool> bits(nn, false);
+  for (NodeId v = 0; v < nn; ++v) {
+    if (v == id_) {
+      bits[v] = mine;
+    } else {
+      CCQ_CHECK_MSG(received[v].has_value(), "share_bit: missing bit");
+      bits[v] = received[v]->value != 0;
+    }
+  }
+  return bits;
+}
+
+bool NodeCtx::any(bool mine) {
+  for (bool b : share_bit(mine))
+    if (b) return true;
+  return false;
+}
+
+bool NodeCtx::all(bool mine) {
+  for (bool b : share_bit(mine))
+    if (!b) return false;
+  return true;
+}
+
+void NodeCtx::output(std::uint64_t value) {
+  std::lock_guard<std::mutex> lk(st_->mu);
+  CCQ_CHECK_MSG(!st_->has_output[id_],
+                "node " << id_ << " called output() twice");
+  st_->outputs[id_] = value;
+  st_->has_output[id_] = 1;
+}
+
+RunResult Engine::run(const Instance& instance, const NodeProgram& program,
+                      const Config& config) {
+  const NodeId n = instance.graph.n();
+  CCQ_CHECK_MSG(n >= 1, "empty clique");
+  CCQ_CHECK_MSG(n <= 4096, "clique too large for the simulator");
+  CCQ_CHECK(config.bandwidth_multiplier >= 1);
+  for (const Labelling& z : instance.labels) {
+    CCQ_CHECK_MSG(z.size() == n, "labelling must assign a label per node");
+  }
+  if (!instance.private_bits.empty()) {
+    CCQ_CHECK_MSG(instance.private_bits.size() == n,
+                  "private bits must cover every node");
+  }
+
+  SharedState st;
+  st.instance = &instance;
+  st.n = n;
+  const unsigned base = node_id_bits(n);
+  const std::uint64_t wide =
+      static_cast<std::uint64_t>(base) * config.bandwidth_multiplier;
+  st.bandwidth = static_cast<unsigned>(std::min<std::uint64_t>(wide, 64));
+  st.max_rounds = config.max_rounds;
+  st.seed = config.seed;
+  st.tags.resize(n);
+  st.out_slots.assign(n, nullptr);
+  st.in_slots.resize(n);
+  st.outputs.assign(n, 0);
+  st.has_output.assign(n, 0);
+  st.sent_words.assign(n, 0);
+  st.received_words.assign(n, 0);
+
+  if (instance.graph.is_directed()) {
+    st.in_rows.assign(n, BitVector(n));
+    for (NodeId u = 0; u < n; ++u) {
+      const BitVector& r = instance.graph.row(u);
+      for (std::size_t v = r.find_first(); v < r.size();
+           v = r.find_first(v + 1)) {
+        st.in_rows[v].set(u);
+      }
+    }
+  }
+  st.private_bits = instance.private_bits.empty()
+                        ? private_bit_encoding(instance.graph)
+                        : instance.private_bits;
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    threads.emplace_back([&st, &program, v] {
+      NodeCtx ctx(v, &st);
+      try {
+        program(ctx);
+        st.node_finished();
+      } catch (detail::Aborted&) {
+        // Another node already recorded the error.
+      } catch (...) {
+        st.abort(std::current_exception());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (st.error) std::rethrow_exception(st.error);
+  for (NodeId v = 0; v < n; ++v) {
+    CCQ_CHECK_MSG(st.has_output[v],
+                  "node " << v << " terminated without calling output()");
+  }
+  RunResult result;
+  result.outputs = std::move(st.outputs);
+  result.cost = st.cost;
+  for (NodeId v = 0; v < n; ++v) {
+    result.cost.max_node_sent =
+        std::max(result.cost.max_node_sent, st.sent_words[v]);
+    result.cost.max_node_received =
+        std::max(result.cost.max_node_received, st.received_words[v]);
+  }
+  return result;
+}
+
+std::vector<BitVector> private_bit_encoding(const Graph& g) {
+  const NodeId n = g.n();
+  std::vector<BitVector> bits(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      bits[u].push_back(g.has_edge(u, v));
+    }
+  }
+  return bits;
+}
+
+}  // namespace ccq

@@ -1,0 +1,156 @@
+#pragma once
+
+// The congested clique engine.
+//
+// Execution model (faithful to §3 of the paper):
+//   * n nodes, fully connected, synchronous rounds;
+//   * per round, each ordered pair carries at most one word of at most
+//     B = ⌈log₂n⌉ · c bits (c = Config::bandwidth_multiplier, default 1);
+//   * unlimited local computation;
+//   * all nodes run the same program (SPMD), parameterised by id().
+//
+// Programs are written MPI-style: a plain function `void(NodeCtx&)` that
+// calls *collectives* — round(), exchange(), broadcast(), share_bit(). Every
+// node must issue the identical collective sequence; the engine runs one
+// thread per node, rendezvouses them at each collective, verifies the
+// sequences agree (a divergent sequence is a ModelViolation), delivers
+// messages deterministically, and meters rounds from the actual per-pair
+// queue drain. Results are bit-for-bit independent of thread scheduling.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "clique/cost.hpp"
+#include "clique/instance.hpp"
+#include "clique/word.hpp"
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+/// Per-destination (or per-source) word queues; index = peer node id.
+using WordQueues = std::vector<std::vector<Word>>;
+
+namespace detail {
+struct SharedState;
+}  // namespace detail
+
+class NodeCtx {
+ public:
+  NodeId id() const { return id_; }
+  NodeId n() const;
+  /// Bandwidth B in bits per word.
+  unsigned bandwidth() const;
+  /// Shared public randomness (common seed; the model's nodes could agree
+  /// on it in one round, and all our uses are charged or constant).
+  std::uint64_t common_seed() const;
+
+  // ---- initial local knowledge -------------------------------------------
+  /// Incident-edge row (out-edges when directed).
+  const BitVector& adj_row() const;
+  /// Incoming-edge row (directed graphs; == adj_row() when undirected).
+  const BitVector& in_row() const;
+  bool directed() const;
+  bool weighted() const;
+  /// Weight of the incident edge {id(), u} (must exist).
+  std::uint32_t edge_weight(NodeId u) const;
+  /// Private input bits (§3 encoding or instance-provided).
+  const BitVector& private_bits() const;
+  /// Nondeterministic label z_{i}[v] for this node (i is 0-based).
+  const BitVector& label(std::size_t i) const;
+  std::size_t label_count() const;
+
+  // ---- collectives (identical call sequence across all nodes) ------------
+  /// One synchronous round: send at most one word to each other node;
+  /// returns the word received from each node (index = sender). Costs
+  /// exactly 1 round even if nothing is sent.
+  std::vector<std::optional<Word>> round(
+      std::span<const std::pair<NodeId, Word>> sends);
+
+  /// Bulk exchange: queue any number of words per destination; the engine
+  /// drains all queues one word per ordered pair per round, so the cost is
+  /// max over ordered pairs of the queue length. Returns per-source inboxes
+  /// in FIFO order. Words queued to self are delivered free of charge
+  /// (local computation is unlimited).
+  WordQueues exchange(const WordQueues& out);
+
+  /// Every node broadcasts `mine` to everyone; all broadcasts run in
+  /// parallel. All nodes must pass bit vectors of the same length L
+  /// (engine-checked); costs ⌈L/B⌉ rounds. Returns all n vectors.
+  std::vector<BitVector> broadcast(const BitVector& mine);
+
+  /// One-bit broadcast (1 round); returns everyone's bit.
+  std::vector<bool> share_bit(bool mine);
+
+  /// Global disjunction / conjunction of one bit per node (1 round each).
+  bool any(bool mine);
+  bool all(bool mine);
+
+  // ---- output -------------------------------------------------------------
+  /// Final output of this node. Must be called exactly once.
+  void output(std::uint64_t value);
+  /// Decision-problem convenience: output(accept ? 1 : 0).
+  void decide(bool accept) { output(accept ? 1 : 0); }
+
+  /// Rounds consumed so far (nodes legitimately know the round number).
+  std::uint64_t rounds_so_far() const;
+
+ private:
+  friend class Engine;
+  NodeCtx(NodeId id, detail::SharedState* st) : id_(id), st_(st) {}
+
+  NodeId id_;
+  detail::SharedState* st_;
+};
+
+using NodeProgram = std::function<void(NodeCtx&)>;
+
+struct RunResult {
+  std::vector<std::uint64_t> outputs;  ///< one value per node
+  CostMeter cost;
+
+  /// All nodes output 1 (the paper's "algorithm accepts").
+  bool accepted() const {
+    for (auto v : outputs)
+      if (v != 1) return false;
+    return !outputs.empty();
+  }
+  /// All nodes output 0 (the paper's "algorithm rejects").
+  bool rejected() const {
+    for (auto v : outputs)
+      if (v != 0) return false;
+    return !outputs.empty();
+  }
+};
+
+class Engine {
+ public:
+  struct Config {
+    unsigned bandwidth_multiplier = 1;
+    std::uint64_t max_rounds = 1u << 24;  ///< runaway-algorithm guard
+    std::uint64_t seed = 0x9a7cc1e5u;     ///< common public randomness
+  };
+
+  /// Execute `program` on `instance`. Throws ModelViolation on any model
+  /// rule violation (bandwidth overflow, divergent collectives, missing
+  /// output, round-limit overrun) and propagates program exceptions.
+  static RunResult run(const Instance& instance, const NodeProgram& program,
+                       const Config& config);
+  static RunResult run(const Instance& instance, const NodeProgram& program) {
+    return run(instance, program, Config{});
+  }
+
+  /// Convenience: unlabelled graph instance.
+  static RunResult run(const Graph& g, const NodeProgram& program,
+                       const Config& config) {
+    return run(Instance::of(g), program, config);
+  }
+  static RunResult run(const Graph& g, const NodeProgram& program) {
+    return run(Instance::of(g), program, Config{});
+  }
+};
+
+}  // namespace ccq

@@ -1,0 +1,203 @@
+#include "clique/routing.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace ccq {
+
+std::vector<std::pair<NodeId, Word>> route_direct(
+    NodeCtx& ctx, const std::vector<RoutedMessage>& messages) {
+  const NodeId n = ctx.n();
+  WordQueues out(n);
+  for (const RoutedMessage& m : messages) {
+    CCQ_CHECK_MSG(m.dst < n, "route_direct: destination out of range");
+    out[m.dst].push_back(m.payload);
+  }
+  WordQueues in = ctx.exchange(out);
+  std::vector<std::pair<NodeId, Word>> received;
+  for (NodeId src = 0; src < n; ++src) {
+    for (const Word& w : in[src]) received.emplace_back(src, w);
+  }
+  return received;
+}
+
+std::vector<std::pair<NodeId, Word>> route_balanced(
+    NodeCtx& ctx, const std::vector<RoutedMessage>& messages) {
+  const NodeId n = ctx.n();
+  const unsigned idb = node_id_bits(n);
+
+  // Phase 1: stripe destination-sorted messages across intermediaries,
+  // starting from a seed-salted offset so that structured workloads do not
+  // systematically collide. Each relayed message is a (dst-header, payload)
+  // word pair on the wire.
+  std::vector<RoutedMessage> sorted = messages;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const RoutedMessage& a, const RoutedMessage& b) {
+                     return a.dst < b.dst;
+                   });
+  const NodeId offset = static_cast<NodeId>(
+      mix64(ctx.common_seed() ^ (static_cast<std::uint64_t>(ctx.id()) + 1)) %
+      n);
+
+  WordQueues phase1(n);
+  for (std::size_t j = 0; j < sorted.size(); ++j) {
+    CCQ_CHECK_MSG(sorted[j].dst < n, "route_balanced: destination range");
+    const NodeId mid = static_cast<NodeId>(
+        (offset + j) % static_cast<std::size_t>(n));
+    phase1[mid].emplace_back(sorted[j].dst, idb);
+    phase1[mid].push_back(sorted[j].payload);
+  }
+  WordQueues relay_in = ctx.exchange(phase1);
+
+  // Phase 2: forward to the true destinations with an origin header.
+  WordQueues phase2(n);
+  for (NodeId src = 0; src < n; ++src) {
+    const auto& q = relay_in[src];
+    CCQ_CHECK_MSG(q.size() % 2 == 0, "route_balanced: torn relay pair");
+    for (std::size_t i = 0; i < q.size(); i += 2) {
+      const NodeId dst = static_cast<NodeId>(q[i].value);
+      CCQ_CHECK_MSG(dst < n, "route_balanced: relayed destination range");
+      phase2[dst].emplace_back(src, idb);
+      phase2[dst].push_back(q[i + 1]);
+    }
+  }
+  WordQueues final_in = ctx.exchange(phase2);
+
+  std::vector<std::pair<NodeId, Word>> received;
+  for (NodeId mid = 0; mid < n; ++mid) {
+    const auto& q = final_in[mid];
+    CCQ_CHECK_MSG(q.size() % 2 == 0, "route_balanced: torn delivery pair");
+    for (std::size_t i = 0; i < q.size(); i += 2) {
+      received.emplace_back(static_cast<NodeId>(q[i].value), q[i + 1]);
+    }
+  }
+  std::stable_sort(received.begin(), received.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  return received;
+}
+
+std::vector<std::pair<NodeId, BitVector>> route_blocks(
+    NodeCtx& ctx, const std::vector<RoutedBlock>& blocks) {
+  const NodeId n = ctx.n();
+  const unsigned idb = node_id_bits(n);
+  const unsigned B = ctx.bandwidth();
+  const std::uint64_t max_len = std::uint64_t{1} << (2 * idb);
+
+  // Assign per-(src,dst) sequence numbers in submission order and stripe
+  // blocks across intermediaries (block-wise, destination-sorted).
+  struct Item {
+    NodeId dst;
+    std::uint64_t seq;
+    const BitVector* payload;
+  };
+  std::vector<Item> items;
+  items.reserve(blocks.size());
+  // Blocks addressed to self never touch the network (free local
+  // computation); they are appended to the result directly.
+  std::vector<const BitVector*> self_blocks;
+  {
+    std::vector<std::uint64_t> next_seq(n, 0);
+    for (const RoutedBlock& b : blocks) {
+      CCQ_CHECK_MSG(b.dst < n, "route_blocks: destination out of range");
+      CCQ_CHECK_MSG(b.payload.size() < max_len,
+                    "route_blocks: block too large to frame");
+      if (b.dst == ctx.id()) {
+        self_blocks.push_back(&b.payload);
+        continue;
+      }
+      items.push_back({b.dst, next_seq[b.dst]++, &b.payload});
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      CCQ_CHECK_MSG(next_seq[v] <= (std::uint64_t{1} << idb),
+                    "route_blocks: too many blocks for one destination");
+    }
+  }
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) { return a.dst < b.dst; });
+
+  const NodeId offset = static_cast<NodeId>(
+      mix64(ctx.common_seed() ^ (static_cast<std::uint64_t>(ctx.id()) + 7)) %
+      n);
+
+  auto frame = [&](std::vector<Word>& q, NodeId head, const Item& it) {
+    q.emplace_back(head, idb);
+    q.emplace_back(it.seq, idb);
+    const std::uint64_t len = it.payload->size();
+    q.emplace_back(len & ((std::uint64_t{1} << idb) - 1), idb);
+    q.emplace_back(len >> idb, idb);
+    for (const Word& w : encode_bits(*it.payload, B)) q.push_back(w);
+  };
+
+  WordQueues phase1(n);
+  for (std::size_t j = 0; j < items.size(); ++j) {
+    const NodeId mid = static_cast<NodeId>(
+        (offset + j) % static_cast<std::size_t>(n));
+    frame(phase1[mid], items[j].dst, items[j]);
+  }
+  WordQueues relay_in = ctx.exchange(phase1);
+
+  // Relay: reframe with the origin in the header.
+  WordQueues phase2(n);
+  for (NodeId src = 0; src < n; ++src) {
+    const auto& q = relay_in[src];
+    std::size_t pos = 0;
+    while (pos < q.size()) {
+      CCQ_CHECK_MSG(pos + 4 <= q.size(), "route_blocks: torn frame header");
+      const NodeId dst = static_cast<NodeId>(q[pos].value);
+      const std::uint64_t seq = q[pos + 1].value;
+      const std::uint64_t len = q[pos + 2].value | (q[pos + 3].value << idb);
+      const std::size_t nwords = ceil_div(len, B);
+      CCQ_CHECK_MSG(pos + 4 + nwords <= q.size(),
+                    "route_blocks: torn frame payload");
+      CCQ_CHECK_MSG(dst < n, "route_blocks: relayed destination range");
+      auto& oq = phase2[dst];
+      oq.emplace_back(src, idb);
+      oq.emplace_back(seq, idb);
+      oq.emplace_back(len & ((std::uint64_t{1} << idb) - 1), idb);
+      oq.emplace_back(len >> idb, idb);
+      for (std::size_t i = 0; i < nwords; ++i)
+        oq.push_back(q[pos + 4 + i]);
+      pos += 4 + nwords;
+    }
+  }
+  WordQueues final_in = ctx.exchange(phase2);
+
+  struct Received {
+    NodeId src;
+    std::uint64_t seq;
+    BitVector payload;
+  };
+  std::vector<Received> got;
+  for (NodeId mid = 0; mid < n; ++mid) {
+    const auto& q = final_in[mid];
+    std::size_t pos = 0;
+    while (pos < q.size()) {
+      CCQ_CHECK_MSG(pos + 4 <= q.size(), "route_blocks: torn delivery");
+      const NodeId src = static_cast<NodeId>(q[pos].value);
+      const std::uint64_t seq = q[pos + 1].value;
+      const std::uint64_t len = q[pos + 2].value | (q[pos + 3].value << idb);
+      const std::size_t nwords = ceil_div(len, B);
+      CCQ_CHECK_MSG(pos + 4 + nwords <= q.size(),
+                    "route_blocks: torn delivery payload");
+      std::vector<Word> ws(q.begin() + pos + 4,
+                           q.begin() + pos + 4 + nwords);
+      got.push_back({src, seq, decode_words(ws, len)});
+      pos += 4 + nwords;
+    }
+  }
+  for (std::size_t i = 0; i < self_blocks.size(); ++i) {
+    got.push_back({ctx.id(), i, *self_blocks[i]});
+  }
+  std::sort(got.begin(), got.end(), [](const Received& a, const Received& b) {
+    return a.src != b.src ? a.src < b.src : a.seq < b.seq;
+  });
+  std::vector<std::pair<NodeId, BitVector>> out;
+  out.reserve(got.size());
+  for (auto& r : got) out.emplace_back(r.src, std::move(r.payload));
+  return out;
+}
+
+}  // namespace ccq

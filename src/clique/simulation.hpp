@@ -1,0 +1,34 @@
+#pragma once
+
+// Clique-on-clique simulation accounting (the overhead argument of
+// Theorem 10's proof: "each node is simulating at most O(k²) nodes in G′
+// ... the overhead from simulating O(k²) nodes per each node in G is
+// O(k⁴) rounds for each round in G′").
+//
+// Hosting an m-node clique on n hosts (host h simulates ⌈m/n⌉ nodes), one
+// simulated round moves at most ⌈m/n⌉² words across each ordered host
+// pair, i.e. ⌈m/n⌉² host rounds per simulated round. We run gadget graphs
+// on their own clique (exact round meters); these helpers convert those
+// meters to the paper-faithful host cost so benches can report both.
+
+#include <cstdint>
+
+#include "util/math.hpp"
+
+namespace ccq {
+
+/// Host rounds needed per simulated round of an m-node clique on n hosts.
+inline std::uint64_t simulation_round_overhead(std::uint64_t m,
+                                               std::uint64_t n) {
+  const std::uint64_t per_host = ceil_div(m, n);
+  return per_host * per_host;
+}
+
+/// Total host rounds for `simulated_rounds` rounds of an m-node clique.
+inline std::uint64_t simulated_host_rounds(std::uint64_t simulated_rounds,
+                                           std::uint64_t m,
+                                           std::uint64_t n) {
+  return simulated_rounds * simulation_round_overhead(m, n);
+}
+
+}  // namespace ccq

@@ -1,0 +1,27 @@
+#include "clique/word.hpp"
+
+namespace ccq {
+
+std::vector<Word> encode_bits(const BitVector& bv, unsigned word_bits) {
+  CCQ_CHECK(word_bits >= 1 && word_bits <= 64);
+  std::vector<Word> out;
+  out.reserve(ceil_div(bv.size(), word_bits));
+  for (std::size_t pos = 0; pos < bv.size(); pos += word_bits) {
+    const unsigned take = static_cast<unsigned>(
+        std::min<std::size_t>(word_bits, bv.size() - pos));
+    out.emplace_back(bv.read_bits(pos, take), take);
+  }
+  return out;
+}
+
+BitVector decode_words(const std::vector<Word>& words,
+                       std::size_t total_bits) {
+  BitVector bv;
+  for (const Word& w : words) bv.append_bits(w.value, w.bits);
+  CCQ_CHECK_MSG(bv.size() == total_bits,
+                "decode_words: got " << bv.size() << " bits, expected "
+                                     << total_bits);
+  return bv;
+}
+
+}  // namespace ccq

@@ -1,0 +1,51 @@
+#pragma once
+
+// Message words.
+//
+// In the congested clique each node may send one O(log n)-bit message per
+// ordered pair per round (§3 of the paper; we normalise to exactly
+// B = ⌈log₂n⌉·c bits, with the constant c folded out of asymptotics exactly
+// as the paper folds constants into running time). A Word is one such
+// message: a value plus its declared bit width. The engine rejects any word
+// wider than the per-run bandwidth — this check is the model's integrity.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bit_vector.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace ccq {
+
+struct Word {
+  std::uint64_t value = 0;
+  unsigned bits = 0;
+
+  Word() = default;
+  Word(std::uint64_t v, unsigned b) : value(v), bits(b) {
+    CCQ_CHECK_MSG(b <= 64, "Word wider than 64 bits");
+    if (b < 64)
+      CCQ_CHECK_MSG(v < (std::uint64_t{1} << b),
+                    "Word value " << v << " does not fit in " << b
+                                  << " bits");
+  }
+
+  bool operator==(const Word& o) const {
+    return value == o.value && bits == o.bits;
+  }
+};
+
+/// Bit width needed to name any node of an n-node clique (≥1).
+inline unsigned node_id_bits(std::uint32_t n) {
+  return n <= 1 ? 1 : ceil_log2(n);
+}
+
+/// Split a bit vector into words of at most `word_bits` bits (LSB-first).
+std::vector<Word> encode_bits(const BitVector& bv, unsigned word_bits);
+
+/// Reassemble; `total_bits` is the original length.
+BitVector decode_words(const std::vector<Word>& words,
+                       std::size_t total_bits);
+
+}  // namespace ccq

@@ -1,0 +1,28 @@
+#include "finegrained/problem.hpp"
+
+#include "util/check.hpp"
+
+namespace ccq {
+
+ExponentEstimate estimate_exponent(const Problem& problem,
+                                   const std::vector<NodeId>& ns,
+                                   unsigned repetitions,
+                                   std::uint64_t seed) {
+  CCQ_CHECK_MSG(problem.run, "problem has no measured solver");
+  CCQ_CHECK(repetitions >= 1);
+  ExponentEstimate est;
+  est.name = problem.name;
+  for (NodeId n : ns) {
+    double total = 0;
+    for (unsigned r = 0; r < repetitions; ++r) {
+      total += static_cast<double>(
+          problem.run(n, seed + 7919 * r + n).rounds);
+    }
+    est.ns.push_back(static_cast<double>(n));
+    est.rounds.push_back(total / repetitions);
+  }
+  est.fit = fit_loglog(est.ns, est.rounds);
+  return est;
+}
+
+}  // namespace ccq

@@ -1,0 +1,47 @@
+#pragma once
+
+// §7 — fine-grained complexity framework.
+//
+// δ(L) = inf{δ ∈ [0,1] : L solvable in O(n^δ) rounds}. We estimate δ
+// empirically as the slope of log₂(measured rounds) against log₂(n) over a
+// sweep of instance sizes, and carry the paper's analytic exponent bounds
+// as provenance alongside.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "clique/cost.hpp"
+#include "graph/graph.hpp"
+#include "util/stats.hpp"
+
+namespace ccq {
+
+struct Problem {
+  std::string name;
+  /// Generate a size-n workload and solve it on the simulated clique,
+  /// returning the metered cost. Empty for "galactic" problems whose bound
+  /// rests on algorithms we deliberately do not implement (see DESIGN.md).
+  std::function<CostMeter(NodeId n, std::uint64_t seed)> run;
+  /// The paper's analytic upper bound on δ (1.0 = trivial "learn
+  /// everything").
+  double analytic_upper = 1.0;
+  /// Citation for the bound, in the paper's reference numbering.
+  std::string upper_source;
+};
+
+struct ExponentEstimate {
+  std::string name;
+  std::vector<double> ns;
+  std::vector<double> rounds;
+  LinearFit fit;  ///< slope ≈ empirical δ; r2 = fit quality
+};
+
+/// Measure `problem` across `ns` (repetitions averaged per size).
+ExponentEstimate estimate_exponent(const Problem& problem,
+                                   const std::vector<NodeId>& ns,
+                                   unsigned repetitions = 1,
+                                   std::uint64_t seed = 1);
+
+}  // namespace ccq

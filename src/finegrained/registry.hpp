@@ -1,0 +1,45 @@
+#pragma once
+
+// The Figure 1 problem registry and reduction DAG.
+//
+// Every box of Figure 1 becomes a Problem with a measured solver (where our
+// substrate implements one) or an analytic-only entry (for the two bounds
+// that rest on galactic matrix multiplication — δ(Ring MM) ≤ 1−2/ω and
+// δ(APSP uw/d) via Le Gall [42]; DESIGN.md records the substitution).
+// Every arrow becomes a Figure1Edge with provenance; edges between two
+// measured problems are checked against the measured exponents by the
+// Figure 1 bench and by tests.
+
+#include "finegrained/problem.hpp"
+
+namespace ccq {
+
+/// The matrix-multiplication exponent ω used in the paper's Fig. 1 labels.
+inline constexpr double kOmega = 2.3728639;
+
+std::vector<Problem> figure1_problems();
+
+struct Figure1Edge {
+  std::string to;    ///< δ(to) ≤ δ(from) (arrow *to* L1 *from* L2)
+  std::string from;
+  std::string source;  ///< provenance (paper reference or "this paper")
+  bool analytic_only;  ///< true when either endpoint is not measured
+  /// Extra slope tolerance for documented sub-polynomial factors (e.g.
+  /// APSP = O(log n) applications of (min,+) MM with wider entries: the
+  /// exponents match but small-n slopes carry the log drag).
+  double extra_tolerance = 0.0;
+};
+
+std::vector<Figure1Edge> figure1_edges();
+
+/// Look up a problem by name (throws if absent).
+const Problem& find_problem(const std::vector<Problem>& problems,
+                            const std::string& name);
+
+/// Verify δ(to) ≤ δ(from) + tolerance for all measured edges, given
+/// estimates keyed by problem name. Returns the list of violated edges.
+std::vector<Figure1Edge> check_measured_edges(
+    const std::vector<Figure1Edge>& edges,
+    const std::vector<ExponentEstimate>& estimates, double tolerance);
+
+}  // namespace ccq

@@ -1,0 +1,202 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace ccq::gen {
+
+namespace {
+
+std::vector<NodeId> random_subset(NodeId n, unsigned k, SplitMix64& rng) {
+  CCQ_CHECK(k <= n);
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  for (NodeId i = 0; i < k; ++i) {
+    const auto j = i + static_cast<NodeId>(rng.next_below(n - i));
+    std::swap(perm[i], perm[j]);
+  }
+  perm.resize(k);
+  std::sort(perm.begin(), perm.end());
+  return perm;
+}
+
+std::vector<NodeId> random_permutation(NodeId n, SplitMix64& rng) {
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    const auto j = i + static_cast<NodeId>(rng.next_below(n - i));
+    std::swap(perm[i], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+Graph gnp(NodeId n, double p, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  Graph g = Graph::undirected(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (rng.next_bool(p)) g.add_edge(u, v);
+  return g;
+}
+
+Graph gnp_weighted(NodeId n, double p, std::uint32_t max_w,
+                   std::uint64_t seed) {
+  CCQ_CHECK(max_w >= 1);
+  SplitMix64 rng(seed);
+  Graph g = Graph::undirected(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (rng.next_bool(p))
+        g.add_edge(u, v, 1 + static_cast<std::uint32_t>(
+                                 rng.next_below(max_w)));
+  return g;
+}
+
+Graph gnp_directed(NodeId n, double p, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  Graph g = Graph::directed(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = 0; v < n; ++v)
+      if (u != v && rng.next_bool(p)) g.add_edge(u, v);
+  return g;
+}
+
+Graph cycle(NodeId n) {
+  CCQ_CHECK(n >= 3);
+  Graph g = Graph::undirected(n);
+  for (NodeId v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  return g;
+}
+
+Graph path(NodeId n) {
+  Graph g = Graph::undirected(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph complete(NodeId n) {
+  Graph g = Graph::undirected(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph complete_bipartite(NodeId a, NodeId b) {
+  Graph g = Graph::undirected(a + b);
+  for (NodeId u = 0; u < a; ++u)
+    for (NodeId v = a; v < a + b; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph star(NodeId n) {
+  CCQ_CHECK(n >= 1);
+  Graph g = Graph::undirected(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph empty(NodeId n) { return Graph::undirected(n); }
+
+Planted planted_independent_set(NodeId n, unsigned k, double p,
+                                std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  auto witness = random_subset(n, k, rng);
+  BitVector in_set(n);
+  for (NodeId v : witness) in_set.set(v);
+  Graph g = Graph::undirected(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (in_set.get(u) && in_set.get(v)) continue;  // keep witness independent
+      if (rng.next_bool(p)) g.add_edge(u, v);
+    }
+  return {std::move(g), std::move(witness)};
+}
+
+Planted planted_dominating_set(NodeId n, unsigned k, double p,
+                               std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  auto witness = random_subset(n, k, rng);
+  Graph g = gnp(n, p, rng.next());
+  // Attach every node to a random witness member so the witness dominates.
+  BitVector in_set(n);
+  for (NodeId v : witness) in_set.set(v);
+  for (NodeId v = 0; v < n; ++v) {
+    if (in_set.get(v)) continue;
+    const NodeId d = witness[rng.next_below(witness.size())];
+    if (!g.has_edge(v, d)) g.add_edge(v, d);
+  }
+  return {std::move(g), std::move(witness)};
+}
+
+Planted planted_hamiltonian_path(NodeId n, double extra_p,
+                                 std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  auto order = random_permutation(n, rng);
+  Graph g = gnp(n, extra_p, rng.next());
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    if (!g.has_edge(order[i], order[i + 1]))
+      g.add_edge(order[i], order[i + 1]);
+  }
+  return {std::move(g), std::move(order)};
+}
+
+Planted planted_k_colourable(NodeId n, unsigned k, double p,
+                             std::uint64_t seed) {
+  CCQ_CHECK(k >= 1);
+  SplitMix64 rng(seed);
+  std::vector<NodeId> colour(n);
+  for (NodeId v = 0; v < n; ++v)
+    colour[v] = static_cast<NodeId>(rng.next_below(k));
+  Graph g = Graph::undirected(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (colour[u] != colour[v] && rng.next_bool(p)) g.add_edge(u, v);
+  return {std::move(g), std::move(colour)};
+}
+
+Planted planted_clique(NodeId n, unsigned k, double p, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  auto witness = random_subset(n, k, rng);
+  Graph g = gnp(n, p, rng.next());
+  for (std::size_t a = 0; a < witness.size(); ++a)
+    for (std::size_t b = a + 1; b < witness.size(); ++b)
+      if (!g.has_edge(witness[a], witness[b]))
+        g.add_edge(witness[a], witness[b]);
+  return {std::move(g), std::move(witness)};
+}
+
+Planted planted_k_cycle(NodeId n, unsigned k, double p, std::uint64_t seed) {
+  CCQ_CHECK(k >= 3 && k <= n);
+  SplitMix64 rng(seed);
+  auto witness = random_subset(n, k, rng);
+  Graph g = gnp(n, p, rng.next());
+  for (std::size_t i = 0; i < witness.size(); ++i) {
+    const NodeId u = witness[i];
+    const NodeId v = witness[(i + 1) % witness.size()];
+    if (!g.has_edge(u, v)) g.add_edge(u, v);
+  }
+  return {std::move(g), std::move(witness)};
+}
+
+Planted planted_vertex_cover(NodeId n, unsigned k, std::size_t m,
+                             std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  auto witness = random_subset(n, k, rng);
+  Graph g = Graph::undirected(n);
+  std::size_t added = 0, attempts = 0;
+  while (added < m && attempts < 50 * m + 100) {
+    ++attempts;
+    const NodeId u = witness[rng.next_below(witness.size())];
+    const NodeId v = static_cast<NodeId>(rng.next_below(n));
+    if (u == v || g.has_edge(u, v)) continue;
+    g.add_edge(u, v);
+    ++added;
+  }
+  return {std::move(g), std::move(witness)};
+}
+
+}  // namespace ccq::gen

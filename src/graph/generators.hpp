@@ -1,0 +1,69 @@
+#pragma once
+
+// Workload generators.
+//
+// Every generator is a pure function of its explicit seed, so experiment
+// tables are reproducible bit-for-bit. Planted-instance generators return the
+// planted witness alongside the graph: tests use it to assert that detectors
+// find *a* witness whenever one was planted (completeness), and complement
+// samplers give soundness checks.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ccq::gen {
+
+/// Erdős–Rényi G(n, p).
+Graph gnp(NodeId n, double p, std::uint64_t seed);
+
+/// G(n, p) with independent uniform weights in [1, max_w].
+Graph gnp_weighted(NodeId n, double p, std::uint32_t max_w,
+                   std::uint64_t seed);
+
+/// Directed G(n, p) (each ordered pair independently).
+Graph gnp_directed(NodeId n, double p, std::uint64_t seed);
+
+Graph cycle(NodeId n);
+Graph path(NodeId n);
+Graph complete(NodeId n);
+Graph complete_bipartite(NodeId a, NodeId b);
+Graph star(NodeId n);
+Graph empty(NodeId n);
+
+struct Planted {
+  Graph graph;
+  std::vector<NodeId> witness;
+};
+
+/// Random graph guaranteed to contain an independent set of size k
+/// (the witness); background edges drawn with density p.
+Planted planted_independent_set(NodeId n, unsigned k, double p,
+                                std::uint64_t seed);
+
+/// Random graph guaranteed to contain a dominating set of size k.
+Planted planted_dominating_set(NodeId n, unsigned k, double p,
+                               std::uint64_t seed);
+
+/// Random graph containing a Hamiltonian path (witness = node order).
+Planted planted_hamiltonian_path(NodeId n, double extra_p,
+                                 std::uint64_t seed);
+
+/// Random k-colourable graph (random balanced k-partite with density p);
+/// witness[v] = colour of v.
+Planted planted_k_colourable(NodeId n, unsigned k, double p,
+                             std::uint64_t seed);
+
+/// Random graph guaranteed to contain a k-clique.
+Planted planted_clique(NodeId n, unsigned k, double p, std::uint64_t seed);
+
+/// Random graph guaranteed to contain a simple cycle of length exactly k.
+Planted planted_k_cycle(NodeId n, unsigned k, double p, std::uint64_t seed);
+
+/// Random graph with a vertex cover of size ≤ k: edges only touch a random
+/// k-subset (the witness).
+Planted planted_vertex_cover(NodeId n, unsigned k, std::size_t m,
+                             std::uint64_t seed);
+
+}  // namespace ccq::gen

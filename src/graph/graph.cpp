@@ -1,0 +1,98 @@
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+std::size_t Graph::m() const {
+  std::size_t total = 0;
+  for (NodeId v = 0; v < n_; ++v) total += rows_[v].popcount();
+  return directed_ ? total : total / 2;
+}
+
+void Graph::add_edge(NodeId u, NodeId v) {
+  CCQ_CHECK_MSG(u < n_ && v < n_, "edge endpoint out of range");
+  CCQ_CHECK_MSG(u != v, "self loops are not allowed");
+  rows_[u].set(v);
+  if (!directed_) rows_[v].set(u);
+  if (!weights_.empty()) {
+    weights_[static_cast<std::size_t>(u) * n_ + v] = 1;
+    if (!directed_) weights_[static_cast<std::size_t>(v) * n_ + u] = 1;
+  }
+}
+
+void Graph::add_edge(NodeId u, NodeId v, std::uint32_t w) {
+  ensure_weights();
+  add_edge(u, v);
+  weights_[static_cast<std::size_t>(u) * n_ + v] = w;
+  if (!directed_) weights_[static_cast<std::size_t>(v) * n_ + u] = w;
+}
+
+void Graph::remove_edge(NodeId u, NodeId v) {
+  CCQ_CHECK(u < n_ && v < n_);
+  rows_[u].set(v, false);
+  if (!directed_) rows_[v].set(u, false);
+}
+
+std::uint32_t Graph::weight(NodeId u, NodeId v) const {
+  CCQ_CHECK_MSG(has_edge(u, v), "weight() of a non-edge");
+  if (weights_.empty()) return 1;
+  return weights_[static_cast<std::size_t>(u) * n_ + v];
+}
+
+std::vector<NodeId> Graph::neighbours(NodeId v) const {
+  std::vector<NodeId> out;
+  const BitVector& r = row(v);
+  for (std::size_t i = r.find_first(); i < r.size();
+       i = r.find_first(i + 1)) {
+    out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  for (NodeId u = 0; u < n_; ++u) {
+    const BitVector& r = rows_[u];
+    for (std::size_t i = r.find_first(); i < r.size();
+         i = r.find_first(i + 1)) {
+      const NodeId v = static_cast<NodeId>(i);
+      if (directed_ || u < v) out.push_back({u, v, weight(u, v)});
+    }
+  }
+  return out;
+}
+
+Graph Graph::complement() const {
+  CCQ_CHECK_MSG(!directed_, "complement() defined for undirected graphs");
+  Graph g = Graph::undirected(n_);
+  for (NodeId u = 0; u < n_; ++u)
+    for (NodeId v = u + 1; v < n_; ++v)
+      if (!has_edge(u, v)) g.add_edge(u, v);
+  return g;
+}
+
+Graph Graph::induced(const std::vector<NodeId>& keep) const {
+  Graph g(static_cast<NodeId>(keep.size()), directed_);
+  for (std::size_t a = 0; a < keep.size(); ++a) {
+    for (std::size_t b = 0; b < keep.size(); ++b) {
+      if (a == b) continue;
+      if (has_edge(keep[a], keep[b])) {
+        if (directed_ || a < b) {
+          if (is_weighted())
+            g.add_edge(static_cast<NodeId>(a), static_cast<NodeId>(b),
+                       weight(keep[a], keep[b]));
+          else
+            g.add_edge(static_cast<NodeId>(a), static_cast<NodeId>(b));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+void Graph::ensure_weights() {
+  if (weights_.empty()) {
+    weights_.assign(static_cast<std::size_t>(n_) * n_, 1);
+  }
+}
+
+}  // namespace ccq

@@ -1,0 +1,88 @@
+#pragma once
+
+// Graph representation for the congested clique laboratory.
+//
+// Nodes are {0, ..., n-1} (the paper uses {1, ..., n}; we index from zero and
+// translate in printed output). Adjacency is stored as one BitVector row per
+// node so that a node's initial knowledge — exactly its incident edges, §3 of
+// the paper — is literally `row(v)`. Optional O(log n)-bit edge weights and a
+// directed mode cover the weighted/directed problem variants of Figure 1.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bit_vector.hpp"
+#include "util/check.hpp"
+
+namespace ccq {
+
+using NodeId = std::uint32_t;
+
+struct Edge {
+  NodeId u, v;
+  std::uint32_t w = 1;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  static Graph undirected(NodeId n) { return Graph(n, /*directed=*/false); }
+  static Graph directed(NodeId n) { return Graph(n, /*directed=*/true); }
+
+  NodeId n() const { return n_; }
+  bool is_directed() const { return directed_; }
+  bool is_weighted() const { return !weights_.empty(); }
+
+  /// Number of edges (each undirected edge counted once).
+  std::size_t m() const;
+
+  void add_edge(NodeId u, NodeId v);
+  void add_edge(NodeId u, NodeId v, std::uint32_t w);
+  void remove_edge(NodeId u, NodeId v);
+
+  bool has_edge(NodeId u, NodeId v) const {
+    CCQ_DCHECK(u < n_ && v < n_);
+    return rows_[u].get(v);
+  }
+
+  /// Weight of an existing edge; unweighted graphs report 1.
+  std::uint32_t weight(NodeId u, NodeId v) const;
+
+  /// Out-neighbour row of v (== incident edges for undirected graphs).
+  const BitVector& row(NodeId v) const {
+    CCQ_DCHECK(v < n_);
+    return rows_[v];
+  }
+
+  /// Degree (out-degree when directed).
+  std::size_t degree(NodeId v) const { return rows_[v].popcount(); }
+
+  std::vector<NodeId> neighbours(NodeId v) const;
+  std::vector<Edge> edges() const;
+
+  /// Complement graph (undirected, no self loops); weights are dropped.
+  Graph complement() const;
+
+  /// Subgraph induced by `keep` (nodes renumbered in increasing order).
+  Graph induced(const std::vector<NodeId>& keep) const;
+
+  bool operator==(const Graph& o) const {
+    return n_ == o.n_ && directed_ == o.directed_ && rows_ == o.rows_ &&
+           weights_ == o.weights_;
+  }
+
+ private:
+  Graph(NodeId n, bool directed)
+      : n_(n), directed_(directed), rows_(n, BitVector(n)) {}
+
+  void ensure_weights();
+
+  NodeId n_ = 0;
+  bool directed_ = false;
+  std::vector<BitVector> rows_;
+  // Dense n*n weight matrix, allocated on first weighted add_edge.
+  std::vector<std::uint32_t> weights_;
+};
+
+}  // namespace ccq

@@ -1,0 +1,88 @@
+#pragma once
+
+// Exact reference oracles (centralised brute force).
+//
+// Two roles: (1) ground truth for property-based tests of every clique
+// algorithm, and (2) legal *local computation* inside clique algorithms —
+// the model allows unlimited local work (§3), and the paper's own algorithms
+// lean on it (e.g. Theorem 9 step 3 checks dominating sets locally, the
+// Theorem 2 algorithm enumerates all protocols locally).
+//
+// All solvers are exponential-time and intended for the small n of the
+// simulated experiments.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ccq::oracle {
+
+inline constexpr std::uint64_t kInfDist = ~std::uint64_t{0} / 4;
+
+/// Witness for a size-k independent set, if one exists.
+std::optional<std::vector<NodeId>> independent_set(const Graph& g,
+                                                   unsigned k);
+/// Maximum independent set (exact).
+std::vector<NodeId> max_independent_set(const Graph& g);
+
+/// Witness for a size-≤k dominating set, if one exists.
+std::optional<std::vector<NodeId>> dominating_set(const Graph& g,
+                                                  unsigned k);
+/// Minimum dominating set (exact).
+std::vector<NodeId> min_dominating_set(const Graph& g);
+
+/// Witness for a size-≤k vertex cover, if one exists (Buss-style branching,
+/// O(2^k·m) — genuinely FPT, mirrors §7.3).
+std::optional<std::vector<NodeId>> vertex_cover(const Graph& g, unsigned k);
+/// Minimum vertex cover (exact).
+std::vector<NodeId> min_vertex_cover(const Graph& g);
+
+/// Proper k-colouring (colours 0..k-1), if one exists.
+std::optional<std::vector<NodeId>> k_colouring(const Graph& g, unsigned k);
+
+/// Hamiltonian path (order of all n nodes), if one exists. Held–Karp DP;
+/// requires n ≤ 24.
+std::optional<std::vector<NodeId>> hamiltonian_path(const Graph& g);
+
+/// Witness for a k-clique.
+std::optional<std::vector<NodeId>> k_clique(const Graph& g, unsigned k);
+
+/// Witness for a simple cycle on exactly k nodes (in cycle order).
+std::optional<std::vector<NodeId>> k_cycle(const Graph& g, unsigned k);
+
+/// Witness for a simple path on exactly k nodes (in path order).
+std::optional<std::vector<NodeId>> k_path(const Graph& g, unsigned k);
+
+/// Does `host` contain `pattern` as a (not necessarily induced) subgraph?
+/// Returns the image of pattern nodes if so. Intended for |pattern| ≤ 6.
+std::optional<std::vector<NodeId>> subgraph(const Graph& host,
+                                            const Graph& pattern);
+
+/// Checks (no search): is `set` a dominating set / vertex cover /
+/// independent set / proper colouring?
+bool is_dominating_set(const Graph& g, const std::vector<NodeId>& set);
+bool is_vertex_cover(const Graph& g, const std::vector<NodeId>& set);
+bool is_independent_set(const Graph& g, const std::vector<NodeId>& set);
+bool is_proper_colouring(const Graph& g, const std::vector<NodeId>& colour,
+                         unsigned k);
+bool is_hamiltonian_path(const Graph& g, const std::vector<NodeId>& order);
+
+/// Single-source distances. BFS for unweighted, Dijkstra for weighted;
+/// respects edge direction for directed graphs. kInfDist = unreachable.
+std::vector<std::uint64_t> sssp(const Graph& g, NodeId s);
+
+/// All-pairs distances (Floyd–Warshall). result[u*n+v].
+std::vector<std::uint64_t> apsp(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// Minimum spanning forest (Kruskal; ties broken by (w, u, v) order so the
+/// result is canonical). Returns the forest's edges sorted by (u, v).
+std::vector<Edge> min_spanning_forest(const Graph& g);
+
+/// Total weight of a minimum spanning forest.
+std::uint64_t msf_weight(const Graph& g);
+
+}  // namespace ccq::oracle

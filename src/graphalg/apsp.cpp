@@ -1,0 +1,169 @@
+#include "graphalg/apsp.hpp"
+
+#include "algebra/approx_minplus.hpp"
+#include "algebra/distributed_mm.hpp"
+#include "graphalg/common.hpp"
+#include "graphalg/sssp.hpp"
+#include "util/math.hpp"
+
+namespace ccq {
+
+namespace {
+
+template <Semiring S>
+std::vector<typename S::Value> square_step(NodeCtx& ctx, MmAlgo algo,
+                                           std::vector<typename S::Value> row,
+                                           unsigned entry_bits) {
+  switch (algo) {
+    case MmAlgo::kNaiveBroadcast:
+      return mm_distributed_naive<S>(ctx, row, row, entry_bits);
+    case MmAlgo::k3dPartition:
+      return mm_distributed_3d<S>(ctx, row, row, entry_bits);
+  }
+  CCQ_CHECK_MSG(false, "unknown MmAlgo");
+  return row;
+}
+
+}  // namespace
+
+ApspResult apsp_clique(const Graph& g, MmAlgo algo) {
+  const NodeId n = g.n();
+  std::uint32_t max_w = 1;
+  for (const Edge& e : g.edges()) max_w = std::max(max_w, e.w);
+  // Distances ≤ (n-1)·w_max; reserve the all-ones code for ∞.
+  const unsigned entry_bits =
+      std::max(2u, ceil_log2(static_cast<std::uint64_t>(n) * max_w + 2) + 1);
+
+  PerNode<std::vector<std::uint64_t>> sink(n);
+
+  auto run = Engine::run(g, [&, algo, entry_bits](NodeCtx& ctx) {
+    const NodeId me = ctx.id();
+    using V = MinPlusSemiring::Value;
+    // Row of the weight matrix: 0 on diagonal, w on out-edges, ∞ else.
+    std::vector<V> row(ctx.n(), MinPlusSemiring::infinity());
+    row[me] = 0;
+    const BitVector& r = ctx.adj_row();
+    for (std::size_t u = r.find_first(); u < r.size();
+         u = r.find_first(u + 1)) {
+      row[u] = ctx.weighted() ? ctx.edge_weight(static_cast<NodeId>(u)) : 1;
+    }
+    // Shortest paths have < n hops; ⌈log₂n⌉ squarings of (I ⊕ W) converge.
+    const unsigned steps = std::max(1u, ceil_log2(ctx.n()));
+    for (unsigned s = 0; s < steps; ++s) {
+      row = square_step<MinPlusSemiring>(ctx, algo, std::move(row),
+                                         entry_bits);
+    }
+    std::uint64_t checksum = 0;
+    for (V d : row) {
+      if (d < MinPlusSemiring::infinity()) checksum += d;
+    }
+    sink.set(me, std::vector<std::uint64_t>(row.begin(), row.end()));
+    ctx.output(checksum);
+  });
+
+  ApspResult result;
+  result.cost = run.cost;
+  result.dist.assign(static_cast<std::size_t>(n) * n, kUnreachable);
+  auto rows = sink.take();
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId u = 0; u < n; ++u) {
+      const std::uint64_t d = rows[v][u];
+      result.dist[static_cast<std::size_t>(v) * n + u] =
+          d >= MinPlusSemiring::infinity() ? kUnreachable : d;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+template <unsigned M>
+ApspResult apsp_approx_impl(const Graph& g, MmAlgo algo) {
+  using S = ApproxMinPlus<M>;
+  using V = typename S::Value;
+  const NodeId n = g.n();
+  const unsigned entry_bits = S::entry_bits();
+  PerNode<std::vector<std::uint64_t>> sink(n);
+
+  auto run = Engine::run(g, [&, algo, entry_bits](NodeCtx& ctx) {
+    const NodeId me = ctx.id();
+    std::vector<V> row(ctx.n(), S::zero());
+    row[me] = S::one();
+    const BitVector& r = ctx.adj_row();
+    for (std::size_t u = r.find_first(); u < r.size();
+         u = r.find_first(u + 1)) {
+      row[u] = S::encode(
+          ctx.weighted() ? ctx.edge_weight(static_cast<NodeId>(u)) : 1);
+    }
+    const unsigned steps = std::max(1u, ceil_log2(ctx.n()));
+    for (unsigned s = 0; s < steps; ++s) {
+      row = square_step<S>(ctx, algo, std::move(row), entry_bits);
+    }
+    std::vector<std::uint64_t> dist(ctx.n());
+    std::uint64_t checksum = 0;
+    for (NodeId u = 0; u < ctx.n(); ++u) {
+      dist[u] = row[u] >= S::kInf ? kUnreachable : S::decode(row[u]);
+      if (dist[u] < kUnreachable) checksum += dist[u];
+    }
+    sink.set(me, std::move(dist));
+    ctx.output(checksum);
+  });
+
+  ApspResult result;
+  result.cost = run.cost;
+  result.dist.assign(static_cast<std::size_t>(n) * n, kUnreachable);
+  auto rows = sink.take();
+  for (NodeId v = 0; v < n; ++v)
+    for (NodeId u = 0; u < n; ++u)
+      result.dist[static_cast<std::size_t>(v) * n + u] = rows[v][u];
+  return result;
+}
+
+}  // namespace
+
+ApspResult apsp_approx_clique(const Graph& g, double epsilon, MmAlgo algo) {
+  const unsigned steps = std::max(1u, ceil_log2(g.n()));
+  const unsigned m = required_mantissa_bits(epsilon, steps);
+  if (m <= 4) return apsp_approx_impl<4>(g, algo);
+  if (m <= 6) return apsp_approx_impl<6>(g, algo);
+  if (m <= 8) return apsp_approx_impl<8>(g, algo);
+  if (m <= 10) return apsp_approx_impl<10>(g, algo);
+  if (m <= 13) return apsp_approx_impl<13>(g, algo);
+  return apsp_approx_impl<16>(g, algo);
+}
+
+ClosureResult transitive_closure_clique(const Graph& g, MmAlgo algo) {
+  const NodeId n = g.n();
+  PerNode<std::vector<std::uint8_t>> sink(n);
+
+  auto run = Engine::run(g, [&, algo](NodeCtx& ctx) {
+    const NodeId me = ctx.id();
+    using V = BoolSemiring::Value;
+    std::vector<V> row(ctx.n(), 0);
+    row[me] = 1;
+    const BitVector& r = ctx.adj_row();
+    for (std::size_t u = r.find_first(); u < r.size();
+         u = r.find_first(u + 1)) {
+      row[u] = 1;
+    }
+    const unsigned steps = std::max(1u, ceil_log2(ctx.n()));
+    for (unsigned s = 0; s < steps; ++s) {
+      row = square_step<BoolSemiring>(ctx, algo, std::move(row), 1);
+    }
+    std::uint64_t reachable = 0;
+    for (V b : row) reachable += b;
+    sink.set(me, row);
+    ctx.output(reachable);
+  });
+
+  ClosureResult result;
+  result.cost = run.cost;
+  result.reach.assign(static_cast<std::size_t>(n) * n, 0);
+  auto rows = sink.take();
+  for (NodeId v = 0; v < n; ++v)
+    for (NodeId u = 0; u < n; ++u)
+      result.reach[static_cast<std::size_t>(v) * n + u] = rows[v][u];
+  return result;
+}
+
+}  // namespace ccq

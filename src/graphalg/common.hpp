@@ -1,0 +1,34 @@
+#pragma once
+
+// Shared plumbing for clique graph algorithms.
+//
+// Clique programs emit one 64-bit output per node; richer per-node results
+// (distance vectors, witness sets) are collected through a PerNode sink that
+// each node thread writes exactly once. The sink is test/driver plumbing,
+// not communication — nodes only ever write their own slot.
+
+#include <mutex>
+#include <vector>
+
+#include "clique/engine.hpp"
+
+namespace ccq {
+
+template <typename T>
+class PerNode {
+ public:
+  explicit PerNode(NodeId n) : data_(n) {}
+
+  void set(NodeId v, T value) {
+    std::lock_guard<std::mutex> lk(mu_);
+    data_[v] = std::move(value);
+  }
+
+  std::vector<T> take() { return std::move(data_); }
+
+ private:
+  std::mutex mu_;
+  std::vector<T> data_;
+};
+
+}  // namespace ccq

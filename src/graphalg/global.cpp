@@ -1,0 +1,62 @@
+#include "graphalg/global.hpp"
+
+#include "graph/oracles.hpp"
+#include "graphalg/common.hpp"
+
+namespace ccq {
+
+GlobalSolveResult solve_globally(
+    const Graph& g,
+    const std::function<std::optional<std::vector<NodeId>>(const Graph&)>&
+        local_solver) {
+  const NodeId n = g.n();
+  PerNode<std::vector<NodeId>> sink(n);
+
+  auto run = Engine::run(g, [&](NodeCtx& ctx) {
+    auto rows = ctx.broadcast(ctx.adj_row());
+    Graph full = ctx.directed() ? Graph::directed(ctx.n())
+                                : Graph::undirected(ctx.n());
+    for (NodeId v = 0; v < ctx.n(); ++v) {
+      for (std::size_t u = rows[v].find_first(); u < rows[v].size();
+           u = rows[v].find_first(u + 1)) {
+        if (ctx.directed() || v < u)
+          full.add_edge(v, static_cast<NodeId>(u));
+      }
+    }
+    auto solution = local_solver(full);
+    sink.set(ctx.id(), solution.value_or(std::vector<NodeId>{}));
+    ctx.decide(solution.has_value());
+  });
+
+  GlobalSolveResult result;
+  result.cost = run.cost;
+  result.found = run.accepted();
+  result.witness = sink.take()[0];
+  return result;
+}
+
+GlobalSolveResult max_independent_set_clique(const Graph& g) {
+  return solve_globally(g, [](const Graph& full) {
+    return std::optional<std::vector<NodeId>>(
+        oracle::max_independent_set(full));
+  });
+}
+
+GlobalSolveResult min_vertex_cover_clique(const Graph& g) {
+  return solve_globally(g, [](const Graph& full) {
+    return std::optional<std::vector<NodeId>>(
+        oracle::min_vertex_cover(full));
+  });
+}
+
+GlobalSolveResult k_colouring_clique(const Graph& g, unsigned k) {
+  return solve_globally(
+      g, [k](const Graph& full) { return oracle::k_colouring(full, k); });
+}
+
+GlobalSolveResult hamiltonian_path_clique(const Graph& g) {
+  return solve_globally(
+      g, [](const Graph& full) { return oracle::hamiltonian_path(full); });
+}
+
+}  // namespace ccq

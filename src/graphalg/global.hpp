@@ -1,0 +1,43 @@
+#pragma once
+
+// "Learn the whole graph" algorithms: every node broadcasts its adjacency
+// row (⌈n/B⌉ ≈ n/log n rounds) and solves the problem with unlimited local
+// computation. These realise the trivial δ(L) ≤ 1 upper bounds at the top
+// of Figure 1 (MaxIS, MinVC, k-COL) and serve as the measured "exponent-1"
+// reference series in the Figure 1 bench.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "clique/cost.hpp"
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+struct GlobalSolveResult {
+  bool found = false;             ///< decision problems
+  std::vector<NodeId> witness;    ///< solution set / colouring when present
+  CostMeter cost;
+};
+
+/// Maximum independent set (exact; witness = the set).
+GlobalSolveResult max_independent_set_clique(const Graph& g);
+
+/// Minimum vertex cover (exact; witness = the cover).
+GlobalSolveResult min_vertex_cover_clique(const Graph& g);
+
+/// k-colourability (witness = colour per node when colourable).
+GlobalSolveResult k_colouring_clique(const Graph& g, unsigned k);
+
+/// Hamiltonian path decision (local DP; requires n ≤ 22).
+GlobalSolveResult hamiltonian_path_clique(const Graph& g);
+
+/// Gather the full graph at every node and run an arbitrary local solver —
+/// the generic primitive behind the wrappers above.
+GlobalSolveResult solve_globally(
+    const Graph& g,
+    const std::function<std::optional<std::vector<NodeId>>(const Graph&)>&
+        local_solver);
+
+}  // namespace ccq

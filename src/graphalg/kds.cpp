@@ -1,0 +1,154 @@
+#include "graphalg/kds.hpp"
+
+#include <algorithm>
+
+#include "clique/routing.hpp"
+#include "graphalg/common.hpp"
+#include "util/math.hpp"
+
+namespace ccq {
+
+namespace {
+
+// Enumerate k-subsets of `members` and test whether any dominates all of V
+// (rows[i] = adjacency row of members[i]). Returns the witness if found.
+std::optional<std::vector<NodeId>> find_dominating_subset(
+    NodeId n, const std::vector<NodeId>& members,
+    const std::vector<BitVector>& rows, unsigned k) {
+  std::vector<std::size_t> idx(k, 0);
+  std::vector<NodeId> witness(k);
+
+  // Recursive combination enumeration with incremental coverage.
+  std::vector<BitVector> cover_stack;
+  cover_stack.emplace_back(n);  // empty coverage
+
+  std::function<bool(std::size_t, unsigned)> rec =
+      [&](std::size_t from, unsigned depth) -> bool {
+    if (depth == k) {
+      return cover_stack.back().popcount() == n;
+    }
+    for (std::size_t i = from; i + (k - depth - 1) < members.size(); ++i) {
+      BitVector cover = cover_stack.back();
+      cover |= rows[i];
+      cover.set(members[i]);
+      cover_stack.push_back(std::move(cover));
+      witness[depth] = members[i];
+      if (rec(i + 1, depth + 1)) return true;
+      cover_stack.pop_back();
+    }
+    return false;
+  };
+  if (rec(0, 0)) return witness;
+  return std::nullopt;
+}
+
+}  // namespace
+
+KdsResult k_dominating_set_clique(const Graph& g, unsigned k) {
+  CCQ_CHECK_MSG(!g.is_directed(), "k-DS is defined for undirected graphs");
+  CCQ_CHECK(k >= 1);
+  const NodeId n = g.n();
+
+  // §7.1 layout: s = ⌊n^{1/k}⌋ parts S_1..S_s of ⌈n/s⌉ nodes; every label
+  // in [s]^k is assigned to a distinct node (s^k ≤ n).
+  const NodeId s = static_cast<NodeId>(
+      std::max<std::uint64_t>(1, floor_root(n, k)));
+  const NodeId q = static_cast<NodeId>(ceil_div(n, s));
+  std::uint64_t tuples = 1;
+  for (unsigned i = 0; i < k; ++i) tuples *= s;
+  CCQ_CHECK(tuples <= n);
+
+  PerNode<std::vector<NodeId>> sink(n);
+
+  auto run = Engine::run(g, [&, k, s, q, tuples](NodeCtx& ctx) {
+    const NodeId me = ctx.id();
+    const NodeId my_part = me / q;
+
+    // Step 3 delivery: node v's full adjacency row goes to every label node
+    // whose label mentions v's part. One row-sized block per destination —
+    // the pattern the paper routes with Lenzen's protocol.
+    std::vector<RoutedBlock> outgoing;
+    for (std::uint64_t t = 0; t < tuples; ++t) {
+      std::uint64_t digits = t;
+      bool mentions = false;
+      for (unsigned i = 0; i < k; ++i) {
+        if (static_cast<NodeId>(digits % s) == my_part) {
+          mentions = true;
+          break;
+        }
+        digits /= s;
+      }
+      if (mentions)
+        outgoing.push_back({static_cast<NodeId>(t), ctx.adj_row()});
+    }
+    auto received = route_blocks(ctx, outgoing);
+
+    // Label nodes assemble S_v's rows and search for a size-k dominating
+    // set inside S_v (unlimited local computation).
+    std::optional<std::vector<NodeId>> witness;
+    if (me < tuples) {
+      std::vector<NodeId> members;
+      std::vector<BitVector> rows;
+      // Union of parts named by my label, in increasing node order.
+      std::vector<bool> in_union(ctx.n(), false);
+      std::uint64_t digits = me;
+      for (unsigned i = 0; i < k; ++i) {
+        const NodeId part = static_cast<NodeId>(digits % s);
+        digits /= s;
+        const NodeId lo = std::min<NodeId>(part * q, ctx.n());
+        const NodeId hi = std::min<NodeId>((part + 1) * q, ctx.n());
+        for (NodeId v = lo; v < hi; ++v) in_union[v] = true;
+      }
+      std::vector<BitVector> row_of(ctx.n());
+      for (auto& [src, payload] : received) {
+        CCQ_CHECK_MSG(in_union[src], "k-DS: row from outside the union");
+        row_of[src] = payload;
+      }
+      // My own row arrives through the self-block if I am in my own union;
+      // route_blocks delivers self-addressed blocks too, so row_of[me] is
+      // set whenever in_union[me]. Collect members in order.
+      for (NodeId v = 0; v < ctx.n(); ++v) {
+        if (!in_union[v]) continue;
+        CCQ_CHECK_MSG(row_of[v].size() == ctx.n(),
+                      "k-DS: missing row for union member");
+        members.push_back(v);
+        rows.push_back(row_of[v]);
+      }
+      witness = find_dominating_subset(ctx.n(), members, rows, k);
+    }
+
+    // Publish the lowest-id finder's witness.
+    auto found_bits = ctx.share_bit(witness.has_value());
+    NodeId winner = ctx.n();
+    for (NodeId v = 0; v < ctx.n(); ++v) {
+      if (found_bits[v]) {
+        winner = v;
+        break;
+      }
+    }
+    const unsigned idb = node_id_bits(ctx.n());
+    BitVector wit_bits(static_cast<std::size_t>(k) * idb);
+    if (witness.has_value() && me == winner) {
+      wit_bits = BitVector{};
+      for (NodeId v : *witness) wit_bits.append_bits(v, idb);
+    }
+    auto all_wits = ctx.broadcast(wit_bits);
+    std::vector<NodeId> final_witness;
+    if (winner < ctx.n()) {
+      for (unsigned i = 0; i < k; ++i)
+        final_witness.push_back(static_cast<NodeId>(all_wits[winner].read_bits(
+            static_cast<std::size_t>(i) * idb, idb)));
+    }
+    sink.set(me, final_witness);
+    ctx.decide(winner < ctx.n());
+  });
+
+  KdsResult result;
+  result.cost = run.cost;
+  result.found = run.accepted();
+  auto wits = sink.take();
+  if (result.found) result.witness = wits[0];
+  return result;
+}
+
+}  // namespace ccq

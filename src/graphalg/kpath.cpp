@@ -1,0 +1,90 @@
+#include "graphalg/kpath.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "graphalg/common.hpp"
+#include "util/rng.hpp"
+
+namespace ccq {
+
+namespace {
+
+unsigned default_trials(unsigned k) {
+  return static_cast<unsigned>(std::ceil(3.0 * std::exp(k)));
+}
+
+}  // namespace
+
+KPathResult k_path_clique(const Graph& g, unsigned k, unsigned trials) {
+  CCQ_CHECK_MSG(!g.is_directed(), "k-path is defined for undirected graphs");
+  CCQ_CHECK(k >= 1 && k <= 20);
+  if (trials == 0) trials = default_trials(k);
+  const NodeId n = g.n();
+
+  PerNode<unsigned> trial_sink(n);
+
+  auto run = Engine::run(g, [&, k, trials](NodeCtx& ctx) {
+    const NodeId me = ctx.id();
+    const std::uint32_t full = (k >= 32) ? 0 : ((1u << k) - 1);
+    bool found = false;
+    unsigned used = 0;
+
+    for (unsigned t = 0; t < trials && !found; ++t) {
+      ++used;
+      // Public colouring: everyone derives everyone's colour from the
+      // common seed — no communication required.
+      auto colour_of = [&](NodeId v) {
+        return static_cast<unsigned>(
+            mix64(ctx.common_seed() ^
+                  (static_cast<std::uint64_t>(t) * ctx.n() + v + 1)) %
+            k);
+      };
+      const unsigned my_colour = colour_of(me);
+
+      // reach[S] (my bit): a colourful path with colour set S ends at me.
+      std::vector<std::uint8_t> reach(std::size_t{1} << k, 0);
+      reach[1u << my_colour] = 1;
+
+      // Level-synchronous DP. At each level all nodes broadcast their
+      // current reach bits for subsets of that size.
+      for (unsigned level = 1; level < k; ++level) {
+        BitVector mine;
+        std::vector<std::uint32_t> level_sets;
+        for (std::uint32_t sset = 0; sset <= full; ++sset) {
+          if (static_cast<unsigned>(__builtin_popcount(sset)) == level) {
+            level_sets.push_back(sset);
+            mine.push_back(reach[sset] != 0);
+          }
+        }
+        auto all = ctx.broadcast(mine);
+        for (std::size_t i = 0; i < level_sets.size(); ++i) {
+          const std::uint32_t sset = level_sets[i];
+          if (sset & (1u << my_colour)) continue;  // can't extend into S
+          const std::uint32_t bigger = sset | (1u << my_colour);
+          if (reach[bigger]) continue;
+          const BitVector& row = ctx.adj_row();
+          for (std::size_t u = row.find_first(); u < row.size();
+               u = row.find_first(u + 1)) {
+            if (all[u].get(i)) {
+              reach[bigger] = 1;
+              break;
+            }
+          }
+        }
+      }
+      found = ctx.any(reach[full] != 0);
+    }
+
+    trial_sink.set(me, used);
+    ctx.decide(found);
+  });
+
+  KPathResult result;
+  result.cost = run.cost;
+  result.found = run.accepted();
+  result.trials_used = trial_sink.take()[0];
+  return result;
+}
+
+}  // namespace ccq

@@ -1,0 +1,87 @@
+#include "graphalg/kvc.hpp"
+
+#include <algorithm>
+
+#include "graph/oracles.hpp"
+#include "graphalg/common.hpp"
+#include "util/math.hpp"
+
+namespace ccq {
+
+KvcResult k_vertex_cover_clique(const Graph& g, unsigned k) {
+  CCQ_CHECK_MSG(!g.is_directed(), "k-VC is defined for undirected graphs");
+  const NodeId n = g.n();
+  PerNode<std::vector<NodeId>> sink(n);
+
+  auto run = Engine::run(g, [&, k](NodeCtx& ctx) {
+    const NodeId me = ctx.id();
+    const unsigned idb = node_id_bits(ctx.n());
+
+    // Preprocessing: high-degree nodes must be in any size-k cover.
+    const std::size_t deg = ctx.adj_row().popcount();
+    auto in_c = ctx.share_bit(deg >= static_cast<std::size_t>(k) + 1);
+    std::vector<NodeId> c_set;
+    for (NodeId v = 0; v < ctx.n(); ++v)
+      if (in_c[v]) c_set.push_back(v);
+
+    if (c_set.size() > k) {
+      sink.set(me, {});
+      ctx.decide(false);
+      return;
+    }
+
+    // Main phase: nodes outside C broadcast their uncovered incident edges
+    // (at most k of them — degree ≤ k after kernelisation). Fixed-format
+    // message: k partner ids plus a count field, so all broadcasts have
+    // identical length (≈ k words).
+    const unsigned cnt_bits = ceil_log2(static_cast<std::uint64_t>(k) + 2);
+    std::vector<NodeId> partners;
+    if (!in_c[me]) {
+      const BitVector& row = ctx.adj_row();
+      for (std::size_t u = row.find_first(); u < row.size();
+           u = row.find_first(u + 1)) {
+        if (!in_c[u] && u > me) partners.push_back(static_cast<NodeId>(u));
+      }
+      CCQ_CHECK_MSG(partners.size() <= k,
+                    "kernelised degree exceeds k — impossible by Lemma 12");
+    }
+    BitVector msg;
+    msg.append_bits(partners.size(), cnt_bits);
+    for (unsigned i = 0; i < k; ++i) {
+      msg.append_bits(i < partners.size() ? partners[i] : 0, idb);
+    }
+    auto all = ctx.broadcast(msg);
+
+    // Everyone reconstructs the kernel G[V\C] and solves it locally.
+    Graph kernel = Graph::undirected(ctx.n());
+    for (NodeId v = 0; v < ctx.n(); ++v) {
+      if (in_c[v]) continue;
+      const std::uint64_t cnt = all[v].read_bits(0, cnt_bits);
+      for (std::uint64_t i = 0; i < cnt; ++i) {
+        const NodeId u = static_cast<NodeId>(
+            all[v].read_bits(cnt_bits + i * idb, idb));
+        kernel.add_edge(v, u);
+      }
+    }
+    const unsigned budget = k - static_cast<unsigned>(c_set.size());
+    auto local = oracle::vertex_cover(kernel, budget);
+
+    std::vector<NodeId> witness;
+    if (local) {
+      witness = c_set;
+      witness.insert(witness.end(), local->begin(), local->end());
+      std::sort(witness.begin(), witness.end());
+    }
+    sink.set(me, witness);
+    ctx.decide(local.has_value());
+  });
+
+  KvcResult result;
+  result.cost = run.cost;
+  result.found = run.accepted();
+  auto wits = sink.take();
+  if (result.found) result.witness = wits[0];
+  return result;
+}
+
+}  // namespace ccq

@@ -1,0 +1,29 @@
+#pragma once
+
+// Theorem 11: a vertex cover of size k can be found in O(k) rounds —
+// the congested-clique Buss kernelisation of §7.3.
+//
+//  Preprocessing (1 round): every node of degree ≥ k+1 joins the cover C
+//  and announces it; if |C| > k there is no size-k cover (Lemma 12).
+//  Main phase (≤ k+1 rounds): every node outside C broadcasts its ≤ k
+//  incident edges not covered by C; everyone solves the ≤ k·|V∖C|-edge
+//  kernel locally.
+//
+// The round count depends on k only — the bench sweeps n to show it.
+
+#include <vector>
+
+#include "clique/cost.hpp"
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+struct KvcResult {
+  bool found = false;
+  std::vector<NodeId> witness;  ///< a vertex cover of size ≤ k when found
+  CostMeter cost;
+};
+
+KvcResult k_vertex_cover_clique(const Graph& g, unsigned k);
+
+}  // namespace ccq

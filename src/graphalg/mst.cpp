@@ -1,0 +1,346 @@
+#include "graphalg/mst.hpp"
+
+#include <algorithm>
+
+#include "graphalg/common.hpp"
+#include "util/math.hpp"
+
+namespace ccq {
+
+namespace {
+
+// Canonical total order on edges (w, u, v) — makes the MSF unique and the
+// per-component minimum well-defined, so all nodes reach identical merge
+// decisions without extra communication.
+struct EdgeRec {
+  std::uint32_t w = 0;
+  NodeId u = 0, v = 0;
+  bool valid = false;
+
+  bool operator<(const EdgeRec& o) const {
+    if (valid != o.valid) return valid;  // valid records sort first
+    if (w != o.w) return w < o.w;
+    if (u != o.u) return u < o.u;
+    return v < o.v;
+  }
+};
+
+struct ReplicatedUnionFind {
+  std::vector<NodeId> parent;
+  explicit ReplicatedUnionFind(NodeId n) : parent(n) {
+    for (NodeId v = 0; v < n; ++v) parent[v] = v;
+  }
+  NodeId find(NodeId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  }
+  bool unite(NodeId a, NodeId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent[std::max(a, b)] = std::min(a, b);
+    return true;
+  }
+};
+
+}  // namespace
+
+MstResult mst_boruvka_clique(const Graph& g) {
+  CCQ_CHECK_MSG(!g.is_directed(), "MSF is defined for undirected graphs");
+  const NodeId n = g.n();
+  PerNode<std::vector<Edge>> forest_sink(n);
+  PerNode<unsigned> phase_sink(n);
+
+  auto run = Engine::run(g, [&](NodeCtx& ctx) {
+    const NodeId me = ctx.id();
+    const unsigned idb = node_id_bits(ctx.n());
+
+    // Agree on the weight field width: one broadcast of each node's local
+    // max incident weight (32-bit field), then w_bits = ⌈log₂(max+1)⌉.
+    std::uint32_t local_max = 1;
+    {
+      const BitVector& row = ctx.adj_row();
+      for (std::size_t u = row.find_first(); u < row.size();
+           u = row.find_first(u + 1)) {
+        local_max = std::max(local_max,
+                             ctx.edge_weight(static_cast<NodeId>(u)));
+      }
+    }
+    BitVector maxmsg;
+    maxmsg.append_bits(local_max, 32);
+    std::uint32_t global_max = 1;
+    for (const auto& b : ctx.broadcast(maxmsg)) {
+      global_max = std::max(global_max,
+                            static_cast<std::uint32_t>(b.read_bits(0, 32)));
+    }
+    const unsigned wb = std::max(1u, ceil_log2(
+                                         static_cast<std::uint64_t>(
+                                             global_max) +
+                                         1));
+
+    ReplicatedUnionFind uf(ctx.n());
+    std::vector<Edge> forest;
+    unsigned phases = 0;
+
+    while (true) {
+      // My lightest incident edge leaving my component.
+      EdgeRec mine;
+      const BitVector& row = ctx.adj_row();
+      for (std::size_t u = row.find_first(); u < row.size();
+           u = row.find_first(u + 1)) {
+        const NodeId nu = static_cast<NodeId>(u);
+        if (uf.find(me) == uf.find(nu)) continue;
+        EdgeRec cand{ctx.edge_weight(nu), std::min(me, nu),
+                     std::max(me, nu), true};
+        if (!mine.valid || cand < mine) mine = cand;
+      }
+
+      // Fixed-format phase broadcast: [valid | u | v | w].
+      BitVector msg;
+      msg.push_back(mine.valid);
+      msg.append_bits(mine.valid ? mine.u : 0, idb);
+      msg.append_bits(mine.valid ? mine.v : 0, idb);
+      msg.append_bits(mine.valid ? mine.w : 0, wb);
+      auto all = ctx.broadcast(msg);
+
+      std::vector<EdgeRec> candidates;
+      for (const auto& b : all) {
+        if (!b.get(0)) continue;
+        EdgeRec r;
+        r.valid = true;
+        r.u = static_cast<NodeId>(b.read_bits(1, idb));
+        r.v = static_cast<NodeId>(b.read_bits(1 + idb, idb));
+        r.w = static_cast<std::uint32_t>(b.read_bits(1 + 2 * idb, wb));
+        candidates.push_back(r);
+      }
+      if (candidates.empty()) break;  // no outgoing edges anywhere: done
+      ++phases;
+
+      // Borůvka safety: keep only the per-COMPONENT minimum candidates.
+      // (A node's own minimum need not be its component's minimum, and
+      // merging a non-minimum candidate can pick a non-MSF edge. The node
+      // incident to a component's true minimum always proposes it, so the
+      // per-component minima are present in the candidate set.)
+      std::vector<EdgeRec> comp_min(ctx.n());
+      for (const EdgeRec& r : candidates) {
+        for (NodeId end : {r.u, r.v}) {
+          const NodeId c = uf.find(end);
+          if (!comp_min[c].valid || r < comp_min[c]) comp_min[c] = r;
+        }
+      }
+      std::vector<EdgeRec> chosen;
+      for (NodeId c = 0; c < ctx.n(); ++c) {
+        if (comp_min[c].valid && uf.find(c) == c)
+          chosen.push_back(comp_min[c]);
+      }
+      // Each chosen edge is the canonical-order minimum cut edge of its
+      // component — an MSF edge. Sort + unite (dedup when two components
+      // choose the same edge).
+      std::sort(chosen.begin(), chosen.end());
+      for (const EdgeRec& r : chosen) {
+        if (uf.unite(r.u, r.v)) forest.push_back({r.u, r.v, r.w});
+      }
+    }
+
+    std::sort(forest.begin(), forest.end(),
+              [](const Edge& a, const Edge& b) {
+                return a.u != b.u ? a.u < b.u : a.v < b.v;
+              });
+    std::uint64_t weight = 0;
+    for (const Edge& e : forest) weight += e.w;
+    forest_sink.set(me, forest);
+    phase_sink.set(me, phases);
+    ctx.output(weight);
+  });
+
+  MstResult result;
+  result.cost = run.cost;
+  result.weight = run.outputs[0];
+  result.forest = forest_sink.take()[0];
+  result.phases = phase_sink.take()[0];
+  return result;
+}
+
+
+MsfCertificate msf_certificate(const Graph& g,
+                               const std::vector<Edge>& forest) {
+  const NodeId n = g.n();
+  // Adjacency of the claimed forest.
+  std::vector<std::vector<NodeId>> adj(n);
+  for (const Edge& e : forest) {
+    CCQ_CHECK_MSG(g.has_edge(e.u, e.v), "certificate edge not in graph");
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  MsfCertificate cert;
+  cert.parent.assign(n, std::nullopt);
+  std::vector<bool> seen(n, false);
+  for (NodeId root = 0; root < n; ++root) {
+    if (seen[root]) continue;
+    // BFS from the minimum-id node of each component.
+    std::vector<NodeId> queue{root};
+    seen[root] = true;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const NodeId x = queue[head++];
+      for (NodeId y : adj[x]) {
+        if (seen[y]) continue;  // cycles are caught by the count identity
+        seen[y] = true;
+        cert.parent[y] = x;
+        queue.push_back(y);
+      }
+    }
+  }
+  CCQ_CHECK_MSG(forest.size() + [&] {
+    std::size_t roots = 0;
+    for (NodeId v = 0; v < n; ++v)
+      if (!cert.parent[v].has_value()) ++roots;
+    return roots;
+  }() == n,
+                "certificate edges must form a forest (cycle detected)");
+  return cert;
+}
+
+RunResult verify_msf_clique(const Graph& g, const MsfCertificate& cert) {
+  const NodeId n = g.n();
+  CCQ_CHECK(cert.parent.size() == n);
+  CCQ_CHECK_MSG(!g.is_directed(), "MSF verification: undirected only");
+
+  return Engine::run(g, [&](NodeCtx& ctx) {
+    const NodeId me = ctx.id();
+    const unsigned idb = node_id_bits(ctx.n());
+
+    // Agree on the weight width (as in the construction algorithm).
+    std::uint32_t local_max = 1;
+    {
+      const BitVector& row = ctx.adj_row();
+      for (std::size_t u = row.find_first(); u < row.size();
+           u = row.find_first(u + 1)) {
+        local_max = std::max(local_max,
+                             ctx.edge_weight(static_cast<NodeId>(u)));
+      }
+    }
+    BitVector maxmsg;
+    maxmsg.append_bits(local_max, 32);
+    std::uint32_t global_max = 1;
+    for (const auto& b : ctx.broadcast(maxmsg)) {
+      global_max = std::max(global_max,
+                            static_cast<std::uint32_t>(b.read_bits(0, 32)));
+    }
+    const unsigned wb = std::max(1u, ceil_log2(
+                                         static_cast<std::uint64_t>(
+                                             global_max) +
+                                         1));
+
+    // (a) My parent edge must exist; broadcast [has|parent|claimed w].
+    const auto& my_parent = cert.parent[me];
+    bool ok = true;
+    std::uint32_t my_w = 0;
+    if (my_parent.has_value()) {
+      if (*my_parent >= ctx.n() || !ctx.adj_row().get(*my_parent) ||
+          *my_parent == me) {
+        ok = false;
+      } else {
+        my_w = ctx.edge_weight(*my_parent);
+      }
+    }
+    BitVector msg;
+    msg.push_back(my_parent.has_value() && ok);
+    msg.append_bits(my_parent.value_or(0), idb);
+    msg.append_bits(my_w, wb);
+    auto all = ctx.broadcast(msg);
+
+    // Reconstruct the claimed rooted forest.
+    std::vector<std::optional<NodeId>> parent(ctx.n());
+    std::vector<std::uint32_t> pweight(ctx.n(), 0);
+    for (NodeId v = 0; v < ctx.n(); ++v) {
+      if (all[v].get(0)) {
+        parent[v] = static_cast<NodeId>(all[v].read_bits(1, idb));
+        pweight[v] = static_cast<std::uint32_t>(
+            all[v].read_bits(1 + idb, wb));
+      } else if (cert.parent[v].has_value() && v == me) {
+        ok = false;  // my own edge was invalid
+      }
+    }
+
+    // (b) Parent pointers must be acyclic (walk with a step budget).
+    std::vector<NodeId> comp(ctx.n());
+    std::vector<std::uint32_t> depth(ctx.n(), 0);
+    for (NodeId v = 0; v < ctx.n() && ok; ++v) {
+      NodeId x = v;
+      std::uint32_t steps = 0;
+      while (parent[x].has_value()) {
+        x = *parent[x];
+        if (++steps > ctx.n()) {
+          ok = false;  // cycle in the parent pointers
+          break;
+        }
+      }
+      comp[v] = x;
+      depth[v] = steps;
+    }
+
+    // Path maximum between two nodes in the same component.
+    auto path_max = [&](NodeId a, NodeId b) {
+      std::uint32_t best = 0;
+      NodeId x = a, y = b;
+      std::uint32_t dx = depth[x], dy = depth[y];
+      while (dx > dy) {
+        best = std::max(best, pweight[x]);
+        x = *parent[x];
+        --dx;
+      }
+      while (dy > dx) {
+        best = std::max(best, pweight[y]);
+        y = *parent[y];
+        --dy;
+      }
+      while (x != y) {
+        best = std::max(best, pweight[x]);
+        best = std::max(best, pweight[y]);
+        x = *parent[x];
+        y = *parent[y];
+      }
+      return best;
+    };
+
+    // (c) My incident non-forest edges: same component (spanning) and no
+    // lighter than the forest path (cycle property).
+    if (ok) {
+      const BitVector& row = ctx.adj_row();
+      for (std::size_t ui = row.find_first(); ui < row.size();
+           ui = row.find_first(ui + 1)) {
+        const NodeId u = static_cast<NodeId>(ui);
+        const bool is_tree_edge =
+            (parent[me].has_value() && *parent[me] == u) ||
+            (parent[u].has_value() && *parent[u] == me);
+        if (is_tree_edge) {
+          // Weight claim must match reality (checked by both endpoints).
+          const std::uint32_t claimed = parent[me].has_value() &&
+                                                *parent[me] == u
+                                            ? pweight[me]
+                                            : pweight[u];
+          if (claimed != ctx.edge_weight(u)) {
+            ok = false;
+            break;
+          }
+          continue;
+        }
+        if (comp[me] != comp[u]) {
+          ok = false;  // a graph edge crosses two forest components
+          break;
+        }
+        if (ctx.edge_weight(u) < path_max(me, u)) {
+          ok = false;  // violates the cycle property: not minimal
+          break;
+        }
+      }
+    }
+    ctx.decide(ok);
+  });
+}
+
+}  // namespace ccq

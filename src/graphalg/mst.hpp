@@ -1,0 +1,52 @@
+#pragma once
+
+// Minimum spanning forest in the congested clique — the paper's §8 example
+// of a problem whose randomised upper bounds beat the deterministic ones
+// (O(log log n) [45] and better [27] vs deterministic Borůvka-style
+// merging). We implement the deterministic Borůvka baseline: O(log n)
+// phases, each phase one fixed-format broadcast of every node's lightest
+// outgoing edge; all nodes replicate the component structure, so merging is
+// free local computation. bench_sec8_randomness reports the measured
+// O(log n · w/B) round growth that the randomised literature improves on.
+
+#include <optional>
+#include <vector>
+
+#include "clique/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+struct MstResult {
+  std::vector<Edge> forest;  ///< canonical MSF edges, sorted by (u,v)
+  std::uint64_t weight = 0;
+  unsigned phases = 0;  ///< Borůvka merge phases executed
+  CostMeter cost;
+};
+
+MstResult mst_boruvka_clique(const Graph& g);
+
+// ---- proof-labelling verification ([37] in the paper's related work) ----
+//
+// A minimum spanning forest is certified by one O(log n)-bit label per
+// node: its parent edge in a rooted orientation of the forest. One
+// broadcast reconstructs the claimed forest at every node; all remaining
+// checks are local: (a) my parent edge exists with the claimed weight,
+// (b) the parent pointers are acyclic, (c) none of my incident non-forest
+// edges crosses two forest components (spanningness) or beats the maximum
+// weight on its forest cycle (the cycle property ⟺ minimality).
+
+struct MsfCertificate {
+  /// parent[v] = v's parent in the rooted forest; nullopt at roots.
+  std::vector<std::optional<NodeId>> parent;
+};
+
+/// Root each forest component at its minimum-id node. The edges must form
+/// a forest over g's nodes (checked).
+MsfCertificate msf_certificate(const Graph& g,
+                               const std::vector<Edge>& forest);
+
+/// Run the O(1)-round clique verification of the certificate.
+RunResult verify_msf_clique(const Graph& g, const MsfCertificate& cert);
+
+}  // namespace ccq

@@ -1,0 +1,110 @@
+#include "graphalg/sssp.hpp"
+
+#include "graphalg/common.hpp"
+#include "util/math.hpp"
+
+namespace ccq {
+
+SsspResult bfs_clique(const Graph& g, NodeId source) {
+  CCQ_CHECK(source < g.n());
+  const NodeId n = g.n();
+  PerNode<std::pair<std::uint64_t, NodeId>> sink(n);
+
+  auto run = Engine::run(g, [&, source](NodeCtx& ctx) {
+    const NodeId me = ctx.id();
+    std::uint64_t dist = me == source ? 0 : kUnreachable;
+    NodeId parent = me;
+    bool in_frontier = (me == source);
+
+    for (std::uint64_t level = 0;; ++level) {
+      // Everyone announces frontier membership; undiscovered nodes adopt
+      // the lowest-id frontier in-neighbour as parent.
+      auto frontier = ctx.share_bit(in_frontier);
+      bool discovered_now = false;
+      if (dist == kUnreachable) {
+        for (NodeId u = 0; u < ctx.n(); ++u) {
+          if (frontier[u] && ctx.in_row().get(u)) {
+            dist = level + 1;
+            parent = u;
+            discovered_now = true;
+            break;
+          }
+        }
+      }
+      in_frontier = discovered_now;
+      if (!ctx.any(discovered_now)) break;
+    }
+
+    sink.set(me, {dist, parent});
+    ctx.output(dist == kUnreachable ? 0 : dist);
+  });
+
+  SsspResult result;
+  result.cost = run.cost;
+  result.dist.resize(n);
+  result.parent.resize(n);
+  auto vals = sink.take();
+  for (NodeId v = 0; v < n; ++v) {
+    result.dist[v] = vals[v].first;
+    result.parent[v] = vals[v].second;
+  }
+  return result;
+}
+
+SsspResult bellman_ford_clique(const Graph& g, NodeId source) {
+  CCQ_CHECK(source < g.n());
+  const NodeId n = g.n();
+  // Distances fit in ⌈log₂((n-1)·w_max + 1)⌉ bits; reserve the all-ones
+  // pattern for "unreachable".
+  std::uint32_t max_w = 1;
+  for (const Edge& e : g.edges()) max_w = std::max(max_w, e.w);
+  const unsigned dist_bits =
+      std::max(2u, ceil_log2(static_cast<std::uint64_t>(n) * max_w + 2));
+  const std::uint64_t inf_code = (dist_bits >= 64)
+                                     ? ~std::uint64_t{0}
+                                     : (std::uint64_t{1} << dist_bits) - 1;
+
+  PerNode<std::pair<std::uint64_t, NodeId>> sink(n);
+
+  auto run = Engine::run(g, [&, source, dist_bits, inf_code](NodeCtx& ctx) {
+    const NodeId me = ctx.id();
+    std::uint64_t dist = me == source ? 0 : kUnreachable;
+    NodeId parent = me;
+
+    for (NodeId iter = 0; iter + 1 < ctx.n() || ctx.n() == 1; ++iter) {
+      BitVector mine;
+      mine.append_bits(dist == kUnreachable ? inf_code : dist, dist_bits);
+      auto all = ctx.broadcast(mine);
+      bool changed = false;
+      for (NodeId u = 0; u < ctx.n(); ++u) {
+        if (u == me || !ctx.in_row().get(u)) continue;
+        const std::uint64_t du = all[u].read_bits(0, dist_bits);
+        if (du == inf_code) continue;
+        const std::uint64_t cand =
+            du + (ctx.weighted() ? ctx.edge_weight(u) : 1);
+        if (cand < dist) {
+          dist = cand;
+          parent = u;
+          changed = true;
+        }
+      }
+      if (!ctx.any(changed)) break;
+    }
+
+    sink.set(me, {dist, parent});
+    ctx.output(dist == kUnreachable ? 0 : dist);
+  });
+
+  SsspResult result;
+  result.cost = run.cost;
+  result.dist.resize(n);
+  result.parent.resize(n);
+  auto vals = sink.take();
+  for (NodeId v = 0; v < n; ++v) {
+    result.dist[v] = vals[v].first;
+    result.parent[v] = vals[v].second;
+  }
+  return result;
+}
+
+}  // namespace ccq

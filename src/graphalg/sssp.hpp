@@ -1,0 +1,33 @@
+#pragma once
+
+// Single-source shortest paths in the congested clique (§7, Figure 1:
+// SSSP variants and BFS tree).
+
+#include <cstdint>
+#include <vector>
+
+#include "clique/cost.hpp"
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+struct SsspResult {
+  std::vector<std::uint64_t> dist;  ///< kInfDist-style sentinel: unreachable
+  std::vector<NodeId> parent;       ///< parent in the SSSP/BFS tree; self at
+                                    ///< the source and for unreachable nodes
+  CostMeter cost;
+};
+
+/// Distance sentinel for unreachable nodes (matches oracle::kInfDist).
+inline constexpr std::uint64_t kUnreachable = ~std::uint64_t{0} / 4;
+
+/// Unweighted SSSP + BFS tree by synchronous frontier expansion:
+/// O(diameter) rounds (2 per level: frontier bit + termination vote).
+/// Works on directed graphs (follows out-edges from the source).
+SsspResult bfs_clique(const Graph& g, NodeId source);
+
+/// Weighted SSSP by distributed Bellman–Ford: each iteration every node
+/// broadcasts its tentative distance; ≤ n-1 iterations with early exit.
+SsspResult bellman_ford_clique(const Graph& g, NodeId source);
+
+}  // namespace ccq

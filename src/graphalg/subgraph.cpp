@@ -1,0 +1,217 @@
+#include "graphalg/subgraph.hpp"
+
+#include <algorithm>
+
+#include "clique/engine.hpp"
+#include "graph/oracles.hpp"
+#include "graphalg/common.hpp"
+#include "util/math.hpp"
+
+namespace ccq {
+
+namespace {
+
+struct PartitionLayout {
+  NodeId n, s, q;  // s parts of width q
+
+  PartitionLayout(NodeId n_, unsigned k)
+      : n(n_),
+        s(static_cast<NodeId>(
+            std::max<std::uint64_t>(1, floor_root(n_, k)))),
+        q(static_cast<NodeId>(ceil_div(n_, s))) {}
+
+  NodeId part_of(NodeId v) const { return v / q; }
+
+  /// Union of the parts in tuple-node t's digit expansion (sorted, unique).
+  std::vector<NodeId> union_of(std::uint64_t t, unsigned k) const {
+    std::vector<NodeId> parts;
+    for (unsigned i = 0; i < k; ++i) {
+      parts.push_back(static_cast<NodeId>(t % s));
+      t /= s;
+    }
+    std::sort(parts.begin(), parts.end());
+    parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
+    std::vector<NodeId> nodes;
+    for (NodeId p : parts) {
+      const NodeId lo = std::min<NodeId>(p * q, n);
+      const NodeId hi = std::min<NodeId>((p + 1) * q, n);
+      for (NodeId v = lo; v < hi; ++v) nodes.push_back(v);
+    }
+    return nodes;
+  }
+
+  bool tuple_contains_part(std::uint64_t t, unsigned k, NodeId part) const {
+    for (unsigned i = 0; i < k; ++i) {
+      if (static_cast<NodeId>(t % s) == part) return true;
+      t /= s;
+    }
+    return false;
+  }
+
+  std::uint64_t tuple_count(unsigned k) const {
+    std::uint64_t c = 1;
+    for (unsigned i = 0; i < k; ++i) c *= s;
+    return c;
+  }
+};
+
+}  // namespace
+
+DetectionResult detect_structure_clique(const Graph& g, unsigned k,
+                                        const LocalPattern& pattern) {
+  CCQ_CHECK_MSG(!g.is_directed(),
+                "detector is defined for undirected graphs");
+  CCQ_CHECK(k >= 1);
+  const NodeId n = g.n();
+  const PartitionLayout L(n, k);
+  const std::uint64_t tuples = L.tuple_count(k);
+  CCQ_CHECK_MSG(tuples <= n, "partition layout must fit the clique");
+
+  PerNode<std::vector<NodeId>> sink(n);
+
+  auto run = Engine::run(g, [&, k](NodeCtx& ctx) {
+    const NodeId me = ctx.id();
+    const unsigned B = ctx.bandwidth();
+
+    // ---- send my incident edges (to higher-id partners) to every tuple
+    // node whose union contains my part.
+    WordQueues out(ctx.n());
+    const NodeId my_part = L.part_of(me);
+    for (std::uint64_t t = 0; t < tuples; ++t) {
+      if (!L.tuple_contains_part(t, k, my_part)) continue;
+      const auto u_nodes = L.union_of(t, k);
+      BitVector payload;
+      for (NodeId u : u_nodes) {
+        if (u > me) payload.push_back(ctx.adj_row().get(u));
+      }
+      for (const Word& w : encode_bits(payload, B))
+        out[static_cast<NodeId>(t)].push_back(w);
+    }
+    WordQueues in = ctx.exchange(out);
+
+    // ---- tuple nodes reconstruct the induced subgraph on U and check.
+    std::optional<std::vector<NodeId>> witness;
+    if (me < tuples) {
+      const auto u_nodes = L.union_of(me, k);
+      std::vector<NodeId> pos(ctx.n(), ctx.n());  // original id -> U index
+      for (std::size_t i = 0; i < u_nodes.size(); ++i)
+        pos[u_nodes[i]] = static_cast<NodeId>(i);
+      Graph induced = Graph::undirected(static_cast<NodeId>(u_nodes.size()));
+      for (NodeId v : u_nodes) {
+        // Count of expected bits from v: partners in U with id > v.
+        std::size_t expect = 0;
+        for (NodeId u : u_nodes)
+          if (u > v) ++expect;
+        BitVector payload;
+        if (v == me) {
+          for (NodeId u : u_nodes)
+            if (u > me) payload.push_back(ctx.adj_row().get(u));
+        } else {
+          payload = decode_words(in[v], expect);
+        }
+        std::size_t idx = 0;
+        for (NodeId u : u_nodes) {
+          if (u <= v) continue;
+          if (payload.get(idx)) induced.add_edge(pos[v], pos[u]);
+          ++idx;
+        }
+      }
+      witness = pattern(induced, u_nodes);
+    }
+
+    // ---- elect the lowest-id finder and publish its witness.
+    auto found_bits = ctx.share_bit(witness.has_value());
+    NodeId winner = ctx.n();
+    for (NodeId v = 0; v < ctx.n(); ++v) {
+      if (found_bits[v]) {
+        winner = v;
+        break;
+      }
+    }
+    const unsigned idb = node_id_bits(ctx.n());
+    BitVector wit_bits(static_cast<std::size_t>(k) * idb);
+    if (witness.has_value() && me == winner) {
+      CCQ_CHECK_MSG(witness->size() == k, "pattern returned wrong arity");
+      wit_bits = BitVector{};
+      for (NodeId v : *witness) wit_bits.append_bits(v, idb);
+    }
+    auto all_wits = ctx.broadcast(wit_bits);
+
+    std::vector<NodeId> final_witness;
+    if (winner < ctx.n()) {
+      for (unsigned i = 0; i < k; ++i) {
+        final_witness.push_back(static_cast<NodeId>(
+            all_wits[winner].read_bits(static_cast<std::size_t>(i) * idb,
+                                       idb)));
+      }
+    }
+    sink.set(me, final_witness);
+    ctx.decide(winner < ctx.n());
+  });
+
+  DetectionResult result;
+  result.cost = run.cost;
+  result.found = run.accepted();
+  auto wits = sink.take();
+  if (result.found) result.witness = wits[0];
+  return result;
+}
+
+DetectionResult triangle_clique(const Graph& g) {
+  return clique_detect_clique(g, 3);
+}
+
+DetectionResult independent_set_clique(const Graph& g, unsigned k) {
+  return detect_structure_clique(
+      g, k,
+      [k](const Graph& induced, const std::vector<NodeId>& ids)
+          -> std::optional<std::vector<NodeId>> {
+        auto w = oracle::independent_set(induced, k);
+        if (!w) return std::nullopt;
+        std::vector<NodeId> mapped;
+        for (NodeId v : *w) mapped.push_back(ids[v]);
+        return mapped;
+      });
+}
+
+DetectionResult clique_detect_clique(const Graph& g, unsigned k) {
+  return detect_structure_clique(
+      g, k,
+      [k](const Graph& induced, const std::vector<NodeId>& ids)
+          -> std::optional<std::vector<NodeId>> {
+        auto w = oracle::k_clique(induced, k);
+        if (!w) return std::nullopt;
+        std::vector<NodeId> mapped;
+        for (NodeId v : *w) mapped.push_back(ids[v]);
+        return mapped;
+      });
+}
+
+DetectionResult k_cycle_clique(const Graph& g, unsigned k) {
+  return detect_structure_clique(
+      g, k,
+      [k](const Graph& induced, const std::vector<NodeId>& ids)
+          -> std::optional<std::vector<NodeId>> {
+        auto w = oracle::k_cycle(induced, k);
+        if (!w) return std::nullopt;
+        std::vector<NodeId> mapped;
+        for (NodeId v : *w) mapped.push_back(ids[v]);
+        return mapped;
+      });
+}
+
+DetectionResult subgraph_clique(const Graph& g, const Graph& pattern) {
+  const unsigned k = pattern.n();
+  return detect_structure_clique(
+      g, k,
+      [&pattern](const Graph& induced, const std::vector<NodeId>& ids)
+          -> std::optional<std::vector<NodeId>> {
+        auto w = oracle::subgraph(induced, pattern);
+        if (!w) return std::nullopt;
+        std::vector<NodeId> mapped;
+        for (NodeId v : *w) mapped.push_back(ids[v]);
+        return mapped;
+      });
+}
+
+}  // namespace ccq

@@ -1,0 +1,59 @@
+#pragma once
+
+// Size-k structure detection in O(k²·n^{1-2/k}) rounds — the partitioning
+// scheme of Dolev, Lenzen and Peled ("Tri, tri again" [16]) that Figure 1
+// and §7 rely on for triangle / k-IS / k-cycle / size-k subgraph detection.
+//
+// Scheme: partition V into s = ⌊n^{1/k}⌋ parts. Assign each tuple
+// (t_1,...,t_k) ∈ [s]^k to a distinct node (s^k ≤ n). That node learns every
+// edge *inside* U = P_{t_1} ∪ ... ∪ P_{t_k} and locally checks an arbitrary
+// predicate on the induced subgraph. Any k-node structure lives inside some
+// union of k parts, so some tuple node sees it.
+//
+// The local predicate receives the induced graph on U together with the
+// original node ids, and reports a witness (original ids) if found.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "clique/cost.hpp"
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+struct DetectionResult {
+  bool found = false;
+  std::vector<NodeId> witness;  ///< original node ids; empty if !found
+  CostMeter cost;
+};
+
+/// Local check run by each tuple node: `induced` is the subgraph on the
+/// union U, `ids[i]` the original id of induced-node i. Return the witness
+/// in original ids, or nullopt.
+using LocalPattern = std::function<std::optional<std::vector<NodeId>>(
+    const Graph& induced, const std::vector<NodeId>& ids)>;
+
+/// Generic Dolev-style detector for a size-k structure.
+DetectionResult detect_structure_clique(const Graph& g, unsigned k,
+                                        const LocalPattern& pattern);
+
+// Convenience wrappers (all measured through the same detector):
+
+/// Triangle detection (k = 3).
+DetectionResult triangle_clique(const Graph& g);
+
+/// Independent set of size k (the k-IS of Figure 1; note 3-IS and triangle
+/// are complement problems, which test_reductions exercises).
+DetectionResult independent_set_clique(const Graph& g, unsigned k);
+
+/// Clique of size k.
+DetectionResult clique_detect_clique(const Graph& g, unsigned k);
+
+/// Simple cycle on exactly k nodes.
+DetectionResult k_cycle_clique(const Graph& g, unsigned k);
+
+/// Arbitrary pattern containment (|pattern| = k, not induced).
+DetectionResult subgraph_clique(const Graph& g, const Graph& pattern);
+
+}  // namespace ccq

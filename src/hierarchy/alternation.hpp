@@ -1,0 +1,60 @@
+#pragma once
+
+// §6.2 — the constant-round decision hierarchy Σ_k / Π_k and Theorem 7.
+//
+// A k-labelling algorithm receives k labellings z_1..z_k; L ∈ Σ_k iff
+//   G ∈ L ⇔ ∃z₁∀z₂...Q z_k : A(G, z₁..z_k) = 1,
+// and Π_k with the quantifiers flipped. We provide:
+//   * exhaustive quantifier evaluation for tiny label spaces (the ground
+//     truth for Σ_k/Π_k semantics and the basic inclusions);
+//   * Theorem 7's universal Σ₂ algorithm — guess the whole input graph
+//     existentially, spot-check one bit universally, then decide any
+//     (computable) language locally. Its labels are n(n-1)/2 bits per node,
+//     which is why it lives in the *unlimited* hierarchy and does not fit
+//     the O(n log n) logarithmic budget (Theorem 8 separates that one).
+
+#include <functional>
+#include <string>
+
+#include "clique/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+struct KLabelAlgorithm {
+  std::string name;
+  unsigned k = 1;
+  /// Bits per node per labelling.
+  std::function<std::size_t(NodeId)> label_bits;
+  /// Engine program; reads ctx.label(0..k-1) and decides.
+  NodeProgram program;
+};
+
+/// Quantified acceptance by exhaustive enumeration over all k labellings
+/// (∃ first when leading_exists, i.e. Σ_k; ∀ first for Π_k). Requires
+/// k · n · label_bits(n) ≤ max_total_bits.
+bool alternating_accepts(const Graph& g, const KLabelAlgorithm& a,
+                         bool leading_exists, unsigned max_total_bits = 18);
+
+/// Evaluate with a fixed z₁, quantifying the remaining labellings
+/// exhaustively (∀z₂∃z₃...). Used to test Theorem 7's proof structure
+/// where ∃z₁ cannot be enumerated.
+bool accepts_for_all_suffix(const Graph& g, const KLabelAlgorithm& a,
+                            const Labelling& z1,
+                            unsigned max_total_bits = 18);
+
+/// Theorem 7: the universal Σ₂ algorithm for an arbitrary decidable
+/// language. z₁ = each node's guess of the whole input graph (n(n-1)/2
+/// bits); z₂ = an O(log n)-bit probe index per node.
+KLabelAlgorithm sigma2_universal(
+    std::string language_name,
+    std::function<bool(const Graph&)> language);
+
+/// The honest z₁ for sigma2_universal: every node guesses the true graph.
+Labelling sigma2_honest_guess(const Graph& g);
+
+/// Encode an arbitrary graph as one node's z₁ label (for dishonest-prover
+/// tests).
+BitVector sigma2_encode_guess(const Graph& g);
+
+}  // namespace ccq

@@ -1,0 +1,163 @@
+#include "hierarchy/bcast_protocol.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace ccq {
+
+namespace {
+
+struct OneRoundSetting {
+  unsigned n, b, L;
+  std::size_t inputs;  // 2^{nL}
+
+  OneRoundSetting(unsigned n_, unsigned b_, unsigned L_)
+      : n(n_), b(b_), L(L_), inputs(std::size_t{1} << (n_ * L_)) {
+    CCQ_CHECK(n >= 2 && b >= 1 && L >= 1);
+    CCQ_CHECK_MSG(n * L <= 4, "one-round analysis limited to nL ≤ 4");
+  }
+
+  std::uint64_t node_input(std::uint64_t x, unsigned v) const {
+    return (x >> (v * L)) & ((std::uint64_t{1} << L) - 1);
+  }
+};
+
+struct Dsu {
+  std::vector<unsigned> p;
+  explicit Dsu(std::size_t n) : p(n) { std::iota(p.begin(), p.end(), 0u); }
+  unsigned find(unsigned x) {
+    while (p[x] != x) {
+      p[x] = p[p[x]];
+      x = p[x];
+    }
+    return x;
+  }
+  void unite(unsigned a, unsigned b) { p[find(a)] = find(b); }
+};
+
+// Mark every function constant on the view-equivalence components of one
+// message scheme. view(v, x) is supplied by the caller.
+template <typename ViewFn>
+void mark_scheme(const OneRoundSetting& s, ViewFn view,
+                 std::vector<bool>& achievable) {
+  // Union inputs that some node cannot distinguish.
+  Dsu dsu(s.inputs);
+  for (unsigned v = 0; v < s.n; ++v) {
+    // Group inputs by view; same view → same output at v → same f value.
+    std::vector<std::pair<std::uint64_t, unsigned>> keyed;
+    keyed.reserve(s.inputs);
+    for (std::uint64_t x = 0; x < s.inputs; ++x) {
+      keyed.emplace_back(view(v, x), static_cast<unsigned>(x));
+    }
+    std::sort(keyed.begin(), keyed.end());
+    for (std::size_t i = 1; i < keyed.size(); ++i) {
+      if (keyed[i].first == keyed[i - 1].first) {
+        dsu.unite(keyed[i].second, keyed[i - 1].second);
+      }
+    }
+  }
+  // Enumerate components and all 2^{#components} constant-per-component
+  // tables.
+  std::vector<unsigned> comp_of(s.inputs);
+  std::vector<unsigned> comps;
+  for (std::uint64_t x = 0; x < s.inputs; ++x) {
+    const unsigned root = dsu.find(static_cast<unsigned>(x));
+    auto it = std::find(comps.begin(), comps.end(), root);
+    if (it == comps.end()) {
+      comp_of[x] = static_cast<unsigned>(comps.size());
+      comps.push_back(root);
+    } else {
+      comp_of[x] = static_cast<unsigned>(it - comps.begin());
+    }
+  }
+  const std::size_t ncomp = comps.size();
+  for (std::uint64_t assign = 0; assign < (std::uint64_t{1} << ncomp);
+       ++assign) {
+    std::uint64_t table = 0;
+    for (std::uint64_t x = 0; x < s.inputs; ++x) {
+      if ((assign >> comp_of[x]) & 1) table |= std::uint64_t{1} << x;
+    }
+    achievable[table] = true;
+  }
+}
+
+}  // namespace
+
+std::vector<bool> achievable_one_round_broadcast(unsigned n, unsigned b,
+                                                 unsigned L) {
+  const OneRoundSetting s(n, b, L);
+  // Scheme: per node a map 2^L -> 2^b; total bits n·b·2^L.
+  const unsigned scheme_bits = n * b * (1u << L);
+  CCQ_CHECK_MSG(scheme_bits <= 24, "broadcast scheme space too large");
+  std::vector<bool> achievable(std::size_t{1} << s.inputs, false);
+  const std::uint64_t bmask = (std::uint64_t{1} << b) - 1;
+  for (std::uint64_t scheme = 0; scheme < (std::uint64_t{1} << scheme_bits);
+       ++scheme) {
+    auto message = [&](unsigned v, std::uint64_t xin) {
+      const unsigned slot = v * (1u << L) + static_cast<unsigned>(xin);
+      return (scheme >> (slot * b)) & bmask;
+    };
+    auto view = [&](unsigned v, std::uint64_t x) {
+      // Own input + everyone's broadcast word (including own — harmless).
+      std::uint64_t key = s.node_input(x, v);
+      unsigned shift = L;
+      for (unsigned u = 0; u < s.n; ++u) {
+        if (u == v) continue;
+        key |= message(u, s.node_input(x, u)) << shift;
+        shift += b;
+      }
+      return key;
+    };
+    mark_scheme(s, view, achievable);
+  }
+  return achievable;
+}
+
+std::vector<bool> achievable_one_round_unicast(unsigned n, unsigned b,
+                                               unsigned L) {
+  const OneRoundSetting s(n, b, L);
+  // Scheme: per (node, destination) a map 2^L -> 2^b.
+  const unsigned scheme_bits = n * (n - 1) * b * (1u << L);
+  CCQ_CHECK_MSG(scheme_bits <= 24, "unicast scheme space too large");
+  std::vector<bool> achievable(std::size_t{1} << s.inputs, false);
+  const std::uint64_t bmask = (std::uint64_t{1} << b) - 1;
+  for (std::uint64_t scheme = 0; scheme < (std::uint64_t{1} << scheme_bits);
+       ++scheme) {
+    auto message = [&](unsigned v, unsigned dst_k, std::uint64_t xin) {
+      const unsigned slot =
+          (v * (s.n - 1) + dst_k) * (1u << L) + static_cast<unsigned>(xin);
+      return (scheme >> (slot * b)) & bmask;
+    };
+    auto view = [&](unsigned v, std::uint64_t x) {
+      std::uint64_t key = s.node_input(x, v);
+      unsigned shift = L;
+      for (unsigned u = 0; u < s.n; ++u) {
+        if (u == v) continue;
+        const unsigned k = v < u ? v : v - 1;  // v's index among u's dsts
+        key |= message(u, k, s.node_input(x, u)) << shift;
+        shift += b;
+      }
+      return key;
+    };
+    mark_scheme(s, view, achievable);
+  }
+  return achievable;
+}
+
+ModelGap one_round_model_gap(unsigned n, unsigned b, unsigned L) {
+  auto uni = achievable_one_round_unicast(n, b, L);
+  auto bc = achievable_one_round_broadcast(n, b, L);
+  ModelGap gap;
+  for (std::size_t i = 0; i < uni.size(); ++i) {
+    gap.unicast_count += uni[i];
+    gap.broadcast_count += bc[i];
+    if (uni[i] && !bc[i]) gap.separating_functions.push_back(i);
+    CCQ_CHECK_MSG(!(bc[i] && !uni[i]),
+                  "broadcast protocols are a subset of unicast");
+  }
+  return gap;
+}
+
+}  // namespace ccq

@@ -1,0 +1,44 @@
+#pragma once
+
+// Exact one-round achievability for unicast vs broadcast protocols.
+//
+// §2 notes that lower bounds are known for the *broadcast* congested
+// clique [19] while the unicast model resists them. For one-round
+// (n, b, L)-protocols a function f is computable iff f is measurable
+// w.r.t. every node's final view (own input + received messages) under
+// SOME message scheme: fix a scheme, connect inputs x ~ x' whenever some
+// node sees identical views on them; computable f = functions constant on
+// the connected components. This gives the EXACT achievable sets of both
+// models without genome enumeration (tests cross-validate against
+// ProtocolSpace at n = 2).
+//
+// Caveat on separations: whenever L ≤ b the whole input fits one word and
+// both models saturate — function computability does not distinguish them
+// in the enumerable regime. The *measured* model gap is per-task
+// bandwidth: the all-to-all personalised-messages task costs 1 round
+// unicast vs Θ(n) rounds broadcast (broadcast_test.cpp, bench_bcc).
+
+#include <cstdint>
+#include <vector>
+
+namespace ccq {
+
+/// Achievability bitmap over all 2^{2^{nL}} function tables (same index
+/// convention as ProtocolSpace::achievable_functions). Requires
+/// nL ≤ 4 and a scheme space of ≤ 2^24.
+std::vector<bool> achievable_one_round_unicast(unsigned n, unsigned b,
+                                               unsigned L);
+std::vector<bool> achievable_one_round_broadcast(unsigned n, unsigned b,
+                                                 unsigned L);
+
+struct ModelGap {
+  std::size_t unicast_count = 0;
+  std::size_t broadcast_count = 0;
+  /// Indices (table-as-integer) computable by unicast but not broadcast.
+  std::vector<std::uint64_t> separating_functions;
+};
+
+/// The exact gap between the two models at (n, b, L), one round.
+ModelGap one_round_model_gap(unsigned n, unsigned b, unsigned L);
+
+}  // namespace ccq

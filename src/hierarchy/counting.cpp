@@ -1,0 +1,207 @@
+#include "hierarchy/counting.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace ccq {
+
+double lemma1_log2_protocols(double n, double b, double L, double t) {
+  return 2.0 * b * n * std::exp2(L + b * t * (n - 1));
+}
+
+double log2_functions(double n, double L) { return std::exp2(n * L); }
+
+double lemma1_loglog_protocols(double n, double b, double L, double t) {
+  return std::log2(2.0 * b * n) + L + b * t * (n - 1);
+}
+
+double loglog_functions(double n, double L) { return n * L; }
+
+BigUInt lemma1_protocols_exact(unsigned n, unsigned b, unsigned L,
+                               unsigned t) {
+  const std::uint64_t exponent =
+      2ull * b * n *
+      (std::uint64_t{1} << (L + static_cast<std::uint64_t>(b) * t * (n - 1)));
+  return BigUInt::pow2(exponent);
+}
+
+BigUInt functions_exact(unsigned n, unsigned L) {
+  return BigUInt::pow2(std::uint64_t{1} << (static_cast<std::uint64_t>(n) *
+                                            L));
+}
+
+Thm2Row thm2_row(std::uint64_t n, std::uint64_t T) {
+  Thm2Row row;
+  row.n = n;
+  row.T = T;
+  const double logn = static_cast<double>(ceil_log2(n));
+  row.L = T * static_cast<std::uint64_t>(logn);
+  row.loglog_protocols = lemma1_loglog_protocols(
+      static_cast<double>(n), logn, static_cast<double>(row.L),
+      static_cast<double>(T) / 2.0);
+  row.loglog_funcs =
+      loglog_functions(static_cast<double>(n), static_cast<double>(row.L));
+  row.hard_function_exists = row.loglog_protocols < row.loglog_funcs;
+  return row;
+}
+
+Thm4Row thm4_row(std::uint64_t n, std::uint64_t T) {
+  Thm4Row row;
+  row.n = n;
+  row.T = T;
+  const double logn = static_cast<double>(ceil_log2(n));
+  row.L = T * static_cast<std::uint64_t>(logn);
+  row.M = static_cast<std::uint64_t>(
+      std::llround(0.25 * static_cast<double>(T) * static_cast<double>(n) *
+                   logn));
+  row.loglog_nondet_protocols = lemma1_loglog_protocols(
+      static_cast<double>(n), logn,
+      static_cast<double>(row.M) + static_cast<double>(row.L),
+      static_cast<double>(T) / 4.0);
+  row.loglog_funcs =
+      loglog_functions(static_cast<double>(n), static_cast<double>(row.L));
+  // The proof's inequality with the t = T/4 round budget:
+  // M + L + (T/4)(n-1)log n ≤ (1/2 + 1/n)·T·n·log n < ¾·T·n·log n = ¾·nL.
+  const double lhs = static_cast<double>(row.M) +
+                     static_cast<double>(row.L) +
+                     0.25 * static_cast<double>(T) * (n - 1) * logn;
+  const double rhs =
+      0.75 * static_cast<double>(n) * static_cast<double>(row.L);
+  row.inequality_holds = lhs < rhs;
+  row.hard_function_exists = row.loglog_nondet_protocols < row.loglog_funcs;
+  return row;
+}
+
+Thm8Row thm8_row(std::uint64_t n, std::uint64_t T, std::uint64_t k) {
+  Thm8Row row;
+  row.n = n;
+  row.T = T;
+  row.k = k;
+  const double logn = static_cast<double>(ceil_log2(n));
+  row.L = T * T * static_cast<std::uint64_t>(logn);
+  row.M = static_cast<std::uint64_t>(
+      std::llround(0.25 * static_cast<double>(T) * static_cast<double>(n) *
+                   logn));
+  row.loglog_protocols = lemma1_loglog_protocols(
+      static_cast<double>(n), logn,
+      static_cast<double>(k) * row.M + static_cast<double>(row.L),
+      static_cast<double>(T) * static_cast<double>(T) / 4.0);
+  row.loglog_funcs =
+      loglog_functions(static_cast<double>(n), static_cast<double>(row.L));
+  const double lhs = static_cast<double>(k) * row.M +
+                     static_cast<double>(row.L) +
+                     0.25 * static_cast<double>(T) * T * (n - 1) * logn;
+  const double rhs =
+      0.75 * static_cast<double>(n) * static_cast<double>(row.L);
+  row.inequality_holds = lhs < rhs;
+  row.hard_function_exists = row.loglog_protocols < row.loglog_funcs;
+  return row;
+}
+
+namespace {
+
+// Shared quantifier evaluation: protocols over per-node inputs
+// (z_1..z_k | x), z blocks low bits first, x in the high bits.
+struct QuantifiedSpace {
+  ProtocolSpace space;
+  unsigned n, L, M, k;
+
+  QuantifiedSpace(unsigned n_, unsigned b, unsigned L_, unsigned M_,
+                  unsigned t, unsigned k_)
+      : space(n_, b, L_ + k_ * M_, t), n(n_), L(L_), M(M_), k(k_) {}
+
+  // Combine per-node x bits and a full z-block assignment into a protocol
+  // input. zs[j] packs all nodes' j-th labels (M bits per node).
+  std::uint64_t combine(std::uint64_t x,
+                        const std::vector<std::uint64_t>& zs) const {
+    std::uint64_t input = 0;
+    const unsigned per = L + k * M;
+    for (unsigned v = 0; v < n; ++v) {
+      std::uint64_t node_bits = 0;
+      unsigned off = 0;
+      for (unsigned j = 0; j < k; ++j) {
+        node_bits |= ((zs[j] >> (v * M)) & ((std::uint64_t{1} << M) - 1))
+                     << off;
+        off += M;
+      }
+      node_bits |= ((x >> (v * L)) & ((std::uint64_t{1} << L) - 1)) << off;
+      input |= node_bits << (v * per);
+    }
+    return input;
+  }
+
+  bool accepts(const BitVector& genome, std::uint64_t input) const {
+    auto outs = space.evaluate(genome, input);
+    for (bool o : outs) {
+      if (!o) return false;
+    }
+    return true;
+  }
+
+  // Quantified evaluation from level j; `lead_exists` fixes whether level
+  // 0 is existential (Σ) or universal (Π).
+  bool quantified(const BitVector& genome, std::uint64_t x,
+                  std::vector<std::uint64_t>& zs, unsigned j,
+                  bool lead_exists = true) const {
+    if (j == k) return accepts(genome, combine(x, zs));
+    const std::uint64_t count = std::uint64_t{1} << (n * M);
+    const bool existential = (j % 2 == 0) == lead_exists;
+    for (std::uint64_t z = 0; z < count; ++z) {
+      zs[j] = z;
+      const bool sub = quantified(genome, x, zs, j + 1, lead_exists);
+      if (existential && sub) return true;
+      if (!existential && !sub) return false;
+    }
+    return !existential;
+  }
+};
+
+std::vector<bool> achievable_quantified(unsigned n, unsigned b, unsigned L,
+                                        unsigned M, unsigned t, unsigned k,
+                                        unsigned max_genome_bits,
+                                        bool lead_exists = true) {
+  QuantifiedSpace qs(n, b, L, M, t, k);
+  const std::size_t gb = qs.space.genome_bits();
+  CCQ_CHECK_MSG(gb <= max_genome_bits,
+                "quantified enumeration limited to 2^" << max_genome_bits);
+  const std::size_t x_count = std::size_t{1} << (n * L);
+  CCQ_CHECK_MSG(x_count <= 20, "function-table bitmap limited to 2^20");
+  std::vector<bool> achievable(std::size_t{1} << x_count, false);
+  const std::uint64_t genomes = std::uint64_t{1} << gb;
+  std::vector<std::uint64_t> zs(k, 0);
+  for (std::uint64_t code = 0; code < genomes; ++code) {
+    const BitVector genome = qs.space.genome_from_code(code);
+    BitVector table(x_count);
+    for (std::uint64_t x = 0; x < x_count; ++x) {
+      table.set(x, qs.quantified(genome, x, zs, 0, lead_exists));
+    }
+    achievable[index_from_table(table)] = true;
+  }
+  return achievable;
+}
+
+}  // namespace
+
+std::vector<bool> achievable_nondet_functions(unsigned n, unsigned b,
+                                              unsigned L, unsigned M,
+                                              unsigned t,
+                                              unsigned max_genome_bits) {
+  return achievable_quantified(n, b, L, M, t, 1, max_genome_bits);
+}
+
+std::vector<bool> achievable_sigma_functions(unsigned n, unsigned b,
+                                             unsigned L, unsigned M,
+                                             unsigned t, unsigned k,
+                                             unsigned max_genome_bits) {
+  return achievable_quantified(n, b, L, M, t, k, max_genome_bits, true);
+}
+
+std::vector<bool> achievable_pi_functions(unsigned n, unsigned b,
+                                          unsigned L, unsigned M,
+                                          unsigned t, unsigned k,
+                                          unsigned max_genome_bits) {
+  return achievable_quantified(n, b, L, M, t, k, max_genome_bits, false);
+}
+
+}  // namespace ccq

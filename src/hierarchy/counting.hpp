@@ -1,0 +1,102 @@
+#pragma once
+
+// Lemma 1 and the counting side of Theorems 2, 4 and 8.
+//
+// Lemma 1 (Applebaum et al. [1]): the number of (n,b,L,t)-protocols is at
+// most 2^{2bn·2^{L+bt(n-1)}}, while the number of functions
+// {0,1}^{nL} → {0,1} is 2^{2^{nL}}. Whenever the first exponent is o() of
+// the second, *most* functions have no protocol — the engine of every
+// separation in the paper. The theorem-specific parameter choices
+// (L = T·log n etc.) are reproduced as table rows for the benches.
+
+#include <cstdint>
+#include <vector>
+
+#include "hierarchy/protocol.hpp"
+#include "util/big_uint.hpp"
+#include "util/log2_real.hpp"
+
+namespace ccq {
+
+/// log₂ of the Lemma 1 protocol-count bound: 2bn·2^{L+bt(n-1)}.
+/// Overflows double once the exponent passes ~1024 — use the loglog
+/// variants for theorem-scale parameters.
+double lemma1_log2_protocols(double n, double b, double L, double t);
+
+/// log₂ of the function count: 2^{nL}.
+double log2_functions(double n, double L);
+
+/// log₂log₂ of the same counts — finite for every parameter scale; the
+/// comparison loglog(protocols) < loglog(functions) is equivalent because
+/// both counts exceed 2.
+double lemma1_loglog_protocols(double n, double b, double L, double t);
+double loglog_functions(double n, double L);
+
+/// Exact counts as arbitrary-precision integers (small exponents only).
+BigUInt lemma1_protocols_exact(unsigned n, unsigned b, unsigned L,
+                               unsigned t);
+BigUInt functions_exact(unsigned n, unsigned L);
+
+// ---- theorem parameterisations (each row is one bench table line) -------
+
+/// Theorem 2 (deterministic hierarchy): L = T·⌈log₂n⌉, lower-bound budget
+/// t = T/2. A hard function exists whenever protocols ≪ functions.
+struct Thm2Row {
+  std::uint64_t n, T, L;
+  double loglog_protocols;  ///< log₂log₂ of the count, at t = T/2
+  double loglog_funcs;      ///< log₂log₂ of 2^{2^{nL}} = nL
+  bool hard_function_exists;  ///< protocols < functions
+};
+Thm2Row thm2_row(std::uint64_t n, std::uint64_t T);
+
+/// Theorem 4 (nondeterministic): label budget M = ¼·T·n·log n; protocols
+/// over M+L input bits at t = T/4 are counted against 2^{nL} functions.
+/// The theorem's inequality M + L + T(n-1)·log n < ¾·T·n·log n must hold.
+struct Thm4Row {
+  std::uint64_t n, T, L, M;
+  double loglog_nondet_protocols;
+  double loglog_funcs;
+  bool inequality_holds;  ///< the ¾·nL budget check from the proof
+  bool hard_function_exists;
+};
+Thm4Row thm4_row(std::uint64_t n, std::uint64_t T);
+
+/// Theorem 8 (logarithmic hierarchy): L = T²·log n, M = ¼·T·n·log n;
+/// for every k ≤ T the count of (n, log n, kM+L, T²/4)-protocols stays
+/// 2^{o(2^{nL})}.
+struct Thm8Row {
+  std::uint64_t n, T, k, L, M;
+  double loglog_protocols;
+  double loglog_funcs;
+  bool inequality_holds;  ///< kM + L + ¼T²(n-1)log n < ¾·nL
+  bool hard_function_exists;
+};
+Thm8Row thm8_row(std::uint64_t n, std::uint64_t T, std::uint64_t k);
+
+// ---- toy-scale achievability with quantifiers ----------------------------
+
+/// Functions over {0,1}^{nL} computable by some nondeterministic
+/// (n,b,M+L,t)-protocol: f(x)=1 ⇔ ∃z ∈ {0,1}^{nM} : P(z₁x₁,...) accepts
+/// (acceptance = all nodes output 1). Returns the achievability bitmap in
+/// the same index convention as ProtocolSpace::achievable_functions.
+std::vector<bool> achievable_nondet_functions(unsigned n, unsigned b,
+                                              unsigned L, unsigned M,
+                                              unsigned t,
+                                              unsigned max_genome_bits = 24);
+
+/// Functions Σ_k-computable by an (n,b,kM+L,t)-protocol:
+/// f(x)=1 ⇔ ∃z₁∀z₂...Q z_k : P accepts.
+std::vector<bool> achievable_sigma_functions(unsigned n, unsigned b,
+                                             unsigned L, unsigned M,
+                                             unsigned t, unsigned k,
+                                             unsigned max_genome_bits = 24);
+
+/// Π_k variant (leading universal quantifier):
+/// f(x)=1 ⇔ ∀z₁∃z₂...Q z_k : P accepts. §6.2's duality — L ∈ Σ_k iff
+/// L̄ ∈ Π_k — holds exactly on these bitmaps (tested).
+std::vector<bool> achievable_pi_functions(unsigned n, unsigned b,
+                                          unsigned L, unsigned M,
+                                          unsigned t, unsigned k,
+                                          unsigned max_genome_bits = 24);
+
+}  // namespace ccq

@@ -1,0 +1,78 @@
+#include "hierarchy/diagonal.hpp"
+
+#include "util/math.hpp"
+
+namespace ccq {
+
+std::vector<BitVector> balanced_private_prefixes(const Graph& g,
+                                                 unsigned bits) {
+  const NodeId n = g.n();
+  std::vector<BitVector> prefixes(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const NodeId owner = ((u + v) % 2 == 0) ? u : v;
+      prefixes[owner].push_back(g.has_edge(u, v));
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    // Truncate or zero-pad to exactly `bits` (Theorem 2 uses the L-bit
+    // prefix; at toy scale some nodes own fewer bits, which only means the
+    // function ignores the padding positions).
+    BitVector p(bits);
+    for (unsigned i = 0; i < bits && i < prefixes[v].size(); ++i) {
+      p.set(i, prefixes[v].get(i));
+    }
+    prefixes[v] = std::move(p);
+  }
+  return prefixes;
+}
+
+std::optional<ToyDiagonalisation> ToyDiagonalisation::make(NodeId n,
+                                                           unsigned L,
+                                                           unsigned t_lower) {
+  const unsigned b = node_id_bits(n);
+  ProtocolSpace space(n, b, L, t_lower);
+  auto hard = space.first_hard_function();
+  if (!hard) return std::nullopt;  // every function achievable: no diagonal
+  return ToyDiagonalisation(space, std::move(*hard), L);
+}
+
+std::uint64_t ToyDiagonalisation::input_code(const Graph& g) const {
+  CCQ_CHECK(g.n() == space_.n);
+  auto prefixes = balanced_private_prefixes(g, L_);
+  std::uint64_t x = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    x |= prefixes[v].read_bits(0, L_) << (v * L_);
+  }
+  return x;
+}
+
+bool ToyDiagonalisation::in_language(const Graph& g) const {
+  return hard_fn_.get(input_code(g));
+}
+
+RunResult ToyDiagonalisation::decide_clique(const Graph& g) const {
+  CCQ_CHECK(g.n() == space_.n);
+  const unsigned L = L_;
+  const BitVector& table = hard_fn_;
+  auto prefixes = balanced_private_prefixes(g, L);
+
+  Instance inst = Instance::of(g);
+  inst.private_bits = prefixes;
+
+  return Engine::run(inst, [L, &table](NodeCtx& ctx) {
+    // Step 1 (Theorem 2): broadcast the L-bit prefix.
+    auto all = ctx.broadcast(ctx.private_bits());
+    // Step 2: locally evaluate f_n. (In the paper each node re-derives f_n
+    // by enumerating all protocols — deterministic local computation; we
+    // pass the identical precomputed table, which every node could have
+    // recomputed itself.)
+    std::uint64_t x = 0;
+    for (NodeId v = 0; v < ctx.n(); ++v) {
+      x |= all[v].read_bits(0, L) << (v * L);
+    }
+    ctx.decide(table.get(x));
+  });
+}
+
+}  // namespace ccq

@@ -1,0 +1,171 @@
+#include "hierarchy/protocol.hpp"
+
+namespace ccq {
+
+ProtocolSpace::ProtocolSpace(unsigned n_, unsigned b_, unsigned L_,
+                             unsigned t_)
+    : n(n_), b(b_), L(L_), t(t_) {
+  CCQ_CHECK(n >= 2 && b >= 1);
+  CCQ_CHECK_MSG(L + transcript_bits(t) <= 24,
+                "protocol table domain too large to enumerate");
+  CCQ_CHECK_MSG(n * L <= 20, "input space too large");
+}
+
+std::size_t ProtocolSpace::genome_bits() const {
+  std::size_t bits = 0;
+  // Message tables: node v, round r, destination u (≠ v).
+  for (unsigned r = 0; r < t; ++r) {
+    bits += static_cast<std::size_t>(n) * (n - 1) * b * message_domain(r);
+  }
+  // Output tables.
+  bits += static_cast<std::size_t>(n) * message_domain(t);
+  return bits;
+}
+
+namespace {
+
+// Table offsets mirror genome_bits(): all message tables in (r, v, dst)
+// order, then output tables by v.
+struct GenomeLayout {
+  const ProtocolSpace& s;
+
+  // Offset of the message table for (round r, node v, k-th destination).
+  std::size_t message_table(unsigned r, unsigned v, unsigned dst_k) const {
+    std::size_t off = 0;
+    for (unsigned rr = 0; rr < r; ++rr)
+      off += static_cast<std::size_t>(s.n) * (s.n - 1) * s.b *
+             s.message_domain(rr);
+    off += (static_cast<std::size_t>(v) * (s.n - 1) + dst_k) * s.b *
+           s.message_domain(r);
+    return off;
+  }
+
+  std::size_t output_table(unsigned v) const {
+    std::size_t off = 0;
+    for (unsigned rr = 0; rr < s.t; ++rr)
+      off += static_cast<std::size_t>(s.n) * (s.n - 1) * s.b *
+             s.message_domain(rr);
+    off += static_cast<std::size_t>(v) * s.message_domain(s.t);
+    return off;
+  }
+};
+
+}  // namespace
+
+std::vector<bool> ProtocolSpace::evaluate(const BitVector& genome,
+                                          std::uint64_t x) const {
+  CCQ_CHECK(genome.size() == genome_bits());
+  CCQ_CHECK(x < input_count());
+  const GenomeLayout layout{*this};
+
+  // Per-node table key: own input (L low bits) then received transcript
+  // bits appended round by round.
+  std::vector<std::uint64_t> key(n);
+  const std::uint64_t in_mask = (std::uint64_t{1} << L) - 1;
+  for (unsigned v = 0; v < n; ++v) {
+    key[v] = (x >> (v * L)) & in_mask;
+  }
+
+  for (unsigned r = 0; r < t; ++r) {
+    // Compute all messages of round r from current keys.
+    // msg[v][k] = b bits from v to its k-th destination.
+    std::vector<std::vector<std::uint64_t>> msg(
+        n, std::vector<std::uint64_t>(n - 1, 0));
+    for (unsigned v = 0; v < n; ++v) {
+      for (unsigned k = 0; k < n - 1; ++k) {
+        const std::size_t base = layout.message_table(r, v, k);
+        msg[v][k] =
+            genome.read_bits(base + static_cast<std::size_t>(key[v]) * b,
+                             b);
+      }
+    }
+    // Append received bits (senders in increasing id order) to each key.
+    for (unsigned v = 0; v < n; ++v) {
+      unsigned shift = static_cast<unsigned>(L + transcript_bits(r));
+      for (unsigned u = 0; u < n; ++u) {
+        if (u == v) continue;
+        // v is u's k-th destination where k skips u itself.
+        const unsigned k = v < u ? v : v - 1;
+        key[v] |= msg[u][k] << shift;
+        shift += b;
+      }
+    }
+  }
+
+  std::vector<bool> outputs(n);
+  for (unsigned v = 0; v < n; ++v) {
+    const std::size_t base = layout.output_table(v);
+    outputs[v] = genome.get(base + static_cast<std::size_t>(key[v]));
+  }
+  return outputs;
+}
+
+std::optional<BitVector> ProtocolSpace::computed_function(
+    const BitVector& genome) const {
+  BitVector table(input_count());
+  for (std::uint64_t x = 0; x < input_count(); ++x) {
+    auto outs = evaluate(genome, x);
+    for (unsigned v = 1; v < n; ++v) {
+      if (outs[v] != outs[0]) return std::nullopt;  // disagreement
+    }
+    table.set(x, outs[0]);
+  }
+  return table;
+}
+
+BitVector ProtocolSpace::genome_from_code(std::uint64_t code) const {
+  const std::size_t gb = genome_bits();
+  CCQ_CHECK_MSG(gb <= 64, "genome too large for integer codes");
+  BitVector genome(gb);
+  for (std::size_t i = 0; i < gb; ++i) genome.set(i, (code >> i) & 1);
+  return genome;
+}
+
+std::vector<bool> ProtocolSpace::achievable_functions(
+    unsigned max_genome_bits) const {
+  const std::size_t gb = genome_bits();
+  CCQ_CHECK_MSG(gb <= max_genome_bits,
+                "enumeration limited to 2^" << max_genome_bits
+                                            << " protocols, need 2^" << gb);
+  CCQ_CHECK_MSG(input_count() <= 20,
+                "function-table bitmap limited to 2^20 entries");
+  std::vector<bool> achievable(std::size_t{1} << input_count(), false);
+  const std::uint64_t genomes = std::uint64_t{1} << gb;
+  for (std::uint64_t code = 0; code < genomes; ++code) {
+    auto table = computed_function(genome_from_code(code));
+    if (table) achievable[index_from_table(*table)] = true;
+  }
+  return achievable;
+}
+
+std::optional<BitVector> ProtocolSpace::first_hard_function(
+    unsigned max_genome_bits) const {
+  auto achievable = achievable_functions(max_genome_bits);
+  const std::size_t inputs = input_count();
+  // Lexicographic order: table bit 0 (input 0) is the most significant.
+  for (std::uint64_t j = 0; j < achievable.size(); ++j) {
+    BitVector table(inputs);
+    for (std::size_t i = 0; i < inputs; ++i) {
+      table.set(i, (j >> (inputs - 1 - i)) & 1);
+    }
+    if (!achievable[index_from_table(table)]) return table;
+  }
+  return std::nullopt;
+}
+
+BitVector table_from_index(std::uint64_t index, std::size_t inputs) {
+  BitVector table(inputs);
+  for (std::size_t i = 0; i < inputs; ++i) table.set(i, (index >> i) & 1);
+  return table;
+}
+
+std::uint64_t index_from_table(const BitVector& table) {
+  CCQ_CHECK(table.size() <= 64);
+  std::uint64_t idx = 0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table.get(i)) idx |= std::uint64_t{1} << i;
+  }
+  return idx;
+}
+
+}  // namespace ccq

@@ -1,0 +1,236 @@
+#include "nondet/edge_labelling.hpp"
+
+#include "util/math.hpp"
+
+namespace ccq {
+
+std::size_t EdgeLabelling::pair_index(NodeId u, NodeId v, NodeId n) {
+  CCQ_CHECK(u != v && u < n && v < n);
+  if (u > v) std::swap(u, v);
+  return static_cast<std::size_t>(u) * n -
+         static_cast<std::size_t>(u) * (u + 1) / 2 + (v - u - 1);
+}
+
+bool edge_labelling_satisfied(const Graph& g, const EdgeLabellingProblem& p,
+                              const EdgeLabelling& ell) {
+  const NodeId n = g.n();
+  CCQ_CHECK(ell.n == n);
+  for (NodeId u = 0; u < n; ++u) {
+    std::vector<std::uint64_t> incident(n, 0);
+    for (NodeId w = 0; w < n; ++w) {
+      if (w != u) incident[w] = ell.label(u, w);
+    }
+    if (!p.satisfied(n, u, g.row(u), incident)) return false;
+  }
+  return true;
+}
+
+std::optional<EdgeLabelling> solve_edge_labelling(
+    const Graph& g, const EdgeLabellingProblem& p,
+    unsigned max_total_bits) {
+  const NodeId n = g.n();
+  const unsigned eb = p.label_bits(n);
+  const std::size_t edges = static_cast<std::size_t>(n) * (n - 1) / 2;
+  const std::size_t total = edges * eb;
+  CCQ_CHECK_MSG(total <= max_total_bits,
+                "exhaustive edge labelling limited to " << max_total_bits
+                                                        << " total bits");
+  EdgeLabelling ell;
+  ell.n = n;
+  ell.bits = eb;
+  ell.labels.assign(edges, 0);
+  const std::uint64_t count = std::uint64_t{1} << total;
+  const std::uint64_t mask = eb == 64 ? ~std::uint64_t{0}
+                                      : (std::uint64_t{1} << eb) - 1;
+  for (std::uint64_t code = 0; code < count; ++code) {
+    for (std::size_t e = 0; e < edges; ++e) {
+      ell.labels[e] = (code >> (e * eb)) & mask;
+    }
+    if (edge_labelling_satisfied(g, p, ell)) return ell;
+  }
+  return std::nullopt;
+}
+
+RoundVerifier edge_labelling_verifier(const EdgeLabellingProblem& p) {
+  RoundVerifier v;
+  v.name = "edge-labelling(" + p.name + ")";
+  // Node v's certificate: its guess for every incident edge label, ordered
+  // by the other endpoint's id.
+  auto peer_slot = [](NodeId id, NodeId w) -> std::size_t {
+    return w < id ? w : w - 1;
+  };
+  v.label_bits = [p](NodeId n) {
+    return static_cast<std::size_t>(n - 1) * p.label_bits(n);
+  };
+  v.rounds = [p](NodeId n) {
+    return std::max(1u, static_cast<unsigned>(
+                            ceil_div(p.label_bits(n), node_id_bits(n))));
+  };
+  v.send = [p, peer_slot](const LocalView& view, unsigned r) {
+    const unsigned eb = p.label_bits(view.n);
+    const unsigned B = view.bandwidth;
+    std::vector<std::pair<NodeId, Word>> sends;
+    for (NodeId w = 0; w < view.n; ++w) {
+      if (w == view.id) continue;
+      const std::size_t base = peer_slot(view.id, w) * eb;
+      const std::size_t lo = static_cast<std::size_t>(r) * B;
+      if (lo >= eb) continue;
+      const unsigned take =
+          static_cast<unsigned>(std::min<std::size_t>(B, eb - lo));
+      sends.emplace_back(w, Word(view.label.read_bits(base + lo, take),
+                                 take));
+    }
+    return sends;
+  };
+  v.accept = [p, peer_slot](const LocalView& view) {
+    const unsigned eb = p.label_bits(view.n);
+    const unsigned B = view.bandwidth;
+    std::vector<std::uint64_t> incident(view.n, 0);
+    for (NodeId w = 0; w < view.n; ++w) {
+      if (w == view.id) continue;
+      // My guess.
+      const std::size_t base = peer_slot(view.id, w) * eb;
+      const std::uint64_t mine = view.label.read_bits(base, eb);
+      // The peer's transmitted guess, reassembled from chunks.
+      std::uint64_t theirs = 0;
+      for (unsigned r = 0; static_cast<std::size_t>(r) * B < eb; ++r) {
+        const auto& word = view.received[r][w];
+        const std::size_t lo = static_cast<std::size_t>(r) * B;
+        const unsigned take =
+            static_cast<unsigned>(std::min<std::size_t>(B, eb - lo));
+        if (!word.has_value() || word->bits != take) return false;
+        theirs |= word->value << lo;
+      }
+      if (mine != theirs) return false;
+      incident[w] = mine;
+    }
+    return p.satisfied(view.n, view.id, view.row, incident);
+  };
+  v.prover = [p](const Graph& g) -> std::optional<Labelling> {
+    auto ell = solve_edge_labelling(g, p);
+    if (!ell) return std::nullopt;
+    const unsigned eb = p.label_bits(g.n());
+    Labelling z(g.n());
+    for (NodeId u = 0; u < g.n(); ++u) {
+      BitVector bits;
+      for (NodeId w = 0; w < g.n(); ++w) {
+        if (w != u) bits.append_bits(ell->label(u, w), eb);
+      }
+      z[u] = std::move(bits);
+    }
+    return z;
+  };
+  return v;
+}
+
+namespace {
+
+// Per-edge transcript layout for edge_labelling_from_verifier: for each
+// round, a (lo→hi) slot then a (hi→lo) slot; each slot is
+// [present|width|value] exactly as in TranscriptCodec.
+struct EdgeSlotCodec {
+  unsigned B, wbits, rounds;
+
+  explicit EdgeSlotCodec(NodeId n, unsigned T)
+      : B(node_id_bits(n)),
+        wbits(std::max(1u, ceil_log2(static_cast<std::uint64_t>(
+                               node_id_bits(n)) + 1))),
+        rounds(T) {}
+
+  unsigned slot_bits() const { return 1 + wbits + B; }
+  unsigned label_bits() const { return rounds * 2 * slot_bits(); }
+
+  void put(BitVector& bits, const std::optional<Word>& w) const {
+    bits.push_back(w.has_value());
+    bits.append_bits(w ? w->bits : 0, wbits);
+    bits.append_bits(w ? w->value : 0, B);
+  }
+
+  // Decode slot s (0-based over the whole label) of `label`; false on
+  // malformed slot.
+  bool get(std::uint64_t label, unsigned s, std::optional<Word>& out) const {
+    const unsigned off = s * slot_bits();
+    const bool present = (label >> off) & 1;
+    const std::uint64_t width =
+        (label >> (off + 1)) & ((std::uint64_t{1} << wbits) - 1);
+    const std::uint64_t value =
+        (label >> (off + 1 + wbits)) & ((std::uint64_t{1} << B) - 1);
+    if (!present) {
+      out = std::nullopt;
+      return width == 0 && value == 0;
+    }
+    if (width == 0 || width > B) return false;
+    if (width < 64 && value >= (std::uint64_t{1} << width)) return false;
+    out = Word(value, static_cast<unsigned>(width));
+    return true;
+  }
+};
+
+}  // namespace
+
+EdgeLabellingProblem edge_labelling_from_verifier(
+    const RoundVerifier& a, unsigned max_original_bits) {
+  EdgeLabellingProblem p;
+  p.name = a.name + "/transcript-labels";
+  p.label_bits = [a](NodeId n) {
+    return EdgeSlotCodec(n, a.rounds(n)).label_bits();
+  };
+  p.satisfied = [a, max_original_bits](NodeId n, NodeId u,
+                                       const BitVector& row,
+                                       const std::vector<std::uint64_t>&
+                                           incident) {
+    const unsigned T = a.rounds(n);
+    const EdgeSlotCodec codec(n, T);
+    CCQ_CHECK_MSG(codec.label_bits() <= 64,
+                  "per-edge transcript label exceeds 64 bits");
+    std::vector<std::vector<std::optional<Word>>> sent(
+        T, std::vector<std::optional<Word>>(n));
+    std::vector<std::vector<std::optional<Word>>> received = sent;
+    for (NodeId w = 0; w < n; ++w) {
+      if (w == u) continue;
+      for (unsigned r = 0; r < T; ++r) {
+        std::optional<Word> lo_hi, hi_lo;
+        if (!codec.get(incident[w], 2 * r, lo_hi)) return false;
+        if (!codec.get(incident[w], 2 * r + 1, hi_lo)) return false;
+        if (u < w) {
+          sent[r][w] = lo_hi;
+          received[r][w] = hi_lo;
+        } else {
+          sent[r][w] = hi_lo;
+          received[r][w] = lo_hi;
+        }
+      }
+    }
+    return exists_label_reproducing(a, u, n, row, sent, received,
+                                    max_original_bits);
+  };
+  return p;
+}
+
+EdgeLabelling edge_labels_from_run(const Graph& g, const RoundVerifier& a,
+                                   const Labelling& z) {
+  const NodeId n = g.n();
+  const unsigned T = a.rounds(n);
+  const EdgeSlotCodec codec(n, T);
+  auto run = simulate_verifier(g, a, z);
+
+  EdgeLabelling ell;
+  ell.n = n;
+  ell.bits = codec.label_bits();
+  ell.labels.assign(static_cast<std::size_t>(n) * (n - 1) / 2, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      BitVector bits;
+      for (unsigned r = 0; r < T; ++r) {
+        // lo→hi: what v received from u; hi→lo: what u received from v.
+        codec.put(bits, run.views[v].received[r][u]);
+        codec.put(bits, run.views[u].received[r][v]);
+      }
+      ell.labels[EdgeLabelling::pair_index(u, v, n)] =
+          bits.read_bits(0, static_cast<unsigned>(bits.size()));
+    }
+  }
+  return ell;
+}
+
+}  // namespace ccq

@@ -1,0 +1,77 @@
+#pragma once
+
+// Theorem 6 — edge labelling problems, the canonical family for
+// NCLIQUE(1).
+//
+// An edge labelling problem asks for O(log n)-bit labels on all edges of
+// the *communication* clique (not just input-graph edges) satisfying a
+// local constraint at every node. The paper's constraint is parameterised
+// by (n, u, v, ∂(u)); the transcript construction additionally needs the
+// constraint at u to see all of u's incident labels jointly (one original
+// label z_u must explain all of them simultaneously), so we implement the
+// node-local joint reading — DESIGN.md discusses this.
+//
+// Theorem 6 both ways:
+//  * every edge labelling problem is decided by an O(1)-round
+//    nondeterministic verifier (edge_labelling_verifier);
+//  * every O(1)-round verifier A induces an edge labelling problem whose
+//    solvable instances are exactly L(A) — labels are the per-edge message
+//    transcripts (edge_labelling_from_verifier).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nondet/round_verifier.hpp"
+#include "nondet/transcript.hpp"
+
+namespace ccq {
+
+/// Labels on all C(n,2) clique edges, indexed via pair_index().
+struct EdgeLabelling {
+  NodeId n = 0;
+  unsigned bits = 0;
+  std::vector<std::uint64_t> labels;
+
+  static std::size_t pair_index(NodeId u, NodeId v, NodeId n);
+  std::uint64_t label(NodeId u, NodeId v) const {
+    return labels[pair_index(u, v, n)];
+  }
+};
+
+struct EdgeLabellingProblem {
+  std::string name;
+  /// Bits per edge label (must be O(log n) for NCLIQUE(1) membership).
+  std::function<unsigned(NodeId)> label_bits;
+  /// Constraint at node u given its input row and the labels of all its
+  /// incident clique edges (incident[w] = ℓ(u,w); incident[u] unused).
+  std::function<bool(NodeId n, NodeId u, const BitVector& row,
+                     const std::vector<std::uint64_t>& incident)>
+      satisfied;
+};
+
+/// Does `ell` satisfy the constraints at every node of g?
+bool edge_labelling_satisfied(const Graph& g, const EdgeLabellingProblem& p,
+                              const EdgeLabelling& ell);
+
+/// Exhaustive solver (ground truth on tiny instances):
+/// C(n,2)·label_bits ≤ max_total_bits.
+std::optional<EdgeLabelling> solve_edge_labelling(
+    const Graph& g, const EdgeLabellingProblem& p,
+    unsigned max_total_bits = 20);
+
+/// The NCLIQUE(1) verifier deciding "an admissible labelling exists":
+/// node v guesses its incident labels, one exchange checks both endpoints
+/// agree, then each node checks its constraint. ⌈label_bits/B⌉ rounds.
+RoundVerifier edge_labelling_verifier(const EdgeLabellingProblem& p);
+
+/// The Theorem 6 direction: transcripts of an O(1)-round verifier A as an
+/// edge labelling problem with labels of O(T·log n) bits per edge.
+EdgeLabellingProblem edge_labelling_from_verifier(
+    const RoundVerifier& a, unsigned max_original_bits = 20);
+
+/// Honest labels for the problem above from an accepting run of A.
+EdgeLabelling edge_labels_from_run(const Graph& g, const RoundVerifier& a,
+                                   const Labelling& z);
+
+}  // namespace ccq

@@ -1,0 +1,125 @@
+#include "nondet/round_verifier.hpp"
+
+#include "util/math.hpp"
+
+namespace ccq {
+
+RunResult run_verifier(const Graph& g, const RoundVerifier& v,
+                       const Labelling& z) {
+  const NodeId n = g.n();
+  CCQ_CHECK_MSG(z.size() == n, "labelling must cover every node");
+  const std::size_t want_bits = v.label_bits(n);
+  for (const BitVector& zv : z) {
+    CCQ_CHECK_MSG(zv.size() == want_bits,
+                  "label has " << zv.size() << " bits, verifier wants "
+                               << want_bits);
+  }
+
+  Instance inst = Instance::of(g);
+  inst.labels.push_back(z);
+
+  return Engine::run(inst, [&v](NodeCtx& ctx) {
+    LocalView view;
+    view.id = ctx.id();
+    view.n = ctx.n();
+    view.bandwidth = ctx.bandwidth();
+    view.row = ctx.adj_row();
+    view.label = ctx.label(0);
+
+    const unsigned T = v.rounds(ctx.n());
+    for (unsigned r = 0; r < T; ++r) {
+      auto sends = v.send(view, r);
+      view.received.push_back(ctx.round(sends));
+    }
+    ctx.decide(v.accept(view));
+  });
+}
+
+Labelling zero_labelling(const Graph& g, const RoundVerifier& v) {
+  return Labelling(g.n(), BitVector(v.label_bits(g.n())));
+}
+
+SimulatedRun simulate_verifier(const Graph& g, const RoundVerifier& v,
+                               const Labelling& z) {
+  const NodeId n = g.n();
+  CCQ_CHECK(z.size() == n);
+  const unsigned B = node_id_bits(n);  // Engine default bandwidth
+
+  SimulatedRun run;
+  run.views.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    run.views[u].id = u;
+    run.views[u].n = n;
+    run.views[u].bandwidth = B;
+    run.views[u].row = g.row(u);
+    run.views[u].label = z[u];
+  }
+  const unsigned T = v.rounds(n);
+  for (unsigned r = 0; r < T; ++r) {
+    std::vector<std::vector<std::optional<Word>>> inboxes(
+        n, std::vector<std::optional<Word>>(n));
+    for (NodeId u = 0; u < n; ++u) {
+      for (const auto& [dst, w] : v.send(run.views[u], r)) {
+        CCQ_CHECK_MSG(dst < n && dst != u, "simulate: bad destination");
+        CCQ_CHECK_MSG(w.bits <= B, "simulate: bandwidth violation");
+        CCQ_CHECK_MSG(!inboxes[dst][u].has_value(),
+                      "simulate: duplicate message in a round");
+        inboxes[dst][u] = w;
+      }
+    }
+    for (NodeId u = 0; u < n; ++u) {
+      run.views[u].received.push_back(std::move(inboxes[u]));
+    }
+  }
+  run.accepted = true;
+  for (NodeId u = 0; u < n; ++u) {
+    if (!v.accept(run.views[u])) {
+      run.accepted = false;
+      break;
+    }
+  }
+  return run;
+}
+
+NondetDecision exhaustive_nondet_decide(const Graph& g,
+                                        const RoundVerifier& v,
+                                        unsigned max_total_bits) {
+  const NodeId n = g.n();
+  const std::size_t per_node = v.label_bits(n);
+  const std::size_t total = per_node * n;
+  CCQ_CHECK_MSG(total <= max_total_bits,
+                "exhaustive nondeterminism limited to "
+                    << max_total_bits << " total certificate bits, need "
+                    << total);
+
+  NondetDecision decision;
+  const std::uint64_t count = std::uint64_t{1} << total;
+  for (std::uint64_t code = 0; code < count; ++code) {
+    Labelling z(n);
+    for (NodeId u = 0; u < n; ++u) {
+      BitVector bits(per_node);
+      for (std::size_t b = 0; b < per_node; ++b) {
+        bits.set(b, (code >> (u * per_node + b)) & 1);
+      }
+      z[u] = std::move(bits);
+    }
+    // Central simulation (semantically identical to the engine run, which
+    // tests verify) keeps the 2^{n·S} enumeration tractable.
+    if (simulate_verifier(g, v, z).accepted) {
+      decision.accepted = true;
+      decision.witness = std::move(z);
+      return decision;
+    }
+  }
+  return decision;
+}
+
+std::optional<RunResult> run_with_prover(const Graph& g,
+                                         const RoundVerifier& v) {
+  CCQ_CHECK_MSG(v.prover, "verifier has no honest prover");
+  auto z = v.prover(g);
+  if (!z) return std::nullopt;
+  return run_verifier(g, v, *z);
+}
+
+}  // namespace ccq

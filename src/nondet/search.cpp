@@ -1,0 +1,290 @@
+#include "nondet/search.hpp"
+
+#include <atomic>
+#include <queue>
+
+#include "graph/oracles.hpp"
+#include "graphalg/common.hpp"
+#include "nondet/verifiers.hpp"
+
+namespace ccq {
+
+RunResult check_labelling(const Graph& g, const SearchProblem& p,
+                          const Labelling& z) {
+  return run_verifier(g, p.relation, z);
+}
+
+SearchSolveResult solve_search_clique(const Graph& g,
+                                      const SearchProblem& p) {
+  // Gather-the-graph solver: p.solve is deterministic, so every node
+  // computes the identical labelling and keeps its own entry.
+  PerNode<BitVector> sink(g.n());
+  auto run = Engine::run(g, [&](NodeCtx& ctx) {
+    auto rows = ctx.broadcast(ctx.adj_row());
+    Graph full = Graph::undirected(ctx.n());
+    for (NodeId v = 0; v < ctx.n(); ++v) {
+      for (std::size_t u = rows[v].find_first(); u < rows[v].size();
+           u = rows[v].find_first(u + 1)) {
+        if (v < u) full.add_edge(v, static_cast<NodeId>(u));
+      }
+    }
+    auto z = p.solve(full);
+    if (z) sink.set(ctx.id(), (*z)[ctx.id()]);
+    ctx.decide(z.has_value());
+  });
+
+  SearchSolveResult result;
+  result.cost = run.cost;
+  result.solved = run.accepted();
+  result.labels = sink.take();
+  return result;
+}
+
+SearchProblem two_colouring_search() {
+  SearchProblem p;
+  p.name = "2-colouring";
+  p.relation = verifiers::k_colouring(2);
+  p.solve = [](const Graph& g) -> std::optional<Labelling> {
+    auto col = oracle::k_colouring(g, 2);
+    if (!col) return std::nullopt;
+    Labelling z(g.n());
+    for (NodeId v = 0; v < g.n(); ++v) {
+      BitVector b(1);
+      b.set(0, (*col)[v] == 1);
+      z[v] = std::move(b);
+    }
+    return z;
+  };
+  return p;
+}
+
+SearchProblem mis_search() {
+  SearchProblem p;
+  p.name = "maximal-independent-set";
+  RoundVerifier v;
+  v.name = "MIS-relation";
+  v.rounds = [](NodeId) { return 1u; };
+  v.label_bits = [](NodeId) { return std::size_t{1}; };
+  v.send = [](const LocalView& view, unsigned) {
+    std::vector<std::pair<NodeId, Word>> sends;
+    for (NodeId u = 0; u < view.n; ++u) {
+      if (u != view.id)
+        sends.emplace_back(u, Word(view.label.get(0) ? 1 : 0, 1));
+    }
+    return sends;
+  };
+  v.accept = [](const LocalView& view) {
+    const bool me_in = view.label.get(0);
+    bool neighbour_in = false;
+    for (std::size_t u = view.row.find_first(); u < view.row.size();
+         u = view.row.find_first(u + 1)) {
+      const auto& w = view.received[0][u];
+      if (w.has_value() && w->value != 0) neighbour_in = true;
+    }
+    // Independence for members; maximality for non-members (an isolated
+    // node has no member neighbour and therefore must be in the set).
+    return me_in ? !neighbour_in : neighbour_in;
+  };
+  v.prover = [](const Graph& g) -> std::optional<Labelling> {
+    // Greedy MIS by id — always exists.
+    Labelling z(g.n(), BitVector(1));
+    std::vector<bool> blocked(g.n(), false);
+    for (NodeId u = 0; u < g.n(); ++u) {
+      if (blocked[u]) continue;
+      z[u].set(0);
+      for (NodeId w : g.neighbours(u)) blocked[w] = true;
+    }
+    return z;
+  };
+  p.relation = v;
+  p.solve = v.prover;
+  return p;
+}
+
+SearchProblem sinkless_orientation_search() {
+  SearchProblem p;
+  p.name = "sinkless-orientation";
+  RoundVerifier v;
+  v.name = "sinkless-relation";
+  v.rounds = [](NodeId) { return 1u; };
+  // Bit u of node v's label: for an incident edge {v,u} with u > v,
+  // 1 means v→u (lower→higher). Non-incident positions must be 0.
+  v.label_bits = [](NodeId n) { return static_cast<std::size_t>(n); };
+  v.send = [](const LocalView& view, unsigned) {
+    std::vector<std::pair<NodeId, Word>> sends;
+    for (std::size_t u = view.row.find_first(); u < view.row.size();
+         u = view.row.find_first(u + 1)) {
+      if (u > view.id) {
+        sends.emplace_back(static_cast<NodeId>(u),
+                           Word(view.label.get(u) ? 1 : 0, 1));
+      }
+    }
+    return sends;
+  };
+  v.accept = [](const LocalView& view) {
+    // Canonical form: label bits only at incident higher-id positions.
+    for (NodeId u = 0; u < view.n; ++u) {
+      if (view.label.get(u) && (u <= view.id || !view.row.get(u)))
+        return false;
+    }
+    if (view.row.popcount() == 0) return true;  // isolated: exempt
+    // Outgoing edge? Higher partners: my bit 1 = me→u. Lower partners u:
+    // their transmitted bit 1 = u→me, so 0 = me→u... the bit belongs to
+    // the LOWER endpoint; for u < me a received 0 on an existing edge
+    // means me→u.
+    for (std::size_t u = view.row.find_first(); u < view.row.size();
+         u = view.row.find_first(u + 1)) {
+      if (u > view.id) {
+        if (view.label.get(u)) return true;  // me→u
+      } else {
+        const auto& w = view.received[0][u];
+        if (!w.has_value()) return false;  // lower owner failed to report
+        if (w->value == 0) return true;    // me→u
+      }
+    }
+    return false;  // sink
+  };
+  v.prover = [](const Graph& g) -> std::optional<Labelling> {
+    const NodeId n = g.n();
+    // dir[u*n+v] = 1 means u→v (for the incident pair). Initialise
+    // lower→higher, then fix components.
+    std::vector<std::int8_t> toward_higher(
+        static_cast<std::size_t>(n) * n, 1);
+    // Component analysis.
+    std::vector<int> comp(n, -1);
+    int ncomp = 0;
+    for (NodeId s = 0; s < n; ++s) {
+      if (comp[s] != -1) continue;
+      std::queue<NodeId> q;
+      q.push(s);
+      comp[s] = ncomp;
+      while (!q.empty()) {
+        NodeId x = q.front();
+        q.pop();
+        for (NodeId y : g.neighbours(x)) {
+          if (comp[y] == -1) {
+            comp[y] = ncomp;
+            q.push(y);
+          }
+        }
+      }
+      ++ncomp;
+    }
+    // Per component: count nodes/edges; a tree component with ≥1 edge has
+    // no sinkless orientation.
+    std::vector<std::size_t> cn(ncomp, 0), cm(ncomp, 0);
+    for (NodeId v_ = 0; v_ < n; ++v_) ++cn[comp[v_]];
+    for (const Edge& e : g.edges()) ++cm[comp[e.u]];
+    for (int c = 0; c < ncomp; ++c) {
+      if (cm[c] >= 1 && cm[c] < cn[c]) return std::nullopt;  // tree
+    }
+    // Constructive orientation per component with a cycle: find a cycle
+    // (DFS back edge), orient it cyclically; orient every other node's
+    // BFS-parent edge from the node toward the cycle.
+    std::vector<bool> on_cycle(n, false);
+    std::vector<int> seen(n, 0);
+    std::vector<NodeId> parent(n, 0);
+    auto orient = [&](NodeId from, NodeId to) {
+      // record direction from→to
+      if (from < to) {
+        toward_higher[static_cast<std::size_t>(from) * n + to] = 1;
+      } else {
+        toward_higher[static_cast<std::size_t>(to) * n + from] = 0;
+      }
+    };
+    for (NodeId s = 0; s < n; ++s) {
+      if (seen[s] || g.degree(s) == 0) continue;
+      if (cm[comp[s]] == 0) continue;
+      // Iterative DFS over the WHOLE component (partial exploration would
+      // leave stale parents for a later traversal); remember the first
+      // genuine back edge — tree edges in either direction are excluded.
+      std::vector<NodeId> stack{s};
+      seen[s] = 1;
+      parent[s] = s;
+      NodeId cyc_a = n, cyc_b = n;
+      while (!stack.empty()) {
+        const NodeId x = stack.back();
+        stack.pop_back();
+        for (NodeId y : g.neighbours(x)) {
+          if (!seen[y]) {
+            seen[y] = 1;
+            parent[y] = x;
+            stack.push_back(y);
+          } else if (cyc_a == n && parent[x] != y && parent[y] != x) {
+            cyc_a = x;
+            cyc_b = y;
+          }
+        }
+      }
+      CCQ_CHECK_MSG(cyc_a != n, "cyclic component must contain a cycle");
+      // The cycle: path cyc_a→root meets path cyc_b→root; orient the
+      // closing edge cyc_b→cyc_a and the tree path cyc_a→...→cyc_b.
+      // Find the path cyc_a up to cyc_b (cyc_b is an ancestor of cyc_a in
+      // the DFS tree OR they share an ancestor; walk both up to the root
+      // marking, then extract the cycle as a→...→lca→...→b).
+      std::vector<NodeId> up_a, up_b;
+      for (NodeId x = cyc_a;; x = parent[x]) {
+        up_a.push_back(x);
+        if (parent[x] == x) break;
+      }
+      for (NodeId x = cyc_b;; x = parent[x]) {
+        up_b.push_back(x);
+        if (parent[x] == x) break;
+      }
+      // lowest common ancestor: deepest shared suffix element.
+      std::size_t ia = up_a.size(), ib = up_b.size();
+      while (ia > 0 && ib > 0 && up_a[ia - 1] == up_b[ib - 1]) {
+        --ia;
+        --ib;
+      }
+      // cycle: cyc_a up to lca (inclusive), then down to cyc_b, then the
+      // back edge cyc_b→cyc_a.
+      std::vector<NodeId> cycle(up_a.begin(), up_a.begin() + ia + 1);
+      for (std::size_t i = ib + 1; i-- > 0;) cycle.push_back(up_b[i]);
+      // orient cyclically and mark.
+      for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+        orient(cycle[i], cycle[i + 1]);
+        on_cycle[cycle[i]] = true;
+      }
+      on_cycle[cycle.back()] = true;
+      orient(cycle.back(), cycle.front());
+    }
+    // BFS from all cycle nodes; non-cycle nodes point toward the cycle.
+    std::queue<NodeId> q;
+    std::vector<bool> vis(n, false);
+    for (NodeId v_ = 0; v_ < n; ++v_) {
+      if (on_cycle[v_]) {
+        vis[v_] = true;
+        q.push(v_);
+      }
+    }
+    while (!q.empty()) {
+      const NodeId x = q.front();
+      q.pop();
+      for (NodeId y : g.neighbours(x)) {
+        if (vis[y]) continue;
+        vis[y] = true;
+        orient(y, x);  // y points toward the cycle side
+        q.push(y);
+      }
+    }
+    // Emit labels: node v's bit u (u > v incident) from toward_higher.
+    Labelling z(n);
+    for (NodeId v_ = 0; v_ < n; ++v_) {
+      BitVector b(n);
+      for (NodeId u = v_ + 1; u < n; ++u) {
+        if (g.has_edge(v_, u) &&
+            toward_higher[static_cast<std::size_t>(v_) * n + u] == 1) {
+          b.set(u);
+        }
+      }
+      z[v_] = std::move(b);
+    }
+    return z;
+  };
+  p.relation = v;
+  p.solve = v.prover;
+  return p;
+}
+
+}  // namespace ccq

@@ -1,0 +1,59 @@
+#pragma once
+
+// §8 ("NCLIQUE(1) as an LCL analogue") — NCLIQUE(1)-labelling problems:
+// search problems given by a set L of pairs (G, z) whose membership is
+// decidable in constant rounds; the task is to OUTPUT a labelling z with
+// (G, z) ∈ L or reject if none exists. The paper names 2-colouring,
+// sinkless orientation and maximal independent set as the motivating
+// examples and notes that no lower bounds are known for any problem in
+// this class — we supply the three named problems, their constant-round
+// relation checkers, and the trivial δ ≤ 1 clique solver (learn the graph,
+// solve locally, output your own label).
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "nondet/round_verifier.hpp"
+
+namespace ccq {
+
+struct SearchProblem {
+  std::string name;
+  /// The constant-round membership checker for (G, z): a RoundVerifier
+  /// whose certificate IS the output labelling.
+  RoundVerifier relation;
+  /// Centralised reference solver (also the local step of the clique
+  /// solver): a valid labelling, or nullopt when none exists.
+  std::function<std::optional<Labelling>(const Graph&)> solve;
+};
+
+/// Verify (G, z) ∈ L on the metered engine.
+RunResult check_labelling(const Graph& g, const SearchProblem& p,
+                          const Labelling& z);
+
+struct SearchSolveResult {
+  bool solved = false;
+  Labelling labels;
+  CostMeter cost;  ///< clique solve cost (the verify pass is separate)
+};
+
+/// The trivial upper bound: every node learns the graph (⌈n/B⌉ rounds),
+/// runs p.solve locally (deterministic, hence consistent), and outputs its
+/// own label.
+SearchSolveResult solve_search_clique(const Graph& g,
+                                      const SearchProblem& p);
+
+/// Proper 2-colouring (exists iff G is bipartite). Label: 1 bit.
+SearchProblem two_colouring_search();
+
+/// Sinkless orientation: orient every input edge so that each node of
+/// degree ≥ 1 has an outgoing edge (exists iff no component is a tree).
+/// Label: node v carries orientation bits of its incident edges to
+/// higher-id partners (1 = v→u).
+SearchProblem sinkless_orientation_search();
+
+/// Maximal independent set. Label: membership bit.
+SearchProblem mis_search();
+
+}  // namespace ccq

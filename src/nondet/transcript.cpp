@@ -1,0 +1,203 @@
+#include "nondet/transcript.hpp"
+
+#include "util/math.hpp"
+
+namespace ccq {
+
+TranscriptCodec::TranscriptCodec(NodeId n, unsigned rounds)
+    : n_(n),
+      rounds_(rounds),
+      bandwidth_(node_id_bits(n)),
+      wbits_(std::max(1u, ceil_log2(static_cast<std::uint64_t>(
+                              node_id_bits(n)) + 1))) {}
+
+std::size_t TranscriptCodec::node_bits() const {
+  return static_cast<std::size_t>(rounds_) * (n_ > 0 ? n_ - 1 : 0) * 2 *
+         slot_bits();
+}
+
+BitVector TranscriptCodec::encode(
+    const LocalView& view,
+    const std::vector<std::vector<std::optional<Word>>>& sent_per_round)
+    const {
+  CCQ_CHECK(view.n == n_);
+  CCQ_CHECK(sent_per_round.size() == rounds_);
+  CCQ_CHECK(view.received.size() == rounds_);
+  BitVector bits;
+  auto put = [&](const std::optional<Word>& w) {
+    bits.push_back(w.has_value());
+    if (w.has_value()) {
+      CCQ_CHECK(w->bits <= bandwidth_);
+      bits.append_bits(w->bits, wbits_);
+      bits.append_bits(w->value, bandwidth_);
+    } else {
+      bits.append_bits(0, wbits_);
+      bits.append_bits(0, bandwidth_);
+    }
+  };
+  for (unsigned r = 0; r < rounds_; ++r) {
+    for (NodeId u = 0; u < n_; ++u) {
+      if (u == view.id) continue;
+      put(sent_per_round[r][u]);
+      put(view.received[r][u]);
+    }
+  }
+  CCQ_CHECK(bits.size() == node_bits());
+  return bits;
+}
+
+std::optional<TranscriptCodec::NodeTranscript> TranscriptCodec::decode(
+    NodeId self, const BitVector& bits) const {
+  if (bits.size() != node_bits()) return std::nullopt;
+  NodeTranscript t;
+  t.sent.assign(rounds_, std::vector<std::optional<Word>>(n_));
+  t.received.assign(rounds_, std::vector<std::optional<Word>>(n_));
+  std::size_t pos = 0;
+  bool ok = true;
+  auto get = [&]() -> std::optional<Word> {
+    const bool present = bits.get(pos);
+    const std::uint64_t width = bits.read_bits(pos + 1, wbits_);
+    const std::uint64_t value = bits.read_bits(pos + 1 + wbits_, bandwidth_);
+    pos += slot_bits();
+    if (!present) {
+      if (width != 0 || value != 0) ok = false;  // canonical empty slots
+      return std::nullopt;
+    }
+    if (width == 0 || width > bandwidth_) {
+      ok = false;
+      return std::nullopt;
+    }
+    if (width < 64 && value >= (std::uint64_t{1} << width)) {
+      ok = false;
+      return std::nullopt;
+    }
+    return Word(value, static_cast<unsigned>(width));
+  };
+  for (unsigned r = 0; r < rounds_; ++r) {
+    for (NodeId u = 0; u < n_; ++u) {
+      if (u == self) continue;
+      t.sent[r][u] = get();
+      t.received[r][u] = get();
+    }
+  }
+  if (!ok) return std::nullopt;
+  return t;
+}
+
+std::vector<BitVector> record_transcripts(const Graph& g,
+                                          const RoundVerifier& a,
+                                          const Labelling& z) {
+  const NodeId n = g.n();
+  const unsigned T = a.rounds(n);
+  TranscriptCodec codec(n, T);
+
+  // Re-run the simulation, but keep the sent messages of every node.
+  auto run = simulate_verifier(g, a, z);
+  // Recompute what each node sent per round (send is deterministic in the
+  // view, so replaying per-round prefixes is exact).
+  std::vector<std::vector<std::vector<std::optional<Word>>>> sent(
+      n, std::vector<std::vector<std::optional<Word>>>(
+             T, std::vector<std::optional<Word>>(n)));
+  for (NodeId u = 0; u < n; ++u) {
+    LocalView view = run.views[u];
+    auto full_received = view.received;
+    for (unsigned r = 0; r < T; ++r) {
+      view.received.assign(full_received.begin(),
+                           full_received.begin() + r);
+      for (const auto& [dst, w] : a.send(view, r)) sent[u][r][dst] = w;
+    }
+  }
+  std::vector<BitVector> transcripts;
+  transcripts.reserve(n);
+  for (NodeId u = 0; u < n; ++u) {
+    transcripts.push_back(codec.encode(run.views[u], sent[u]));
+  }
+  return transcripts;
+}
+
+bool exists_label_reproducing(
+    const RoundVerifier& a, NodeId id, NodeId n, const BitVector& row,
+    const std::vector<std::vector<std::optional<Word>>>& sent,
+    const std::vector<std::vector<std::optional<Word>>>& received,
+    unsigned max_original_bits) {
+  const unsigned T = a.rounds(n);
+  CCQ_CHECK(sent.size() == T && received.size() == T);
+  const std::size_t s_bits = a.label_bits(n);
+  CCQ_CHECK_MSG(s_bits <= max_original_bits,
+                "transcript local search limited to 2^" << max_original_bits
+                                                        << " labels");
+  const std::uint64_t candidates = std::uint64_t{1} << s_bits;
+  for (std::uint64_t code = 0; code < candidates; ++code) {
+    BitVector zprime(s_bits);
+    for (std::size_t i = 0; i < s_bits; ++i) zprime.set(i, (code >> i) & 1);
+    LocalView sim;
+    sim.id = id;
+    sim.n = n;
+    sim.bandwidth = node_id_bits(n);
+    sim.row = row;
+    sim.label = zprime;
+    bool match = true;
+    for (unsigned r = 0; r < T && match; ++r) {
+      std::vector<std::optional<Word>> sent_now(n);
+      for (const auto& [dst, w] : a.send(sim, r)) sent_now[dst] = w;
+      for (NodeId u = 0; u < n; ++u) {
+        if (u != id && sent_now[u] != sent[r][u]) {
+          match = false;
+          break;
+        }
+      }
+      sim.received.push_back(received[r]);
+    }
+    if (match && a.accept(sim)) return true;
+  }
+  return false;
+}
+
+RoundVerifier normal_form(const RoundVerifier& a,
+                          unsigned max_original_bits) {
+  RoundVerifier b;
+  b.name = a.name + "/normal-form";
+  b.rounds = a.rounds;
+  b.label_bits = [a](NodeId n) {
+    return TranscriptCodec(n, a.rounds(n)).node_bits();
+  };
+  b.send = [a](const LocalView& view, unsigned r) {
+    TranscriptCodec codec(view.n, a.rounds(view.n));
+    auto t = codec.decode(view.id, view.label);
+    std::vector<std::pair<NodeId, Word>> sends;
+    if (!t) return sends;  // malformed label: stay silent, reject later
+    for (NodeId u = 0; u < view.n; ++u) {
+      if (u != view.id && t->sent[r][u].has_value())
+        sends.emplace_back(u, *t->sent[r][u]);
+    }
+    return sends;
+  };
+  b.accept = [a, max_original_bits](const LocalView& view) {
+    const NodeId n = view.n;
+    const unsigned T = a.rounds(n);
+    TranscriptCodec codec(n, T);
+    // (1) well-formed transcript.
+    auto t = codec.decode(view.id, view.label);
+    if (!t) return false;
+    // (2) replay consistency: what actually arrived while everyone was
+    // re-sending their transcripts must equal the claimed received part.
+    for (unsigned r = 0; r < T; ++r) {
+      for (NodeId u = 0; u < n; ++u) {
+        if (u == view.id) continue;
+        if (view.received[r][u] != t->received[r][u]) return false;
+      }
+    }
+    // (3) some original label z'_v reproduces the sent part and accepts.
+    return exists_label_reproducing(a, view.id, n, view.row, t->sent,
+                                    t->received, max_original_bits);
+  };
+  b.prover = [a](const Graph& g) -> std::optional<Labelling> {
+    CCQ_CHECK_MSG(a.prover, "normal_form prover needs A's prover");
+    auto z = a.prover(g);
+    if (!z) return std::nullopt;
+    return record_transcripts(g, a, *z);
+  };
+  return b;
+}
+
+}  // namespace ccq

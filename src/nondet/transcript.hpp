@@ -1,0 +1,80 @@
+#pragma once
+
+// Theorem 3 — the NCLIQUE normal form.
+//
+// "If L ∈ NCLIQUE(T(n)), then there is a nondeterministic algorithm B that
+// decides L with running time T(n) and labelling size O(T(n)·n·log n)."
+//
+// The new certificate for node v is its *communication transcript*: every
+// message v sent and received during an accepting run of the original
+// verifier A. B then (1) checks the label is a well-formed transcript,
+// (2) replays the transcripts and checks consistency — each node re-sends
+// exactly what its transcript claims and verifies the incoming messages
+// match (T rounds), and (3) locally searches all 2^{S(n)} original labels
+// z'_v for one under which A's node-v behaviour reproduces the transcript
+// and accepts (unlimited local computation).
+
+#include <vector>
+
+#include "nondet/round_verifier.hpp"
+
+namespace ccq {
+
+/// Fixed-width wire format for one node's transcript. Each (round, peer,
+/// direction) slot stores presence (1 bit), word width (enough bits for
+/// 0..B) and B value bits — so a node transcript is
+/// T·(n-1)·2·(1+w+B) = O(T·n·log n) bits, matching the theorem.
+class TranscriptCodec {
+ public:
+  explicit TranscriptCodec(NodeId n, unsigned rounds);
+
+  NodeId n() const { return n_; }
+  unsigned rounds() const { return rounds_; }
+  std::size_t node_bits() const;
+
+  /// Encode the messages visible at `view` (a completed run).
+  BitVector encode(const LocalView& view,
+                   const std::vector<std::vector<std::optional<Word>>>&
+                       sent_per_round) const;
+
+  /// Decoded transcript of one node.
+  struct NodeTranscript {
+    /// sent[r][u] / received[r][u]; nullopt = no message in that slot.
+    std::vector<std::vector<std::optional<Word>>> sent;
+    std::vector<std::vector<std::optional<Word>>> received;
+  };
+  /// Returns nullopt if the bits are not a well-formed transcript.
+  std::optional<NodeTranscript> decode(NodeId self,
+                                       const BitVector& bits) const;
+
+ private:
+  std::size_t slot_bits() const { return 1 + wbits_ + bandwidth_; }
+
+  NodeId n_;
+  unsigned rounds_;
+  unsigned bandwidth_;
+  unsigned wbits_;
+};
+
+/// Record per-node transcripts of a (central) run of A on (g, z).
+std::vector<BitVector> record_transcripts(const Graph& g,
+                                          const RoundVerifier& a,
+                                          const Labelling& z);
+
+/// The Theorem 3 construction: B decides the same language as A with
+/// transcript labels. A's per-node label size must satisfy
+/// label_bits(n) ≤ max_original_bits (the step-3 local search enumerates
+/// 2^{label_bits} candidates).
+RoundVerifier normal_form(const RoundVerifier& a,
+                          unsigned max_original_bits = 20);
+
+/// Step-3 core, shared with the Theorem 6 edge-labelling construction:
+/// does some label z'_v of ≤ 2^{max_original_bits} candidates make A's
+/// node-`id` behaviour reproduce `sent` (given `received`) and accept?
+bool exists_label_reproducing(
+    const RoundVerifier& a, NodeId id, NodeId n, const BitVector& row,
+    const std::vector<std::vector<std::optional<Word>>>& sent,
+    const std::vector<std::vector<std::optional<Word>>>& received,
+    unsigned max_original_bits = 20);
+
+}  // namespace ccq

@@ -1,0 +1,240 @@
+#include "nondet/verifiers.hpp"
+
+#include <algorithm>
+
+#include "graph/oracles.hpp"
+#include "graphalg/sssp.hpp"
+#include "util/math.hpp"
+
+namespace ccq::verifiers {
+
+namespace {
+
+// Send one fixed word to every other node.
+std::vector<std::pair<NodeId, Word>> to_all(const LocalView& view, Word w) {
+  std::vector<std::pair<NodeId, Word>> sends;
+  sends.reserve(view.n > 0 ? view.n - 1 : 0);
+  for (NodeId u = 0; u < view.n; ++u) {
+    if (u != view.id) sends.emplace_back(u, w);
+  }
+  return sends;
+}
+
+std::uint64_t word_from(const LocalView& view, unsigned r, NodeId u,
+                        std::uint64_t fallback) {
+  const auto& w = view.received[r][u];
+  return w.has_value() ? w->value : fallback;
+}
+
+Labelling labels_from_values(NodeId n, const std::vector<std::uint64_t>& vals,
+                             std::size_t bits) {
+  Labelling z(n);
+  for (NodeId v = 0; v < n; ++v) {
+    BitVector b;
+    b.append_bits(vals[v], static_cast<unsigned>(bits));
+    z[v] = std::move(b);
+  }
+  return z;
+}
+
+}  // namespace
+
+RoundVerifier k_colouring(unsigned k) {
+  CCQ_CHECK(k >= 1);
+  const unsigned cbits = std::max(1u, ceil_log2(k));
+  RoundVerifier v;
+  v.name = "k-colouring(k=" + std::to_string(k) + ")";
+  v.rounds = [](NodeId) { return 1u; };
+  v.label_bits = [cbits](NodeId) { return cbits; };
+  v.send = [cbits](const LocalView& view, unsigned) {
+    return to_all(view, Word(view.label.read_bits(0, cbits), cbits));
+  };
+  v.accept = [k, cbits](const LocalView& view) {
+    const std::uint64_t mine = view.label.read_bits(0, cbits);
+    if (mine >= k) return false;
+    for (std::size_t u = view.row.find_first(); u < view.row.size();
+         u = view.row.find_first(u + 1)) {
+      if (word_from(view, 0, static_cast<NodeId>(u), k) == mine)
+        return false;
+    }
+    return true;
+  };
+  v.prover = [k, cbits](const Graph& g) -> std::optional<Labelling> {
+    auto col = oracle::k_colouring(g, k);
+    if (!col) return std::nullopt;
+    std::vector<std::uint64_t> vals(col->begin(), col->end());
+    return labels_from_values(g.n(), vals, cbits);
+  };
+  return v;
+}
+
+RoundVerifier hamiltonian_path() {
+  RoundVerifier v;
+  v.name = "hamiltonian-path";
+  v.rounds = [](NodeId) { return 1u; };
+  v.label_bits = [](NodeId n) { return node_id_bits(n); };
+  v.send = [](const LocalView& view, unsigned) {
+    const unsigned idb = node_id_bits(view.n);
+    return to_all(view, Word(view.label.read_bits(0, idb), idb));
+  };
+  v.accept = [](const LocalView& view) {
+    const unsigned idb = node_id_bits(view.n);
+    const std::uint64_t mine = view.label.read_bits(0, idb);
+    // All positions must form a permutation of 0..n-1.
+    std::vector<std::uint64_t> pos(view.n);
+    for (NodeId u = 0; u < view.n; ++u) {
+      pos[u] = u == view.id ? mine : word_from(view, 0, u, view.n);
+    }
+    std::vector<bool> seen(view.n, false);
+    for (auto p : pos) {
+      if (p >= view.n || seen[p]) return false;
+      seen[p] = true;
+    }
+    // My successor (position mine+1) must be my neighbour.
+    if (mine + 1 < view.n) {
+      for (NodeId u = 0; u < view.n; ++u) {
+        if (u != view.id && pos[u] == mine + 1) {
+          return view.row.get(u);
+        }
+      }
+      return false;  // successor not found (impossible for permutations)
+    }
+    return true;
+  };
+  v.prover = [](const Graph& g) -> std::optional<Labelling> {
+    auto order = oracle::hamiltonian_path(g);
+    if (!order) return std::nullopt;
+    std::vector<std::uint64_t> position(g.n());
+    for (NodeId i = 0; i < g.n(); ++i) position[(*order)[i]] = i;
+    return labels_from_values(g.n(), position, node_id_bits(g.n()));
+  };
+  return v;
+}
+
+namespace {
+
+// Shared shape of the membership-bit verifiers.
+RoundVerifier membership_verifier(
+    std::string name, unsigned k, bool exact_count,
+    std::function<bool(const LocalView&, const std::vector<bool>&)> local_ok,
+    std::function<std::optional<std::vector<NodeId>>(const Graph&)> find) {
+  RoundVerifier v;
+  v.name = std::move(name);
+  v.rounds = [](NodeId) { return 1u; };
+  v.label_bits = [](NodeId) { return std::size_t{1}; };
+  v.send = [](const LocalView& view, unsigned) {
+    return to_all(view, Word(view.label.get(0) ? 1 : 0, 1));
+  };
+  v.accept = [k, exact_count, local_ok](const LocalView& view) {
+    std::vector<bool> member(view.n, false);
+    std::size_t count = 0;
+    for (NodeId u = 0; u < view.n; ++u) {
+      member[u] = u == view.id ? view.label.get(0)
+                               : word_from(view, 0, u, 0) != 0;
+      count += member[u];
+    }
+    if (exact_count ? count != k : count > k) return false;
+    return local_ok(view, member);
+  };
+  v.prover = [find, k](const Graph& g) -> std::optional<Labelling> {
+    auto set = find(g);
+    if (!set) return std::nullopt;
+    Labelling z(g.n(), BitVector(1));
+    for (NodeId v_ : *set) z[v_].set(0);
+    return z;
+  };
+  return v;
+}
+
+}  // namespace
+
+RoundVerifier k_clique(unsigned k) {
+  return membership_verifier(
+      "k-clique(k=" + std::to_string(k) + ")", k, /*exact_count=*/true,
+      [](const LocalView& view, const std::vector<bool>& member) {
+        if (!member[view.id]) return true;
+        for (NodeId u = 0; u < view.n; ++u) {
+          if (u != view.id && member[u] && !view.row.get(u)) return false;
+        }
+        return true;
+      },
+      [k](const Graph& g) { return oracle::k_clique(g, k); });
+}
+
+RoundVerifier k_independent_set(unsigned k) {
+  return membership_verifier(
+      "k-IS(k=" + std::to_string(k) + ")", k, /*exact_count=*/true,
+      [](const LocalView& view, const std::vector<bool>& member) {
+        if (!member[view.id]) return true;
+        for (NodeId u = 0; u < view.n; ++u) {
+          if (u != view.id && member[u] && view.row.get(u)) return false;
+        }
+        return true;
+      },
+      [k](const Graph& g) { return oracle::independent_set(g, k); });
+}
+
+RoundVerifier k_dominating_set(unsigned k) {
+  return membership_verifier(
+      "k-DS(k=" + std::to_string(k) + ")", k, /*exact_count=*/false,
+      [](const LocalView& view, const std::vector<bool>& member) {
+        if (member[view.id]) return true;
+        for (std::size_t u = view.row.find_first(); u < view.row.size();
+             u = view.row.find_first(u + 1)) {
+          if (member[u]) return true;
+        }
+        return false;
+      },
+      [k](const Graph& g) { return oracle::dominating_set(g, k); });
+}
+
+RoundVerifier connectivity() {
+  RoundVerifier v;
+  v.name = "connectivity";
+  v.rounds = [](NodeId) { return 2u; };
+  v.label_bits = [](NodeId n) { return 2 * std::size_t{node_id_bits(n)}; };
+  v.send = [](const LocalView& view, unsigned r) {
+    const unsigned idb = node_id_bits(view.n);
+    // Round 0: distance. Round 1: parent.
+    const std::uint64_t val = view.label.read_bits(r == 0 ? 0 : idb, idb);
+    return to_all(view, Word(val, idb));
+  };
+  v.accept = [](const LocalView& view) {
+    const unsigned idb = node_id_bits(view.n);
+    const std::uint64_t my_dist = view.label.read_bits(0, idb);
+    const std::uint64_t my_parent = view.label.read_bits(idb, idb);
+    // Exactly one root (distance 0) overall — every node can count roots.
+    std::size_t roots = 0;
+    for (NodeId u = 0; u < view.n; ++u) {
+      const std::uint64_t du =
+          u == view.id ? my_dist : word_from(view, 0, u, view.n);
+      if (du >= view.n) return false;
+      roots += du == 0;
+    }
+    if (roots != 1) return false;
+    if (my_dist == 0) return true;
+    // Parent must be a neighbour one level closer to the root.
+    if (my_parent >= view.n || !view.row.get(my_parent)) return false;
+    const std::uint64_t parent_dist =
+        word_from(view, 0, static_cast<NodeId>(my_parent), view.n);
+    return parent_dist + 1 == my_dist;
+  };
+  v.prover = [](const Graph& g) -> std::optional<Labelling> {
+    auto bfs = bfs_clique(g, 0);
+    for (NodeId u = 0; u < g.n(); ++u) {
+      if (bfs.dist[u] >= kUnreachable) return std::nullopt;  // disconnected
+    }
+    const unsigned idb = node_id_bits(g.n());
+    Labelling z(g.n());
+    for (NodeId u = 0; u < g.n(); ++u) {
+      BitVector b;
+      b.append_bits(bfs.dist[u], idb);
+      b.append_bits(bfs.parent[u], idb);
+      z[u] = std::move(b);
+    }
+    return z;
+  };
+  return v;
+}
+
+}  // namespace ccq::verifiers

@@ -1,0 +1,38 @@
+#pragma once
+
+// Concrete NCLIQUE(1) verifiers (§6.1: "The class NCLIQUE(1) contains most
+// natural decision problems that have been studied in the congested clique,
+// as well as many NP-complete problems such as k-colouring and Hamiltonian
+// path").
+//
+// Every verifier here runs in O(1) rounds with O(log n)-bit labels, placing
+// its language in NCLIQUE(1); provers are exact (exponential-time local
+// search), so completeness/soundness are testable against the oracles.
+
+#include "nondet/round_verifier.hpp"
+
+namespace ccq::verifiers {
+
+/// Proper k-colourability. Label: own colour. 1 round. Requires
+/// ⌈log₂k⌉ ≤ ⌈log₂n⌉ (a colour must fit one message word), i.e. k ≤ O(n),
+/// which is the only interesting regime anyway.
+RoundVerifier k_colouring(unsigned k);
+
+/// Hamiltonian path. Label: own position in the path. 1 round.
+/// (Prover requires n ≤ 22.)
+RoundVerifier hamiltonian_path();
+
+/// Clique of size exactly k. Label: membership bit. 1 round.
+RoundVerifier k_clique(unsigned k);
+
+/// Independent set of size exactly k. Label: membership bit. 1 round.
+RoundVerifier k_independent_set(unsigned k);
+
+/// Dominating set of size at most k. Label: membership bit. 1 round.
+RoundVerifier k_dominating_set(unsigned k);
+
+/// Connectivity via a BFS-tree proof labelling. Label: (distance, parent).
+/// 2 rounds.
+RoundVerifier connectivity();
+
+}  // namespace ccq::verifiers

@@ -1,0 +1,58 @@
+#pragma once
+
+// §7 / Figure 1: Boolean matrix multiplication reduces to (2−ε)-approximate
+// weighted undirected APSP (Dor, Halperin and Zwick [17]).
+//
+// Layered construction: for Boolean A (p×q) and B (q×r) build the graph
+// with node layers I (p), J (q), K (r); edge i—j iff A[i][j], j—k iff
+// B[j][k]. Then (A·B)[i][k] = 1  ⇔  d(i,k) = 2, and otherwise d(i,k) ≥ 4
+// (the graph is "even": I and K only touch J). Any (2−ε)-approximation
+// reports < 4 exactly on product-ones — so a fast (2−ε)-APSP algorithm
+// yields fast Boolean MM, which is why the approximation edge of Figure 1
+// stops at 2−ε.
+
+#include "algebra/matrix.hpp"
+#include "clique/cost.hpp"
+#include "graph/graph.hpp"
+#include "graphalg/apsp.hpp"
+
+namespace ccq {
+
+class BmmToApspGadget {
+ public:
+  BmmToApspGadget(std::size_t p, std::size_t q, std::size_t r);
+
+  Graph build(const Matrix<std::uint8_t>& a,
+              const Matrix<std::uint8_t>& b) const;
+
+  NodeId total_nodes() const {
+    return static_cast<NodeId>(p_ + q_ + r_);
+  }
+  NodeId layer_i(std::size_t i) const { return static_cast<NodeId>(i); }
+  NodeId layer_j(std::size_t j) const {
+    return static_cast<NodeId>(p_ + j);
+  }
+  NodeId layer_k(std::size_t k) const {
+    return static_cast<NodeId>(p_ + q_ + k);
+  }
+
+  /// Read the Boolean product off a distance matrix of the gadget graph
+  /// using the (2−ε) threshold: entry = 1 ⇔ reported d(i,k) < 4.
+  Matrix<std::uint8_t> product_from_distances(
+      const std::vector<std::uint64_t>& dist) const;
+
+ private:
+  std::size_t p_, q_, r_;
+};
+
+struct ReducedBmmResult {
+  Matrix<std::uint8_t> product;
+  CostMeter cost;
+};
+
+/// Boolean MM computed through the APSP reduction in the clique model.
+ReducedBmmResult bmm_via_apsp_clique(const Matrix<std::uint8_t>& a,
+                                     const Matrix<std::uint8_t>& b,
+                                     MmAlgo algo = MmAlgo::k3dPartition);
+
+}  // namespace ccq

@@ -1,0 +1,24 @@
+#include "reductions/complement.hpp"
+
+#include <algorithm>
+
+namespace ccq {
+
+DetectionResult three_is_via_triangle_clique(const Graph& g) {
+  CCQ_CHECK(!g.is_directed());
+  return triangle_clique(g.complement());
+}
+
+GlobalSolveResult min_vertex_cover_via_maxis_clique(const Graph& g) {
+  auto mis = max_independent_set_clique(g);
+  GlobalSolveResult result;
+  result.cost = mis.cost;
+  result.found = mis.found;
+  std::vector<bool> in_is(g.n(), false);
+  for (NodeId v : mis.witness) in_is[v] = true;
+  for (NodeId v = 0; v < g.n(); ++v)
+    if (!in_is[v]) result.witness.push_back(v);
+  return result;
+}
+
+}  // namespace ccq

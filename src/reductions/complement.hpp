@@ -1,0 +1,23 @@
+#pragma once
+
+// Complementation reductions (Figure 1 identifies "Triangle/3-IS" as one
+// box, and MaxIS/MinVC as neighbours): a triangle in the complement graph
+// is a 3-independent-set, and V ∖ MaxIS is a minimum vertex cover.
+//
+// NOTE on model fidelity: complementing flips every node's adjacency row
+// locally — zero communication — so δ is preserved exactly.
+
+#include "clique/cost.hpp"
+#include "graph/graph.hpp"
+#include "graphalg/global.hpp"
+#include "graphalg/subgraph.hpp"
+
+namespace ccq {
+
+/// 3-independent-set via triangle detection on the complement.
+DetectionResult three_is_via_triangle_clique(const Graph& g);
+
+/// Minimum vertex cover as the complement of a maximum independent set.
+GlobalSolveResult min_vertex_cover_via_maxis_clique(const Graph& g);
+
+}  // namespace ccq

@@ -1,0 +1,125 @@
+#include "reductions/is_to_ds.hpp"
+
+#include <algorithm>
+
+#include "graphalg/kds.hpp"
+#include "util/check.hpp"
+
+namespace ccq {
+
+namespace {
+
+// Pairs (i,j), i<j, enumerated lexicographically.
+unsigned pair_index(unsigned i, unsigned j, unsigned k) {
+  CCQ_DCHECK(i < j && j < k);
+  // Number of pairs with first coordinate < i, plus offset within row i.
+  return i * k - i * (i + 1) / 2 + (j - i - 1);
+}
+
+}  // namespace
+
+IsToDsGadget::IsToDsGadget(NodeId n, unsigned k)
+    : n_(n), k_(k), pairs_(k * (k - 1) / 2) {
+  CCQ_CHECK(k >= 1);
+  CCQ_CHECK(n >= 1);
+  total_ = (static_cast<NodeId>(k_) + pairs_) * n_ + 2 * k_;
+}
+
+NodeId IsToDsGadget::clique_node(unsigned i, NodeId v) const {
+  CCQ_DCHECK(i < k_ && v < n_);
+  return static_cast<NodeId>(i) * n_ + v;
+}
+
+NodeId IsToDsGadget::gadget_node(unsigned i, unsigned j, NodeId v) const {
+  CCQ_DCHECK(i < j && j < k_ && v < n_);
+  return (static_cast<NodeId>(k_) + pair_index(i, j, k_)) * n_ + v;
+}
+
+NodeId IsToDsGadget::special_x(unsigned i) const {
+  return (static_cast<NodeId>(k_) + pairs_) * n_ + 2 * i;
+}
+
+NodeId IsToDsGadget::special_y(unsigned i) const {
+  return special_x(i) + 1;
+}
+
+std::optional<std::pair<unsigned, NodeId>> IsToDsGadget::as_clique_node(
+    NodeId w) const {
+  if (w >= static_cast<NodeId>(k_) * n_) return std::nullopt;
+  return std::make_pair(static_cast<unsigned>(w / n_), w % n_);
+}
+
+Graph IsToDsGadget::build(const Graph& g) const {
+  CCQ_CHECK(g.n() == n_);
+  CCQ_CHECK(!g.is_directed());
+  Graph gp = Graph::undirected(total_);
+
+  // Cliques K_i.
+  for (unsigned i = 0; i < k_; ++i) {
+    for (NodeId u = 0; u < n_; ++u)
+      for (NodeId v = u + 1; v < n_; ++v)
+        gp.add_edge(clique_node(i, u), clique_node(i, v));
+    // Special nodes attached to all of K_i.
+    for (NodeId v = 0; v < n_; ++v) {
+      gp.add_edge(special_x(i), clique_node(i, v));
+      gp.add_edge(special_y(i), clique_node(i, v));
+    }
+  }
+
+  // Compatibility gadgets.
+  for (unsigned i = 0; i < k_; ++i) {
+    for (unsigned j = i + 1; j < k_; ++j) {
+      for (NodeId v = 0; v < n_; ++v) {
+        for (NodeId u = 0; u < n_; ++u) {
+          if (u == v) continue;
+          // v_i adjacent to u_{i,j} for all u ≠ v.
+          gp.add_edge(clique_node(i, v), gadget_node(i, j, u));
+          // v_j adjacent to u_{i,j} for all u ≠ v that are NOT neighbours
+          // of v in G.
+          if (!g.has_edge(v, u))
+            gp.add_edge(clique_node(j, v), gadget_node(i, j, u));
+        }
+      }
+    }
+  }
+  return gp;
+}
+
+std::vector<NodeId> IsToDsGadget::witness_forward(
+    const std::vector<NodeId>& is) const {
+  CCQ_CHECK(is.size() == k_);
+  std::vector<NodeId> ds;
+  for (unsigned i = 0; i < k_; ++i) ds.push_back(clique_node(i, is[i]));
+  return ds;
+}
+
+std::vector<NodeId> IsToDsGadget::witness_back(
+    const std::vector<NodeId>& ds) const {
+  // By the structure theorem, a size-k dominating set has exactly one node
+  // in each K_i, and those correspond to distinct, pairwise non-adjacent
+  // original nodes.
+  std::vector<NodeId> is;
+  for (NodeId w : ds) {
+    auto cn = as_clique_node(w);
+    CCQ_CHECK_MSG(cn.has_value(),
+                  "dominating set contains a non-clique node");
+    is.push_back(cn->second);
+  }
+  std::sort(is.begin(), is.end());
+  return is;
+}
+
+ReducedKisResult k_independent_set_via_ds_clique(const Graph& g,
+                                                 unsigned k) {
+  IsToDsGadget gadget(g.n(), k);
+  Graph gp = gadget.build(g);
+  auto ds = k_dominating_set_clique(gp, k);
+
+  ReducedKisResult result;
+  result.cost = ds.cost;
+  result.found = ds.found;
+  if (ds.found) result.witness = gadget.witness_back(ds.witness);
+  return result;
+}
+
+}  // namespace ccq

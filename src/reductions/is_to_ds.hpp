@@ -1,0 +1,75 @@
+#pragma once
+
+// Theorem 10 / Figure 2: the reduction from k-independent-set to
+// k-dominating-set.
+//
+// From G = (V,E) on n nodes the construction builds G′ with
+//   * k cliques K_1..K_k, each a copy of V;
+//   * for each pair i<j a compatibility gadget: an independent set I_{i,j}
+//     (copy of V) where v_i ∈ K_i is adjacent to u_{i,j} for all u ≠ v, and
+//     v_j ∈ K_j is adjacent to u_{i,j} for all non-neighbours u ≠ v of v;
+//   * two special nodes x_i, y_i attached to every node of K_i.
+// |V(G′)| = (k + k(k-1)/2)·n + 2k ≤ (k² + k + 2)n, and G has an independent
+// set of size k iff G′ has a dominating set of size k.
+//
+// The paper runs the k-DS algorithm on G′ *simulated inside the n-clique*
+// with O(k^{2δ+4}) overhead; our driver instead instantiates G′ on its own
+// clique (the engine supports the larger node count directly), which
+// preserves the measured-round comparison the bench reports — DESIGN.md
+// records this choice.
+
+#include <optional>
+#include <vector>
+
+#include "clique/cost.hpp"
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+/// Deterministic node layout of G′.
+class IsToDsGadget {
+ public:
+  IsToDsGadget(NodeId n, unsigned k);
+
+  /// Build G′ from G (must have the n used at construction).
+  Graph build(const Graph& g) const;
+
+  NodeId total_nodes() const { return total_; }
+  unsigned k() const { return k_; }
+
+  /// Node ids in G′.
+  NodeId clique_node(unsigned i, NodeId v) const;   // v_i ∈ K_i
+  NodeId gadget_node(unsigned i, unsigned j, NodeId v) const;  // v_{i,j}
+  NodeId special_x(unsigned i) const;
+  NodeId special_y(unsigned i) const;
+
+  /// Inverse: which original node does a K_i member represent?
+  /// Returns nullopt for gadget/special nodes.
+  std::optional<std::pair<unsigned, NodeId>> as_clique_node(NodeId w) const;
+
+  /// Map a size-k dominating set of G′ back to a size-k independent set of
+  /// G (valid whenever the input is a dominating set of G′).
+  std::vector<NodeId> witness_back(const std::vector<NodeId>& ds) const;
+
+  /// Forward direction used in proofs/tests: the dominating set of G′
+  /// induced by an independent set {v_1,...,v_k} of G (v_i picked into K_i).
+  std::vector<NodeId> witness_forward(const std::vector<NodeId>& is) const;
+
+ private:
+  NodeId n_;
+  unsigned k_;
+  unsigned pairs_;
+  NodeId total_;
+};
+
+struct ReducedKisResult {
+  bool found = false;
+  std::vector<NodeId> witness;  ///< independent set in the original graph
+  CostMeter cost;               ///< rounds of the k-DS run on G′
+};
+
+/// Find a k-independent set of G by running the Theorem 9 k-DS algorithm
+/// on the Theorem 10 gadget graph.
+ReducedKisResult k_independent_set_via_ds_clique(const Graph& g, unsigned k);
+
+}  // namespace ccq

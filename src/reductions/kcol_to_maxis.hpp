@@ -1,0 +1,45 @@
+#pragma once
+
+// §7 / Figure 1: δ(k-COL) ≤ δ(MaxIS) via the classic blow-up reduction
+// ([46] in the paper): replace each vertex v by k copies v_1..v_k joined
+// into a clique, and connect v_i — u_i (same copy index) whenever {v,u} ∈ E.
+// The new graph has an independent set of size n iff G is k-colourable; a
+// witness independent set of size n reads off a proper colouring (the copy
+// index chosen for each vertex). The blow-up is the constant factor k.
+
+#include <optional>
+#include <vector>
+
+#include "clique/cost.hpp"
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+class KColGadget {
+ public:
+  KColGadget(NodeId n, unsigned k);
+
+  Graph build(const Graph& g) const;
+
+  NodeId total_nodes() const { return n_ * k_; }
+  NodeId copy_node(NodeId v, unsigned colour) const;
+
+  /// Recover a colouring from an independent set of size n in G′.
+  std::vector<NodeId> colouring_from_is(const std::vector<NodeId>& is) const;
+
+ private:
+  NodeId n_;
+  unsigned k_;
+};
+
+struct ReducedKColResult {
+  bool colourable = false;
+  std::vector<NodeId> colouring;  ///< one colour (0..k-1) per node
+  CostMeter cost;
+};
+
+/// Decide k-colourability of G by running exact MaxIS on the blown-up
+/// graph in the clique model.
+ReducedKColResult k_colouring_via_maxis_clique(const Graph& g, unsigned k);
+
+}  // namespace ccq

@@ -1,0 +1,172 @@
+#include "util/big_uint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ccq {
+
+using u64 = std::uint64_t;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+using u128 = unsigned __int128;  // GCC/Clang extension, fine for our targets
+#pragma GCC diagnostic pop
+
+void BigUInt::normalize() {
+  while (limbs_.size() > 1 && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUInt BigUInt::from_decimal(const std::string& s) {
+  CCQ_CHECK(!s.empty());
+  BigUInt r;
+  for (char c : s) {
+    CCQ_CHECK_MSG(c >= '0' && c <= '9', "bad decimal digit");
+    r *= BigUInt(10);
+    r += BigUInt(static_cast<u64>(c - '0'));
+  }
+  return r;
+}
+
+BigUInt BigUInt::pow2(u64 e) {
+  BigUInt r(1);
+  r <<= e;
+  return r;
+}
+
+BigUInt& BigUInt::operator+=(const BigUInt& o) {
+  const std::size_t n = std::max(limbs_.size(), o.limbs_.size());
+  limbs_.resize(n, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    u128 s = static_cast<u128>(limbs_[i]) + carry +
+             (i < o.limbs_.size() ? o.limbs_[i] : 0);
+    limbs_[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  if (carry) limbs_.push_back(carry);
+  return *this;
+}
+
+BigUInt& BigUInt::operator-=(const BigUInt& o) {
+  CCQ_CHECK_MSG(*this >= o, "BigUInt underflow");
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const u64 sub = (i < o.limbs_.size() ? o.limbs_[i] : 0);
+    const u64 before = limbs_[i];
+    limbs_[i] = before - sub - borrow;
+    borrow = (static_cast<u128>(sub) + borrow > before) ? 1 : 0;
+  }
+  CCQ_CHECK(borrow == 0);
+  normalize();
+  return *this;
+}
+
+BigUInt& BigUInt::operator*=(const BigUInt& o) {
+  if (is_zero() || o.is_zero()) {
+    limbs_.assign(1, 0);
+    return *this;
+  }
+  std::vector<u64> out(limbs_.size() + o.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    if (limbs_[i] == 0) continue;
+    u64 carry = 0;
+    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+      u128 cur = static_cast<u128>(limbs_[i]) * o.limbs_[j] + out[i + j] +
+                 carry;
+      out[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    std::size_t k = i + o.limbs_.size();
+    while (carry) {
+      u128 cur = static_cast<u128>(out[k]) + carry;
+      out[k] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+      ++k;
+    }
+  }
+  limbs_ = std::move(out);
+  normalize();
+  return *this;
+}
+
+BigUInt& BigUInt::operator<<=(u64 bits) {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 64;
+  const unsigned bit_shift = static_cast<unsigned>(bits % 64);
+  std::vector<u64> out(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0)
+      out[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+  }
+  limbs_ = std::move(out);
+  normalize();
+  return *this;
+}
+
+BigUInt BigUInt::pow(const BigUInt& a, u64 e) {
+  BigUInt base = a, result(1);
+  while (e > 0) {
+    if (e & 1) result *= base;
+    e >>= 1;
+    if (e) base *= base;
+  }
+  return result;
+}
+
+int BigUInt::compare(const BigUInt& o) const {
+  if (limbs_.size() != o.limbs_.size())
+    return limbs_.size() < o.limbs_.size() ? -1 : 1;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != o.limbs_[i]) return limbs_[i] < o.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::size_t BigUInt::bit_length() const {
+  if (is_zero()) return 0;
+  const u64 top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 64;
+  return bits + (64 - static_cast<std::size_t>(__builtin_clzll(top)));
+}
+
+double BigUInt::log2() const {
+  if (is_zero()) return -std::numeric_limits<double>::infinity();
+  const std::size_t bl = bit_length();
+  // Take the top ≤53 significant bits for the mantissa.
+  double mant = 0.0;
+  const std::size_t take = std::min<std::size_t>(bl, 53);
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t bit = bl - 1 - i;
+    const bool b = (limbs_[bit / 64] >> (bit % 64)) & 1;
+    mant = mant * 2.0 + (b ? 1.0 : 0.0);
+  }
+  return std::log2(mant) + static_cast<double>(bl - take);
+}
+
+std::string BigUInt::to_decimal() const {
+  if (is_zero()) return "0";
+  std::vector<u64> tmp = limbs_;
+  std::string out;
+  while (!(tmp.size() == 1 && tmp[0] == 0)) {
+    u64 rem = 0;
+    for (std::size_t i = tmp.size(); i-- > 0;) {
+      u128 cur = (static_cast<u128>(rem) << 64) | tmp[i];
+      tmp[i] = static_cast<u64>(cur / 10);
+      rem = static_cast<u64>(cur % 10);
+    }
+    out.push_back(static_cast<char>('0' + rem));
+    while (tmp.size() > 1 && tmp.back() == 0) tmp.pop_back();
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t BigUInt::to_u64() const {
+  CCQ_CHECK_MSG(limbs_.size() == 1, "BigUInt does not fit in uint64");
+  return limbs_[0];
+}
+
+}  // namespace ccq

@@ -1,0 +1,79 @@
+#pragma once
+
+// Arbitrary-precision unsigned integer.
+//
+// The counting arguments of Lemma 1 produce double-exponential quantities
+// (2^{2bn·2^{L+bt(n-1)}} protocols vs 2^{2^{nL}} functions). For the toy
+// regimes where the diagonalisation is run constructively we want *exact*
+// counts; BigUInt supplies them. Larger regimes use Log2Real instead.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccq {
+
+class BigUInt {
+ public:
+  BigUInt() : limbs_{0} {}
+  BigUInt(std::uint64_t v) : limbs_{v} {}  // NOLINT: implicit by design
+
+  static BigUInt from_decimal(const std::string& s);
+  /// 2^e as an exact integer.
+  static BigUInt pow2(std::uint64_t e);
+
+  bool is_zero() const { return limbs_.size() == 1 && limbs_[0] == 0; }
+
+  BigUInt& operator+=(const BigUInt& o);
+  BigUInt& operator-=(const BigUInt& o);  // requires *this >= o
+  BigUInt& operator*=(const BigUInt& o);
+  BigUInt& operator<<=(std::uint64_t bits);
+
+  friend BigUInt operator+(BigUInt a, const BigUInt& b) { return a += b; }
+  friend BigUInt operator-(BigUInt a, const BigUInt& b) { return a -= b; }
+  friend BigUInt operator*(BigUInt a, const BigUInt& b) { return a *= b; }
+  friend BigUInt operator<<(BigUInt a, std::uint64_t b) { return a <<= b; }
+
+  /// Integer power a^e.
+  static BigUInt pow(const BigUInt& a, std::uint64_t e);
+
+  int compare(const BigUInt& o) const;
+  friend bool operator==(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) == 0;
+  }
+  friend bool operator!=(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) != 0;
+  }
+  friend bool operator<(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) < 0;
+  }
+  friend bool operator<=(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) <= 0;
+  }
+  friend bool operator>(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) > 0;
+  }
+  friend bool operator>=(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) >= 0;
+  }
+
+  /// Number of bits in the binary representation (0 has bit length 0).
+  std::size_t bit_length() const;
+
+  /// log2 as a double (exact for powers of two, otherwise a close
+  /// approximation); returns -inf for zero.
+  double log2() const;
+
+  std::string to_decimal() const;
+
+  /// Value as uint64 (checked).
+  std::uint64_t to_u64() const;
+
+ private:
+  void normalize();
+  // Little-endian 64-bit limbs; invariant: no trailing zero limb except for
+  // the single-zero-limb representation of 0.
+  std::vector<std::uint64_t> limbs_;
+};
+
+}  // namespace ccq

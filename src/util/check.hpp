@@ -1,0 +1,55 @@
+#pragma once
+
+// Runtime checking macros used across the ccq library.
+//
+// CCQ_CHECK is always on (model-fidelity invariants, e.g. bandwidth
+// violations, must never be compiled out: the simulator's cost accounting is
+// the experimental instrument). CCQ_DCHECK compiles out in NDEBUG builds and
+// guards internal consistency only.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ccq {
+
+/// Error thrown when a congested-clique model rule is violated (bandwidth
+/// overflow, divergent collective sequence, malformed certificate, ...).
+class ModelViolation : public std::logic_error {
+ public:
+  explicit ModelViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CCQ_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ModelViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace ccq
+
+#define CCQ_CHECK(expr)                                            \
+  do {                                                             \
+    if (!(expr))                                                   \
+      ::ccq::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CCQ_CHECK_MSG(expr, msg)                                  \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      std::ostringstream os_;                                     \
+      os_ << msg;                                                 \
+      ::ccq::detail::check_failed(#expr, __FILE__, __LINE__,      \
+                                  os_.str());                     \
+    }                                                             \
+  } while (0)
+
+#ifdef NDEBUG
+#define CCQ_DCHECK(expr) ((void)0)
+#else
+#define CCQ_DCHECK(expr) CCQ_CHECK(expr)
+#endif

@@ -1,0 +1,19 @@
+#include "util/log2_real.hpp"
+
+#include <cstdio>
+
+namespace ccq {
+
+std::string Log2Real::to_string() const {
+  if (is_zero()) return "0";
+  char buf[64];
+  if (log2_ == static_cast<double>(static_cast<long long>(log2_))) {
+    std::snprintf(buf, sizeof buf, "2^%lld",
+                  static_cast<long long>(log2_));
+  } else {
+    std::snprintf(buf, sizeof buf, "2^%.3f", log2_);
+  }
+  return buf;
+}
+
+}  // namespace ccq

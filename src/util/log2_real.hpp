@@ -1,0 +1,71 @@
+#pragma once
+
+// Log-space non-negative reals.
+//
+// The quantities in Lemma 1 ("number of (n,b,L,t)-protocols is at most
+// 2^{2bn·2^{L+bt(n-1)}}") overflow any fixed-width float for interesting
+// parameters, but their *logarithms* fit comfortably in a double. Log2Real
+// stores log2(x) and supports exactly the operations the counting benches
+// need: multiply, integer powers, powers of two, and comparison.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace ccq {
+
+class Log2Real {
+ public:
+  /// Zero (log = -inf).
+  Log2Real() : log2_(-std::numeric_limits<double>::infinity()) {}
+
+  static Log2Real from_value(double v) {
+    CCQ_CHECK_MSG(v >= 0.0, "Log2Real requires non-negative values");
+    Log2Real r;
+    r.log2_ = v == 0.0 ? -std::numeric_limits<double>::infinity()
+                       : std::log2(v);
+    return r;
+  }
+  static Log2Real from_log2(double l) {
+    Log2Real r;
+    r.log2_ = l;
+    return r;
+  }
+  /// 2^e for possibly huge e.
+  static Log2Real pow2(double e) { return from_log2(e); }
+
+  bool is_zero() const { return std::isinf(log2_) && log2_ < 0; }
+  double log2() const { return log2_; }
+
+  friend Log2Real operator*(Log2Real a, Log2Real b) {
+    if (a.is_zero() || b.is_zero()) return Log2Real{};
+    return from_log2(a.log2_ + b.log2_);
+  }
+  friend Log2Real operator/(Log2Real a, Log2Real b) {
+    CCQ_CHECK(!b.is_zero());
+    if (a.is_zero()) return Log2Real{};
+    return from_log2(a.log2_ - b.log2_);
+  }
+
+  /// x^e.
+  Log2Real pow(double e) const {
+    if (is_zero()) return e == 0.0 ? from_value(1.0) : Log2Real{};
+    return from_log2(log2_ * e);
+  }
+
+  friend bool operator<(Log2Real a, Log2Real b) { return a.log2_ < b.log2_; }
+  friend bool operator>(Log2Real a, Log2Real b) { return b < a; }
+  friend bool operator<=(Log2Real a, Log2Real b) { return !(b < a); }
+  friend bool operator>=(Log2Real a, Log2Real b) { return !(a < b); }
+
+  /// Human-readable "2^k" rendering for count tables.
+  std::string to_string() const;
+
+ private:
+  double log2_;
+};
+
+}  // namespace ccq

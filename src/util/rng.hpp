@@ -1,0 +1,60 @@
+#pragma once
+
+// Deterministic pseudo-random generation.
+//
+// The whole laboratory must be reproducible: every randomised workload
+// generator and every hash-salted routing decision derives from an explicit
+// 64-bit seed through SplitMix64. std::mt19937 is avoided because its state
+// serialisation and cross-platform guarantees are weaker than the experiment
+// logs require.
+
+#include <cstdint>
+
+namespace ccq {
+
+/// SplitMix64 — tiny, fast, full-period 64-bit PRNG (Steele et al.).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = bound * ((~std::uint64_t{0}) / bound);
+    std::uint64_t v;
+    do {
+      v = next();
+    } while (v >= limit);
+    return v % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mixing hash — used for deterministic "salt" decisions such as
+/// the two-phase router's stripe offsets.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace ccq

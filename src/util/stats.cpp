@@ -1,0 +1,51 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ccq {
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  CCQ_CHECK(xs.size() == ys.size());
+  CCQ_CHECK_MSG(xs.size() >= 2, "need at least two points to fit a line");
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit f;
+  if (denom == 0.0) {
+    f.slope = 0.0;
+    f.intercept = sy / n;
+  } else {
+    f.slope = (n * sxy - sx * sy) / denom;
+    f.intercept = (sy - f.slope * sx) / n;
+  }
+  // R^2.
+  const double ymean = sy / n;
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = f.slope * xs[i] + f.intercept;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - ymean) * (ys[i] - ymean);
+  }
+  f.r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return f;
+}
+
+LinearFit fit_loglog(std::span<const double> xs, std::span<const double> ys) {
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    lx[i] = std::log2(xs[i]);
+    ly[i] = std::log2(ys[i] < 1.0 ? 1.0 : ys[i]);
+  }
+  return fit_line(lx, ly);
+}
+
+}  // namespace ccq

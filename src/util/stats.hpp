@@ -1,0 +1,25 @@
+#pragma once
+
+// Least-squares fitting used by the exponent estimator (§7 of the paper:
+// δ(L) = inf{δ : L solvable in O(n^δ) rounds}); we estimate δ empirically as
+// the slope of log(rounds) against log(n).
+
+#include <cstddef>
+#include <span>
+
+namespace ccq {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Ordinary least squares y ≈ slope·x + intercept. Requires ≥ 2 points.
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Fit log2(y) ≈ slope·log2(x) + c — the exponent fit. Zero y values are
+/// clamped to 1 (a 0-round algorithm has exponent 0).
+LinearFit fit_loglog(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace ccq

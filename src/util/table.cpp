@@ -1,0 +1,36 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace ccq {
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << cell << std::string(widths[c] - cell.size(), ' ');
+      os << (c + 1 < widths.size() ? " | " : " |");
+    }
+    os << '\n';
+  };
+
+  print_row(header_);
+  os << '|';
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+  os.flush();
+}
+
+}  // namespace ccq

@@ -1,0 +1,38 @@
+#pragma once
+
+// Fixed-width text table printer — the bench harness renders every
+// reproduced figure/table as an aligned plain-text table so that
+// EXPERIMENTS.md can quote bench output verbatim.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace ccq {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  Table& add_row(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const;
+
+  static std::string fmt(double v, int precision = 3) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+  }
+  static std::string fmt(std::uint64_t v) { return std::to_string(v); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ccq

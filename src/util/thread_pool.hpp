@@ -1,0 +1,47 @@
+#pragma once
+
+// Fork-join thread pool with a parallel_for primitive.
+//
+// The clique engine runs one logical node per worker task; on a single-core
+// host the pool degrades gracefully to sequential execution. Results are
+// independent of the worker count because tasks never share mutable state —
+// the engine's collectives are the only synchronisation points.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ccq {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, count) across the pool; blocks until all done.
+  /// Exceptions from tasks are captured and the first one is rethrown.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace ccq

@@ -1,0 +1,103 @@
+// Tests for the message word codec — the unit the bandwidth discipline is
+// enforced in.
+
+#include "clique/word.hpp"
+
+#include "clique/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(Word, ValueMustFitWidth) {
+  EXPECT_NO_THROW(Word(7, 3));
+  EXPECT_THROW(Word(8, 3), ModelViolation);
+  EXPECT_THROW(Word(1, 0), ModelViolation);
+  EXPECT_NO_THROW(Word(0, 0));
+  EXPECT_THROW(Word(0, 65), ModelViolation);
+}
+
+TEST(Word, SixtyFourBitValues) {
+  EXPECT_NO_THROW(Word(~std::uint64_t{0}, 64));
+}
+
+TEST(Word, Equality) {
+  EXPECT_EQ(Word(5, 3), Word(5, 3));
+  EXPECT_FALSE(Word(5, 3) == Word(5, 4));  // width is part of identity
+  EXPECT_FALSE(Word(5, 3) == Word(4, 3));
+}
+
+TEST(NodeIdBits, MatchesCeilLog) {
+  EXPECT_EQ(node_id_bits(1), 1u);
+  EXPECT_EQ(node_id_bits(2), 1u);
+  EXPECT_EQ(node_id_bits(3), 2u);
+  EXPECT_EQ(node_id_bits(16), 4u);
+  EXPECT_EQ(node_id_bits(17), 5u);
+  EXPECT_EQ(node_id_bits(1024), 10u);
+}
+
+TEST(EncodeBits, ExactMultiples) {
+  BitVector bv = BitVector::from_string("110100101101");
+  auto words = encode_bits(bv, 4);
+  ASSERT_EQ(words.size(), 3u);
+  for (const Word& w : words) EXPECT_EQ(w.bits, 4u);
+  EXPECT_TRUE(decode_words(words, 12) == bv);
+}
+
+TEST(EncodeBits, RaggedTail) {
+  BitVector bv = BitVector::from_string("1101001");
+  auto words = encode_bits(bv, 3);
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[2].bits, 1u);  // 7 = 3+3+1
+  EXPECT_TRUE(decode_words(words, 7) == bv);
+}
+
+TEST(EncodeBits, EmptyVector) {
+  BitVector bv;
+  auto words = encode_bits(bv, 5);
+  EXPECT_TRUE(words.empty());
+  EXPECT_EQ(decode_words(words, 0).size(), 0u);
+}
+
+TEST(DecodeWords, LengthMismatchRejected) {
+  BitVector bv(10, true);
+  auto words = encode_bits(bv, 4);
+  EXPECT_THROW(decode_words(words, 11), ModelViolation);
+  EXPECT_THROW(decode_words(words, 9), ModelViolation);
+}
+
+TEST(EncodeBitsProperty, RoundTripRandomWidths) {
+  SplitMix64 rng(0xc0dec);
+  for (int t = 0; t < 60; ++t) {
+    const std::size_t bits = rng.next_below(300);
+    const unsigned width = 1 + static_cast<unsigned>(rng.next_below(63));
+    BitVector bv(bits);
+    for (std::size_t i = 0; i < bits; ++i) bv.set(i, rng.next_bool(0.5));
+    auto words = encode_bits(bv, width);
+    EXPECT_EQ(words.size(), ceil_div(bits, width));
+    for (std::size_t i = 0; i + 1 < words.size(); ++i)
+      EXPECT_EQ(words[i].bits, width);
+    EXPECT_TRUE(decode_words(words, bits) == bv) << t;
+  }
+}
+
+
+// ---------- clique-on-clique simulation accounting ----------
+
+TEST(Simulation, OverheadIsCeilSquared) {
+  EXPECT_EQ(simulation_round_overhead(10, 10), 1u);
+  EXPECT_EQ(simulation_round_overhead(11, 10), 4u);   // ⌈11/10⌉² = 4
+  EXPECT_EQ(simulation_round_overhead(52, 16), 16u);  // ⌈52/16⌉² = 16
+  EXPECT_EQ(simulation_round_overhead(5, 10), 1u);    // fewer than hosts
+}
+
+TEST(Simulation, HostRoundsScaleLinearly) {
+  EXPECT_EQ(simulated_host_rounds(33, 28, 8), 33u * 16);
+  EXPECT_EQ(simulated_host_rounds(0, 100, 10), 0u);
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,126 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/oracles.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(Generators, GnpDeterministicPerSeed) {
+  Graph a = gen::gnp(20, 0.3, 7);
+  Graph b = gen::gnp(20, 0.3, 7);
+  Graph c = gen::gnp(20, 0.3, 8);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Generators, GnpExtremes) {
+  EXPECT_EQ(gen::gnp(15, 0.0, 1).m(), 0u);
+  EXPECT_EQ(gen::gnp(15, 1.0, 1).m(), 15u * 14 / 2);
+}
+
+TEST(Generators, GnpDensityRoughlyRight) {
+  Graph g = gen::gnp(60, 0.25, 42);
+  const double expected = 0.25 * (60.0 * 59 / 2);
+  EXPECT_GT(static_cast<double>(g.m()), expected * 0.7);
+  EXPECT_LT(static_cast<double>(g.m()), expected * 1.3);
+}
+
+TEST(Generators, WeightedGnpWeightsInRange) {
+  Graph g = gen::gnp_weighted(25, 0.5, 100, 3);
+  EXPECT_TRUE(g.is_weighted());
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.w, 1u);
+    EXPECT_LE(e.w, 100u);
+  }
+}
+
+TEST(Generators, DirectedGnpIsDirected) {
+  Graph g = gen::gnp_directed(20, 0.3, 11);
+  EXPECT_TRUE(g.is_directed());
+  bool found_asym = false;
+  for (NodeId u = 0; u < g.n() && !found_asym; ++u)
+    for (NodeId v = 0; v < g.n(); ++v)
+      if (u != v && g.has_edge(u, v) != g.has_edge(v, u)) {
+        found_asym = true;
+        break;
+      }
+  EXPECT_TRUE(found_asym);
+}
+
+TEST(Generators, StructuredGraphs) {
+  EXPECT_EQ(gen::cycle(7).m(), 7u);
+  EXPECT_EQ(gen::path(7).m(), 6u);
+  EXPECT_EQ(gen::complete(7).m(), 21u);
+  EXPECT_EQ(gen::complete_bipartite(3, 4).m(), 12u);
+  EXPECT_EQ(gen::star(9).m(), 8u);
+  EXPECT_EQ(gen::empty(5).m(), 0u);
+  for (NodeId v = 0; v < 7; ++v) EXPECT_EQ(gen::cycle(7).degree(v), 2u);
+}
+
+TEST(Generators, PlantedIndependentSetIsIndependent) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto p = gen::planted_independent_set(20, 5, 0.5, seed);
+    EXPECT_EQ(p.witness.size(), 5u);
+    EXPECT_TRUE(oracle::is_independent_set(p.graph, p.witness));
+  }
+}
+
+TEST(Generators, PlantedDominatingSetDominates) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto p = gen::planted_dominating_set(24, 3, 0.1, seed);
+    EXPECT_EQ(p.witness.size(), 3u);
+    EXPECT_TRUE(oracle::is_dominating_set(p.graph, p.witness));
+  }
+}
+
+TEST(Generators, PlantedHamiltonianPathIsPath) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto p = gen::planted_hamiltonian_path(15, 0.2, seed);
+    EXPECT_TRUE(oracle::is_hamiltonian_path(p.graph, p.witness));
+  }
+}
+
+TEST(Generators, PlantedColouringIsProper) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto p = gen::planted_k_colourable(22, 4, 0.6, seed);
+    EXPECT_TRUE(oracle::is_proper_colouring(p.graph, p.witness, 4));
+  }
+}
+
+TEST(Generators, PlantedCliqueIsClique) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto p = gen::planted_clique(20, 4, 0.2, seed);
+    for (std::size_t a = 0; a < p.witness.size(); ++a)
+      for (std::size_t b = a + 1; b < p.witness.size(); ++b)
+        EXPECT_TRUE(p.graph.has_edge(p.witness[a], p.witness[b]));
+  }
+}
+
+TEST(Generators, PlantedCycleIsCycle) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto p = gen::planted_k_cycle(18, 5, 0.15, seed);
+    ASSERT_EQ(p.witness.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_TRUE(
+          p.graph.has_edge(p.witness[i], p.witness[(i + 1) % 5]));
+    }
+  }
+}
+
+TEST(Generators, PlantedVertexCoverCovers) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto p = gen::planted_vertex_cover(30, 4, 25, seed);
+    EXPECT_TRUE(oracle::is_vertex_cover(p.graph, p.witness));
+    EXPECT_LE(p.graph.m(), 25u);
+  }
+}
+
+TEST(Generators, WitnessNodesInRange) {
+  auto p = gen::planted_independent_set(16, 6, 0.4, 3);
+  for (NodeId v : p.witness) EXPECT_LT(v, 16u);
+}
+
+}  // namespace
+}  // namespace ccq

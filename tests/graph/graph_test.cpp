@@ -1,0 +1,137 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(Graph, UndirectedEdgesAreSymmetric) {
+  Graph g = Graph::undirected(5);
+  g.add_edge(1, 3);
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(3, 1));
+  EXPECT_EQ(g.m(), 1u);
+}
+
+TEST(Graph, DirectedEdgesAreAsymmetric) {
+  Graph g = Graph::directed(5);
+  g.add_edge(1, 3);
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_FALSE(g.has_edge(3, 1));
+  EXPECT_EQ(g.m(), 1u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g = Graph::undirected(3);
+  EXPECT_THROW(g.add_edge(2, 2), ModelViolation);
+}
+
+TEST(Graph, OutOfRangeRejected) {
+  Graph g = Graph::undirected(3);
+  EXPECT_THROW(g.add_edge(0, 3), ModelViolation);
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g = Graph::undirected(4);
+  g.add_edge(0, 1);
+  g.remove_edge(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.m(), 0u);
+}
+
+TEST(Graph, WeightsDefaultToOne) {
+  Graph g = Graph::undirected(4);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.is_weighted());
+  EXPECT_EQ(g.weight(0, 1), 1u);
+}
+
+TEST(Graph, ExplicitWeightsSymmetric) {
+  Graph g = Graph::undirected(4);
+  g.add_edge(0, 1, 7);
+  EXPECT_TRUE(g.is_weighted());
+  EXPECT_EQ(g.weight(0, 1), 7u);
+  EXPECT_EQ(g.weight(1, 0), 7u);
+}
+
+TEST(Graph, WeightOfNonEdgeThrows) {
+  Graph g = Graph::undirected(4);
+  EXPECT_THROW(g.weight(0, 1), ModelViolation);
+}
+
+TEST(Graph, MixedWeightedUnweightedEdges) {
+  Graph g = Graph::undirected(4);
+  g.add_edge(0, 1, 9);
+  g.add_edge(2, 3);  // unweighted add after weights exist
+  EXPECT_EQ(g.weight(2, 3), 1u);
+  EXPECT_EQ(g.weight(0, 1), 9u);
+}
+
+TEST(Graph, NeighboursSortedAndComplete) {
+  Graph g = Graph::undirected(6);
+  g.add_edge(2, 5);
+  g.add_edge(2, 0);
+  g.add_edge(2, 4);
+  EXPECT_EQ(g.neighbours(2), (std::vector<NodeId>{0, 4, 5}));
+  EXPECT_EQ(g.degree(2), 3u);
+}
+
+TEST(Graph, EdgesListsEachEdgeOnce) {
+  Graph g = Graph::undirected(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  auto es = g.edges();
+  ASSERT_EQ(es.size(), 3u);
+  for (const auto& e : es) EXPECT_LT(e.u, e.v);
+}
+
+TEST(Graph, ComplementInvolution) {
+  SplitMix64 rng(5);
+  Graph g = gen::gnp(12, 0.4, rng.next());
+  Graph cc = g.complement().complement();
+  EXPECT_TRUE(g == cc);
+}
+
+TEST(Graph, ComplementEdgeCount) {
+  Graph g = gen::gnp(10, 0.3, 99);
+  const std::size_t total = 10 * 9 / 2;
+  EXPECT_EQ(g.m() + g.complement().m(), total);
+}
+
+TEST(Graph, InducedSubgraph) {
+  Graph g = Graph::undirected(6);
+  g.add_edge(0, 2);
+  g.add_edge(2, 4);
+  g.add_edge(4, 5);
+  Graph h = g.induced({0, 2, 4});
+  EXPECT_EQ(h.n(), 3u);
+  EXPECT_TRUE(h.has_edge(0, 1));   // 0-2
+  EXPECT_TRUE(h.has_edge(1, 2));   // 2-4
+  EXPECT_FALSE(h.has_edge(0, 2));  // 0-4 absent
+}
+
+TEST(Graph, InducedPreservesWeights) {
+  Graph g = Graph::undirected(4);
+  g.add_edge(1, 3, 42);
+  Graph h = g.induced({1, 3});
+  EXPECT_EQ(h.weight(0, 1), 42u);
+}
+
+TEST(Graph, RowIsAdjacencyBitset) {
+  Graph g = Graph::undirected(8);
+  g.add_edge(3, 1);
+  g.add_edge(3, 6);
+  const BitVector& r = g.row(3);
+  EXPECT_EQ(r.size(), 8u);
+  EXPECT_TRUE(r.get(1));
+  EXPECT_TRUE(r.get(6));
+  EXPECT_EQ(r.popcount(), 2u);
+}
+
+}  // namespace
+}  // namespace ccq

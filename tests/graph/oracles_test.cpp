@@ -1,0 +1,296 @@
+#include "graph/oracles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ccq {
+namespace {
+
+// ---------- independent set ----------
+
+TEST(OracleIS, CycleOfFive) {
+  Graph c5 = gen::cycle(5);
+  EXPECT_TRUE(oracle::independent_set(c5, 2).has_value());
+  EXPECT_FALSE(oracle::independent_set(c5, 3).has_value());
+  EXPECT_EQ(oracle::max_independent_set(c5).size(), 2u);
+}
+
+TEST(OracleIS, CompleteGraphHasOnlySingletons) {
+  Graph k6 = gen::complete(6);
+  EXPECT_TRUE(oracle::independent_set(k6, 1).has_value());
+  EXPECT_FALSE(oracle::independent_set(k6, 2).has_value());
+}
+
+TEST(OracleIS, EmptyGraphAllIndependent) {
+  Graph e = gen::empty(7);
+  auto w = oracle::independent_set(e, 7);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(oracle::is_independent_set(e, *w));
+}
+
+TEST(OracleIS, WitnessIsValid) {
+  Graph g = gen::gnp(18, 0.4, 21);
+  for (unsigned k = 1; k <= 5; ++k) {
+    if (auto w = oracle::independent_set(g, k)) {
+      EXPECT_EQ(w->size(), k);
+      EXPECT_TRUE(oracle::is_independent_set(g, *w));
+    }
+  }
+}
+
+TEST(OracleIS, FindsPlanted) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto p = gen::planted_independent_set(18, 5, 0.6, seed);
+    EXPECT_TRUE(oracle::independent_set(p.graph, 5).has_value());
+  }
+}
+
+// ---------- dominating set ----------
+
+TEST(OracleDS, StarDominatedByCenter) {
+  Graph s = gen::star(10);
+  auto w = oracle::dominating_set(s, 1);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ((*w)[0], 0u);
+}
+
+TEST(OracleDS, EmptyGraphNeedsAllNodes) {
+  Graph e = gen::empty(5);
+  EXPECT_FALSE(oracle::dominating_set(e, 4).has_value());
+  EXPECT_TRUE(oracle::dominating_set(e, 5).has_value());
+}
+
+TEST(OracleDS, CycleDominationNumber) {
+  // γ(C_9) = 3.
+  Graph c9 = gen::cycle(9);
+  EXPECT_FALSE(oracle::dominating_set(c9, 2).has_value());
+  EXPECT_TRUE(oracle::dominating_set(c9, 3).has_value());
+  EXPECT_EQ(oracle::min_dominating_set(c9).size(), 3u);
+}
+
+TEST(OracleDS, WitnessDominates) {
+  Graph g = gen::gnp(16, 0.25, 5);
+  auto w = oracle::min_dominating_set(g);
+  EXPECT_TRUE(oracle::is_dominating_set(g, w));
+}
+
+// ---------- vertex cover ----------
+
+TEST(OracleVC, PathCover) {
+  // Minimum VC of P5 (5 nodes, 4 edges) is 2.
+  Graph p = gen::path(5);
+  EXPECT_FALSE(oracle::vertex_cover(p, 1).has_value());
+  EXPECT_TRUE(oracle::vertex_cover(p, 2).has_value());
+  EXPECT_EQ(oracle::min_vertex_cover(p).size(), 2u);
+}
+
+TEST(OracleVC, CompleteGraphNeedsAllButOne) {
+  Graph k5 = gen::complete(5);
+  EXPECT_FALSE(oracle::vertex_cover(k5, 3).has_value());
+  EXPECT_TRUE(oracle::vertex_cover(k5, 4).has_value());
+}
+
+TEST(OracleVC, WitnessCovers) {
+  Graph g = gen::gnp(14, 0.3, 12);
+  auto w = oracle::min_vertex_cover(g);
+  EXPECT_TRUE(oracle::is_vertex_cover(g, w));
+}
+
+// Gallai identity: α(G) + τ(G) = n.
+TEST(OracleProperty, GallaiIdentity) {
+  SplitMix64 rng(0xa11a1);
+  for (int t = 0; t < 8; ++t) {
+    Graph g = gen::gnp(13, 0.2 + 0.1 * t, rng.next());
+    const auto alpha = oracle::max_independent_set(g).size();
+    const auto tau = oracle::min_vertex_cover(g).size();
+    EXPECT_EQ(alpha + tau, g.n());
+  }
+}
+
+// A maximal independent set is dominating, so γ ≤ α always; and any VC's
+// complement is an IS.
+TEST(OracleProperty, DominationAtMostIndependence) {
+  SplitMix64 rng(0xd0d0);
+  for (int t = 0; t < 8; ++t) {
+    Graph g = gen::gnp(12, 0.3, rng.next());
+    if (!oracle::is_connected(g)) continue;
+    EXPECT_LE(oracle::min_dominating_set(g).size(),
+              oracle::max_independent_set(g).size());
+  }
+}
+
+// ---------- colouring ----------
+
+TEST(OracleCol, BipartiteIsTwoColourable) {
+  Graph b = gen::complete_bipartite(4, 5);
+  EXPECT_FALSE(oracle::k_colouring(b, 1).has_value());
+  auto c = oracle::k_colouring(b, 2);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(oracle::is_proper_colouring(b, *c, 2));
+}
+
+TEST(OracleCol, OddCycleNeedsThree) {
+  Graph c7 = gen::cycle(7);
+  EXPECT_FALSE(oracle::k_colouring(c7, 2).has_value());
+  EXPECT_TRUE(oracle::k_colouring(c7, 3).has_value());
+}
+
+TEST(OracleCol, CompleteNeedsN) {
+  Graph k5 = gen::complete(5);
+  EXPECT_FALSE(oracle::k_colouring(k5, 4).has_value());
+  EXPECT_TRUE(oracle::k_colouring(k5, 5).has_value());
+}
+
+TEST(OracleCol, PlantedIsColourable) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto p = gen::planted_k_colourable(16, 3, 0.5, seed);
+    auto c = oracle::k_colouring(p.graph, 3);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_TRUE(oracle::is_proper_colouring(p.graph, *c, 3));
+  }
+}
+
+// ---------- Hamiltonian path ----------
+
+TEST(OracleHam, PathGraphHasOne) {
+  auto w = oracle::hamiltonian_path(gen::path(8));
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(oracle::is_hamiltonian_path(gen::path(8), *w));
+}
+
+TEST(OracleHam, StarHasNone) {
+  EXPECT_FALSE(oracle::hamiltonian_path(gen::star(5)).has_value());
+}
+
+TEST(OracleHam, DisconnectedHasNone) {
+  Graph g = Graph::undirected(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(4, 5);
+  EXPECT_FALSE(oracle::hamiltonian_path(g).has_value());
+}
+
+TEST(OracleHam, FindsPlanted) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto p = gen::planted_hamiltonian_path(12, 0.1, seed);
+    auto w = oracle::hamiltonian_path(p.graph);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_TRUE(oracle::is_hamiltonian_path(p.graph, *w));
+  }
+}
+
+// ---------- cliques, cycles, paths, subgraphs ----------
+
+TEST(OracleClique, TrianglesInK4) {
+  Graph k4 = gen::complete(4);
+  EXPECT_TRUE(oracle::k_clique(k4, 3).has_value());
+  EXPECT_TRUE(oracle::k_clique(k4, 4).has_value());
+  EXPECT_FALSE(oracle::k_clique(k4, 5).has_value());
+}
+
+TEST(OracleClique, TriangleFreeBipartite) {
+  EXPECT_FALSE(oracle::k_clique(gen::complete_bipartite(5, 5), 3).has_value());
+}
+
+TEST(OracleCycle, ExactLengthRequired) {
+  Graph c6 = gen::cycle(6);
+  EXPECT_TRUE(oracle::k_cycle(c6, 6).has_value());
+  EXPECT_FALSE(oracle::k_cycle(c6, 3).has_value());
+  EXPECT_FALSE(oracle::k_cycle(c6, 4).has_value());
+  EXPECT_FALSE(oracle::k_cycle(c6, 5).has_value());
+}
+
+TEST(OracleCycle, WitnessIsClosedWalk) {
+  auto p = gen::planted_k_cycle(14, 5, 0.2, 4);
+  auto w = oracle::k_cycle(p.graph, 5);
+  ASSERT_TRUE(w.has_value());
+  for (std::size_t i = 0; i < w->size(); ++i)
+    EXPECT_TRUE(p.graph.has_edge((*w)[i], (*w)[(i + 1) % w->size()]));
+}
+
+TEST(OraclePath, PathLengths) {
+  Graph p6 = gen::path(6);
+  for (unsigned k = 1; k <= 6; ++k)
+    EXPECT_TRUE(oracle::k_path(p6, k).has_value()) << k;
+  EXPECT_FALSE(oracle::k_path(p6, 7).has_value());
+}
+
+TEST(OracleSubgraph, TriangleInPlantedClique) {
+  auto p = gen::planted_clique(15, 4, 0.1, 8);
+  auto img = oracle::subgraph(p.graph, gen::complete(3));
+  ASSERT_TRUE(img.has_value());
+  EXPECT_TRUE(p.graph.has_edge((*img)[0], (*img)[1]));
+  EXPECT_TRUE(p.graph.has_edge((*img)[1], (*img)[2]));
+  EXPECT_TRUE(p.graph.has_edge((*img)[0], (*img)[2]));
+}
+
+TEST(OracleSubgraph, PatternLargerThanHost) {
+  EXPECT_FALSE(oracle::subgraph(gen::complete(3), gen::complete(4)));
+}
+
+TEST(OracleSubgraph, AgreesWithKCliqueOracle) {
+  SplitMix64 rng(0x5b);
+  for (int t = 0; t < 10; ++t) {
+    Graph g = gen::gnp(12, 0.4, rng.next());
+    EXPECT_EQ(oracle::subgraph(g, gen::complete(4)).has_value(),
+              oracle::k_clique(g, 4).has_value());
+  }
+}
+
+// ---------- shortest paths ----------
+
+TEST(OracleSssp, UnweightedPathDistances) {
+  auto d = oracle::sssp(gen::path(6), 0);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(OracleSssp, WeightedPicksLightRoute) {
+  Graph g = Graph::undirected(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(0, 2, 5);
+  auto d = oracle::sssp(g, 0);
+  EXPECT_EQ(d[2], 2u);
+}
+
+TEST(OracleSssp, UnreachableIsInf) {
+  Graph g = Graph::undirected(4);
+  g.add_edge(0, 1);
+  auto d = oracle::sssp(g, 0);
+  EXPECT_EQ(d[2], oracle::kInfDist);
+  EXPECT_EQ(d[3], oracle::kInfDist);
+}
+
+TEST(OracleApsp, MatchesSsspRows) {
+  Graph g = gen::gnp_weighted(14, 0.3, 10, 31);
+  auto all = oracle::apsp(g);
+  for (NodeId s = 0; s < g.n(); ++s) {
+    auto row = oracle::sssp(g, s);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      EXPECT_EQ(all[static_cast<std::size_t>(s) * g.n() + v], row[v]);
+    }
+  }
+}
+
+TEST(OracleApsp, DirectedRespectsOrientation) {
+  Graph g = Graph::directed(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  auto d = oracle::apsp(g);
+  EXPECT_EQ(d[0 * 3 + 2], 2u);
+  EXPECT_EQ(d[2 * 3 + 0], oracle::kInfDist);
+}
+
+TEST(OracleConnectivity, DetectsComponents) {
+  EXPECT_TRUE(oracle::is_connected(gen::cycle(5)));
+  Graph g = Graph::undirected(4);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(oracle::is_connected(g));
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,203 @@
+#include "graphalg/apsp.hpp"
+
+#include "algebra/approx_minplus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/oracles.hpp"
+#include "graphalg/sssp.hpp"
+#include "util/rng.hpp"
+
+namespace ccq {
+namespace {
+
+void expect_apsp_match(NodeId n, const std::vector<std::uint64_t>& got,
+                       const std::vector<std::uint64_t>& want) {
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = 0; v < n; ++v) {
+      const auto g = got[static_cast<std::size_t>(u) * n + v];
+      const auto w = want[static_cast<std::size_t>(u) * n + v];
+      if (w == oracle::kInfDist) {
+        EXPECT_GE(g, kUnreachable) << u << "->" << v;
+      } else {
+        EXPECT_EQ(g, w) << u << "->" << v;
+      }
+    }
+}
+
+class ApspBothAlgos : public ::testing::TestWithParam<MmAlgo> {};
+
+INSTANTIATE_TEST_SUITE_P(Algos, ApspBothAlgos,
+                         ::testing::Values(MmAlgo::kNaiveBroadcast,
+                                           MmAlgo::k3dPartition),
+                         [](const auto& info) {
+                           return info.param == MmAlgo::kNaiveBroadcast
+                                      ? "naive"
+                                      : "partition3d";
+                         });
+
+TEST_P(ApspBothAlgos, UnweightedRandom) {
+  Graph g = gen::gnp(14, 0.25, 11);
+  auto r = apsp_clique(g, GetParam());
+  expect_apsp_match(14, r.dist, oracle::apsp(g));
+}
+
+TEST_P(ApspBothAlgos, WeightedRandom) {
+  Graph g = gen::gnp_weighted(12, 0.3, 15, 13);
+  auto r = apsp_clique(g, GetParam());
+  expect_apsp_match(12, r.dist, oracle::apsp(g));
+}
+
+TEST_P(ApspBothAlgos, DirectedWeighted) {
+  SplitMix64 rng(17);
+  Graph g = Graph::directed(10);
+  for (NodeId u = 0; u < 10; ++u)
+    for (NodeId v = 0; v < 10; ++v)
+      if (u != v && rng.next_bool(0.25))
+        g.add_edge(u, v, 1 + static_cast<std::uint32_t>(rng.next_below(9)));
+  auto r = apsp_clique(g, GetParam());
+  expect_apsp_match(10, r.dist, oracle::apsp(g));
+}
+
+TEST_P(ApspBothAlgos, DisconnectedComponents) {
+  Graph g = Graph::undirected(8);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3, 5);
+  auto r = apsp_clique(g, GetParam());
+  expect_apsp_match(8, r.dist, oracle::apsp(g));
+}
+
+TEST_P(ApspBothAlgos, PathGraphExactDistances) {
+  Graph g = gen::path(9);
+  auto r = apsp_clique(g, GetParam());
+  for (NodeId u = 0; u < 9; ++u)
+    for (NodeId v = 0; v < 9; ++v)
+      EXPECT_EQ(r.dist[u * 9 + v], static_cast<std::uint64_t>(
+                                       u > v ? u - v : v - u));
+}
+
+class ClosureBothAlgos : public ::testing::TestWithParam<MmAlgo> {};
+
+INSTANTIATE_TEST_SUITE_P(Algos, ClosureBothAlgos,
+                         ::testing::Values(MmAlgo::kNaiveBroadcast,
+                                           MmAlgo::k3dPartition),
+                         [](const auto& info) {
+                           return info.param == MmAlgo::kNaiveBroadcast
+                                      ? "naive"
+                                      : "partition3d";
+                         });
+
+TEST_P(ClosureBothAlgos, DirectedReachability) {
+  Graph g = gen::gnp_directed(13, 0.12, 19);
+  auto r = transitive_closure_clique(g, GetParam());
+  auto dist = oracle::apsp(g);
+  for (NodeId u = 0; u < 13; ++u)
+    for (NodeId v = 0; v < 13; ++v)
+      EXPECT_EQ(r.reach[u * 13 + v] != 0,
+                dist[u * 13 + v] != oracle::kInfDist)
+          << u << "->" << v;
+}
+
+TEST_P(ClosureBothAlgos, UndirectedComponents) {
+  Graph g = Graph::undirected(7);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(4, 5);
+  auto r = transitive_closure_clique(g, GetParam());
+  EXPECT_TRUE(r.reach[0 * 7 + 2]);
+  EXPECT_TRUE(r.reach[5 * 7 + 4]);
+  EXPECT_FALSE(r.reach[0 * 7 + 4]);
+  EXPECT_TRUE(r.reach[3 * 7 + 3]);  // reflexive
+}
+
+
+// ---------- (1+ε)-approximate APSP ----------
+
+TEST(ApproxMinPlusCodes, EncodeDecodeWithinBound) {
+  using S = ApproxMinPlus<6>;
+  SplitMix64 rng(0xab);
+  for (int t = 0; t < 2000; ++t) {
+    const std::uint64_t v = rng.next() >> (20 + rng.next_below(40));
+    const std::uint64_t back = S::decode(S::encode(v));
+    EXPECT_GE(back, v);
+    EXPECT_LE(static_cast<double>(back),
+              (1.0 + 1.0 / 32.0) * static_cast<double>(v) + 1.0);
+  }
+  EXPECT_EQ(S::decode(S::encode(0)), 0u);
+  EXPECT_EQ(S::decode(S::encode(63)), 63u);  // exact below 2^M
+}
+
+TEST(ApproxMinPlusCodes, OrderPreserved) {
+  using S = ApproxMinPlus<5>;
+  std::uint64_t prev_code = 0;
+  for (std::uint64_t v = 1; v < 200000; v = v * 9 / 8 + 1) {
+    const auto c = S::encode(v);
+    EXPECT_GE(c, prev_code) << v;
+    prev_code = c;
+    EXPECT_LT(c, S::kInf);
+  }
+}
+
+TEST(ApproxMinPlusCodes, RequiredMantissaMonotone) {
+  EXPECT_GE(required_mantissa_bits(0.01, 6),
+            required_mantissa_bits(0.1, 6));
+  EXPECT_GE(required_mantissa_bits(0.1, 12),
+            required_mantissa_bits(0.1, 3));
+}
+
+class ApproxApspSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ApproxApspSweep, WithinFactorOfExact) {
+  const double eps = GetParam();
+  Graph g = gen::gnp_weighted(14, 0.3, 1000, 99);
+  auto approx = apsp_approx_clique(g, eps);
+  auto exact = oracle::apsp(g);
+  for (NodeId u = 0; u < 14; ++u)
+    for (NodeId v = 0; v < 14; ++v) {
+      const auto d = exact[u * 14 + v];
+      const auto a = approx.dist[u * 14 + v];
+      if (d == oracle::kInfDist) {
+        EXPECT_GE(a, kUnreachable);
+      } else {
+        EXPECT_GE(a, d) << u << "," << v;  // one-sided rounding
+        EXPECT_LE(static_cast<double>(a), (1.0 + eps) * d + 1e-9)
+            << u << "," << v;
+      }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, ApproxApspSweep,
+                         ::testing::Values(0.5, 0.25, 0.1, 0.02));
+
+TEST(ApproxApsp, CheaperThanExactOnWideWeights) {
+  // Big weights make exact entries wide; the approximate codes stay small.
+  Graph g = gen::gnp_weighted(27, 0.3, 1 << 20, 7);
+  auto exact = apsp_clique(g);
+  auto approx = apsp_approx_clique(g, 0.25);
+  EXPECT_LT(approx.cost.rounds, exact.cost.rounds);
+}
+
+TEST(ApproxApsp, UnweightedGraphsNearExact) {
+  Graph g = gen::gnp(12, 0.25, 5);
+  auto approx = apsp_approx_clique(g, 0.1);
+  auto exact = oracle::apsp(g);
+  // Hop distances ≤ 11 < 2^M are represented exactly at this ε.
+  for (NodeId u = 0; u < 12; ++u)
+    for (NodeId v = 0; v < 12; ++v) {
+      if (exact[u * 12 + v] != oracle::kInfDist) {
+        EXPECT_EQ(approx.dist[u * 12 + v], exact[u * 12 + v]);
+      }
+    }
+}
+
+TEST(ApspCost, PartitionAlgoCheaperAtScale) {
+  Graph g = gen::gnp(64, 0.1, 23);
+  auto naive = apsp_clique(g, MmAlgo::kNaiveBroadcast);
+  auto tri = apsp_clique(g, MmAlgo::k3dPartition);
+  expect_apsp_match(64, naive.dist, tri.dist);
+  EXPECT_LT(tri.cost.rounds, naive.cost.rounds);
+}
+
+}  // namespace
+}  // namespace ccq

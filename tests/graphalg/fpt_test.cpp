@@ -1,0 +1,193 @@
+// Tests for the paper's three fixed-parameter results (§7.1–§7.3):
+// Theorem 9 (k-DS in O(n^{1-1/k})), Theorem 11 (k-VC in O(k)), and the
+// colour-coding k-path in exp(k) rounds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/oracles.hpp"
+#include "graphalg/kds.hpp"
+#include "graphalg/kpath.hpp"
+#include "graphalg/kvc.hpp"
+#include "util/rng.hpp"
+
+namespace ccq {
+namespace {
+
+// ---------- Theorem 9: k-dominating set ----------
+
+TEST(Kds, FindsPlantedDominatingSets) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto p = gen::planted_dominating_set(25, 2, 0.05, seed);
+    auto r = k_dominating_set_clique(p.graph, 2);
+    EXPECT_TRUE(r.found);
+    EXPECT_TRUE(oracle::is_dominating_set(p.graph, r.witness));
+    EXPECT_EQ(r.witness.size(), 2u);
+  }
+}
+
+class KdsSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KdsSweep, AgreesWithOracle) {
+  const unsigned k = GetParam();
+  SplitMix64 rng(k * 31 + 5);
+  for (int t = 0; t < 4; ++t) {
+    Graph g = gen::gnp(18, 0.10 + 0.08 * t, rng.next());
+    auto r = k_dominating_set_clique(g, k);
+    EXPECT_EQ(r.found, oracle::dominating_set(g, k).has_value())
+        << "k=" << k << " t=" << t;
+    if (r.found) {
+      EXPECT_TRUE(oracle::is_dominating_set(g, r.witness));
+      EXPECT_LE(r.witness.size(), k);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(K, KdsSweep, ::testing::Values(1u, 2u, 3u));
+
+TEST(Kds, StarNeedsOnlyCentre) {
+  auto r = k_dominating_set_clique(gen::star(20), 1);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.witness, (std::vector<NodeId>{0}));
+}
+
+TEST(Kds, EmptyGraphRejects) {
+  EXPECT_FALSE(k_dominating_set_clique(gen::empty(12), 3).found);
+}
+
+TEST(Kds, RoundsSublinearInN) {
+  // O(n^{1-1/k}) for k=2 → ~√n growth. Check rounds(64)/rounds(16) is well
+  // below the linear ratio 4 on sparse instances.
+  auto r16 = k_dominating_set_clique(
+      gen::planted_dominating_set(16, 2, 0.05, 1).graph, 2);
+  auto r64 = k_dominating_set_clique(
+      gen::planted_dominating_set(64, 2, 0.05, 1).graph, 2);
+  const double ratio = static_cast<double>(r64.cost.rounds) /
+                       std::max<std::uint64_t>(r16.cost.rounds, 1);
+  EXPECT_LT(ratio, 4.0);
+}
+
+// ---------- Theorem 11: k-vertex cover ----------
+
+TEST(Kvc, FindsPlantedCovers) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto p = gen::planted_vertex_cover(30, 3, 20, seed);
+    auto r = k_vertex_cover_clique(p.graph, 3);
+    EXPECT_TRUE(r.found);
+    EXPECT_TRUE(oracle::is_vertex_cover(p.graph, r.witness));
+    EXPECT_LE(r.witness.size(), 3u);
+  }
+}
+
+class KvcSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KvcSweep, AgreesWithOracle) {
+  const unsigned k = GetParam();
+  SplitMix64 rng(k * 97 + 3);
+  for (int t = 0; t < 4; ++t) {
+    Graph g = gen::gnp(16, 0.06 + 0.05 * t, rng.next());
+    auto r = k_vertex_cover_clique(g, k);
+    EXPECT_EQ(r.found, oracle::vertex_cover(g, k).has_value())
+        << "k=" << k << " t=" << t;
+    if (r.found) {
+      EXPECT_TRUE(oracle::is_vertex_cover(g, r.witness));
+      EXPECT_LE(r.witness.size(), k);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(K, KvcSweep, ::testing::Values(0u, 1u, 2u, 4u));
+
+TEST(Kvc, HighDegreeRuleRejectsFast) {
+  // Star with k=0: centre has degree 19 ≥ 1 → joins C, |C| = 1 > 0.
+  auto r = k_vertex_cover_clique(gen::star(20), 0);
+  EXPECT_FALSE(r.found);
+  // A single round of preprocessing suffices to reject.
+  EXPECT_LE(r.cost.rounds, 1u);
+}
+
+TEST(Kvc, CoverContainsAllHighDegreeNodes) {
+  // Two stars joined: both centres must be in any 2-cover.
+  Graph g = Graph::undirected(12);
+  for (NodeId v = 2; v < 7; ++v) g.add_edge(0, v);
+  for (NodeId v = 7; v < 12; ++v) g.add_edge(1, v);
+  auto r = k_vertex_cover_clique(g, 2);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.witness, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(Kvc, RoundsIndependentOfN) {
+  // The headline claim of Theorem 11: rounds depend on k, not n.
+  const unsigned k = 3;
+  std::uint64_t rounds_small = 0, rounds_large = 0;
+  {
+    auto p = gen::planted_vertex_cover(16, k, 12, 7);
+    rounds_small = k_vertex_cover_clique(p.graph, k).cost.rounds;
+  }
+  {
+    auto p = gen::planted_vertex_cover(96, k, 12, 7);
+    rounds_large = k_vertex_cover_clique(p.graph, k).cost.rounds;
+  }
+  // Allow a ±1 round wobble from ⌈·/B⌉ effects; no growth with n.
+  EXPECT_LE(rounds_large, rounds_small + 1);
+}
+
+TEST(Kvc, EmptyGraphNeedsNoCover) {
+  auto r = k_vertex_cover_clique(gen::empty(8), 0);
+  EXPECT_TRUE(r.found);
+  EXPECT_TRUE(r.witness.empty());
+}
+
+// ---------- k-path via colour coding ----------
+
+TEST(KPath, FindsPlantedPaths) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    auto p = gen::planted_hamiltonian_path(12, 0.0, seed);
+    // A Hamiltonian path contains a k-path for every k ≤ n.
+    auto r = k_path_clique(p.graph, 4);
+    EXPECT_TRUE(r.found) << seed;
+  }
+}
+
+TEST(KPath, SoundOnEdgelessGraphs) {
+  auto r = k_path_clique(gen::empty(10), 2, 50);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(KPath, ExactThreshold) {
+  // A path graph on 6 nodes has k-paths up to k=6 and none longer.
+  Graph p6 = gen::path(6);
+  EXPECT_TRUE(k_path_clique(p6, 3).found);
+  EXPECT_TRUE(k_path_clique(p6, 6).found);
+  EXPECT_FALSE(k_path_clique(gen::path(3), 4, 100).found);
+}
+
+TEST(KPath, AgreesWithOracleOnSparseGraphs) {
+  SplitMix64 rng(51);
+  for (int t = 0; t < 4; ++t) {
+    Graph g = gen::gnp(14, 0.08, rng.next());
+    const bool expect = oracle::k_path(g, 4).has_value();
+    auto r = k_path_clique(g, 4);
+    if (expect) {
+      EXPECT_TRUE(r.found) << t;  // whp with the default trial budget
+    } else {
+      EXPECT_FALSE(r.found) << t;  // soundness is unconditional
+    }
+  }
+}
+
+TEST(KPath, RoundsIndependentOfN) {
+  const unsigned k = 3, trials = 5;
+  auto small = k_path_clique(gen::path(12), k, trials);
+  auto large = k_path_clique(gen::path(60), k, trials);
+  // Both find a 3-path in trial 1; the per-trial round cost is ⌈2^k/B⌉-ish
+  // and B grows with n, so large-n rounds can only shrink.
+  EXPECT_TRUE(small.found);
+  EXPECT_TRUE(large.found);
+  EXPECT_LE(large.cost.rounds, small.cost.rounds + 1);
+}
+
+}  // namespace
+}  // namespace ccq

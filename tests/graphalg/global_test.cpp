@@ -1,0 +1,79 @@
+#include "graphalg/global.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/oracles.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(GlobalMaxIS, MatchesOracleSize) {
+  SplitMix64 rng(61);
+  for (int t = 0; t < 5; ++t) {
+    Graph g = gen::gnp(14, 0.3, rng.next());
+    auto r = max_independent_set_clique(g);
+    EXPECT_TRUE(r.found);
+    EXPECT_TRUE(oracle::is_independent_set(g, r.witness));
+    EXPECT_EQ(r.witness.size(), oracle::max_independent_set(g).size());
+  }
+}
+
+TEST(GlobalMinVC, GallaiWithMaxIS) {
+  Graph g = gen::gnp(13, 0.4, 3);
+  auto is = max_independent_set_clique(g);
+  auto vc = min_vertex_cover_clique(g);
+  EXPECT_TRUE(oracle::is_vertex_cover(g, vc.witness));
+  EXPECT_EQ(is.witness.size() + vc.witness.size(), g.n());
+}
+
+TEST(GlobalColouring, DecidesChromaticThreshold) {
+  Graph c5 = gen::cycle(5);
+  EXPECT_FALSE(k_colouring_clique(c5, 2).found);
+  auto r3 = k_colouring_clique(c5, 3);
+  EXPECT_TRUE(r3.found);
+  EXPECT_TRUE(oracle::is_proper_colouring(c5, r3.witness, 3));
+}
+
+TEST(GlobalColouring, PlantedInstances) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    auto p = gen::planted_k_colourable(15, 3, 0.5, seed);
+    auto r = k_colouring_clique(p.graph, 3);
+    EXPECT_TRUE(r.found);
+    EXPECT_TRUE(oracle::is_proper_colouring(p.graph, r.witness, 3));
+  }
+}
+
+TEST(GlobalHamPath, MatchesOracle) {
+  auto planted = gen::planted_hamiltonian_path(10, 0.1, 3);
+  auto r = hamiltonian_path_clique(planted.graph);
+  EXPECT_TRUE(r.found);
+  EXPECT_TRUE(oracle::is_hamiltonian_path(planted.graph, r.witness));
+  EXPECT_FALSE(hamiltonian_path_clique(gen::star(8)).found);
+}
+
+TEST(GlobalSolve, CostIsLearnTheGraph) {
+  // One broadcast of n bits each: ⌈n/B⌉ rounds exactly.
+  const NodeId n = 32;
+  Graph g = gen::gnp(n, 0.3, 9);
+  auto r = max_independent_set_clique(g);
+  EXPECT_EQ(r.cost.rounds, ceil_div(n, ceil_log2(n)));
+}
+
+TEST(GlobalSolve, GenericSolverPlumbing) {
+  // A custom local solver: report nodes of even degree.
+  Graph g = gen::star(5);
+  auto r = solve_globally(g, [](const Graph& full) {
+    std::vector<NodeId> out;
+    for (NodeId v = 0; v < full.n(); ++v)
+      if (full.degree(v) % 2 == 0) out.push_back(v);
+    return std::optional<std::vector<NodeId>>(out);
+  });
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.witness, (std::vector<NodeId>{0}));  // centre has degree 4
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,206 @@
+#include "graphalg/mst.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/oracles.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(OracleMsf, PathAndCycle) {
+  // MSF of a path is the path; of a weighted cycle, drop the heaviest edge.
+  Graph p = gen::path(5);
+  EXPECT_EQ(oracle::min_spanning_forest(p).size(), 4u);
+  Graph c = Graph::undirected(4);
+  c.add_edge(0, 1, 1);
+  c.add_edge(1, 2, 2);
+  c.add_edge(2, 3, 3);
+  c.add_edge(3, 0, 9);
+  auto f = oracle::min_spanning_forest(c);
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_EQ(oracle::msf_weight(c), 6u);
+}
+
+TEST(OracleMsf, ForestOfComponents) {
+  Graph g = Graph::undirected(6);
+  g.add_edge(0, 1, 2);
+  g.add_edge(2, 3, 5);
+  g.add_edge(3, 4, 1);
+  auto f = oracle::min_spanning_forest(g);
+  EXPECT_EQ(f.size(), 3u);  // node 5 isolated
+  EXPECT_EQ(oracle::msf_weight(g), 8u);
+}
+
+TEST(MstClique, MatchesOracleWeightOnRandomGraphs) {
+  SplitMix64 rng(0x357);
+  for (int t = 0; t < 6; ++t) {
+    Graph g = gen::gnp_weighted(20, 0.2 + 0.1 * t, 50, rng.next());
+    auto r = mst_boruvka_clique(g);
+    EXPECT_EQ(r.weight, oracle::msf_weight(g)) << t;
+    EXPECT_EQ(r.forest.size(), oracle::min_spanning_forest(g).size()) << t;
+  }
+}
+
+TEST(MstClique, ExactForestUnderDistinctWeights) {
+  // With distinct weights the MSF is unique — edge sets must match.
+  SplitMix64 rng(0x358);
+  for (int t = 0; t < 4; ++t) {
+    Graph g = Graph::undirected(14);
+    std::uint32_t w = 1;
+    for (NodeId u = 0; u < 14; ++u)
+      for (NodeId v = u + 1; v < 14; ++v)
+        if (rng.next_bool(0.3)) g.add_edge(u, v, w++);
+    auto got = mst_boruvka_clique(g).forest;
+    auto want = oracle::min_spanning_forest(g);
+    ASSERT_EQ(got.size(), want.size()) << t;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].u, want[i].u);
+      EXPECT_EQ(got[i].v, want[i].v);
+    }
+  }
+}
+
+TEST(MstClique, TieBreakingIsCanonical) {
+  // All weights equal: the (w,u,v) order still gives a unique forest.
+  Graph g = gen::complete(8);
+  auto r = mst_boruvka_clique(g);
+  EXPECT_EQ(r.forest.size(), 7u);
+  EXPECT_EQ(r.weight, 7u);
+  auto want = oracle::min_spanning_forest(g);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(r.forest[i].u, want[i].u);
+    EXPECT_EQ(r.forest[i].v, want[i].v);
+  }
+}
+
+TEST(MstClique, DisconnectedInput) {
+  Graph g = Graph::undirected(8);
+  g.add_edge(0, 1, 3);
+  g.add_edge(2, 3, 4);
+  g.add_edge(3, 4, 5);
+  auto r = mst_boruvka_clique(g);
+  EXPECT_EQ(r.forest.size(), 3u);
+  EXPECT_EQ(r.weight, 12u);
+}
+
+TEST(MstClique, EdgelessAndSingleton) {
+  EXPECT_EQ(mst_boruvka_clique(gen::empty(5)).forest.size(), 0u);
+  EXPECT_EQ(mst_boruvka_clique(gen::empty(1)).weight, 0u);
+}
+
+TEST(MstClique, PhasesAreLogarithmic) {
+  // Borůvka: components at least halve per phase ⇒ ≤ ⌈log₂ n⌉ phases.
+  for (NodeId n : {16u, 64u, 128u}) {
+    Graph g = gen::gnp_weighted(n, 0.2, 30, n);
+    auto r = mst_boruvka_clique(g);
+    EXPECT_LE(r.phases, ceil_log2(n)) << n;
+  }
+}
+
+TEST(MstClique, AdversarialBoruvkaCounterexampleShape) {
+  // The regression shape for the node-min vs component-min bug: two
+  // two-node components whose members' own minima point at a heavy edge
+  // while a lighter inter-component edge exists elsewhere.
+  Graph g = Graph::undirected(6);
+  g.add_edge(0, 1, 1);   // component {0,1} former phase
+  g.add_edge(2, 3, 1);   // component {2,3}
+  g.add_edge(0, 2, 5);   // heavy bridge (node 0's only outgoing)
+  g.add_edge(1, 4, 1);   // light edges pulling members elsewhere
+  g.add_edge(3, 5, 1);
+  g.add_edge(1, 3, 2);   // the light bridge the MSF must use
+  auto r = mst_boruvka_clique(g);
+  EXPECT_EQ(r.weight, oracle::msf_weight(g));
+  for (const Edge& e : r.forest) {
+    EXPECT_FALSE(e.u == 0 && e.v == 2) << "non-MSF heavy bridge selected";
+  }
+}
+
+
+// ---------- proof-labelling MSF verification ----------
+
+TEST(MsfVerify, HonestCertificateAccepted) {
+  SplitMix64 rng(0xabc);
+  for (int t = 0; t < 5; ++t) {
+    Graph g = gen::gnp_weighted(18, 0.2 + 0.1 * t, 40, rng.next());
+    auto mst = mst_boruvka_clique(g);
+    auto cert = msf_certificate(g, mst.forest);
+    auto run = verify_msf_clique(g, cert);
+    EXPECT_TRUE(run.accepted()) << t;
+    EXPECT_LE(run.cost.rounds, 2u * ceil_div(32, node_id_bits(18)) + 8)
+        << "verification must stay O(1)-ish";
+  }
+}
+
+TEST(MsfVerify, NonMinimalSpanningTreeRejected) {
+  // A spanning tree that uses a heavy edge where a light one closes the
+  // cycle violates the cycle property.
+  Graph g = Graph::undirected(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 3, 1);
+  g.add_edge(0, 3, 9);
+  // Claim the tree {01, 12, 03}: drops the light 23 for the heavy 03.
+  std::vector<Edge> claimed = {{0, 1, 1}, {1, 2, 1}, {0, 3, 9}};
+  auto cert = msf_certificate(g, claimed);
+  EXPECT_FALSE(verify_msf_clique(g, cert).accepted());
+}
+
+TEST(MsfVerify, NonSpanningForestRejected) {
+  // Connected graph, but the certificate omits a component-joining edge.
+  Graph g = Graph::undirected(4);
+  g.add_edge(0, 1, 2);
+  g.add_edge(2, 3, 2);
+  g.add_edge(1, 2, 5);
+  std::vector<Edge> claimed = {{0, 1, 2}, {2, 3, 2}};  // misses {1,2}
+  auto cert = msf_certificate(g, claimed);
+  EXPECT_FALSE(verify_msf_clique(g, cert).accepted());
+}
+
+TEST(MsfVerify, ForgedParentEdgeRejected) {
+  Graph g = gen::gnp_weighted(10, 0.4, 20, 9);
+  auto mst = mst_boruvka_clique(g);
+  auto cert = msf_certificate(g, mst.forest);
+  // Point some node at a non-neighbour (or itself).
+  for (NodeId v = 0; v < 10; ++v) {
+    if (cert.parent[v].has_value()) {
+      cert.parent[v] = v;  // self-parent: invalid edge
+      break;
+    }
+  }
+  EXPECT_FALSE(verify_msf_clique(g, cert).accepted());
+}
+
+TEST(MsfVerify, CyclicParentPointersRejected) {
+  Graph g = gen::cycle(4);  // unweighted: all weights 1
+  MsfCertificate cert;
+  cert.parent = {std::optional<NodeId>(1), std::optional<NodeId>(2),
+                 std::optional<NodeId>(3), std::optional<NodeId>(0)};
+  EXPECT_FALSE(verify_msf_clique(g, cert).accepted());
+}
+
+TEST(MsfVerify, CertificateBuilderRejectsCycles) {
+  Graph g = gen::cycle(3);
+  std::vector<Edge> cyclic = {{0, 1, 1}, {1, 2, 1}, {0, 2, 1}};
+  EXPECT_THROW(msf_certificate(g, cyclic), ModelViolation);
+}
+
+TEST(MsfVerify, ForestOnDisconnectedGraphAccepted) {
+  Graph g = Graph::undirected(6);
+  g.add_edge(0, 1, 3);
+  g.add_edge(2, 3, 1);
+  g.add_edge(3, 4, 2);
+  auto mst = mst_boruvka_clique(g);
+  auto cert = msf_certificate(g, mst.forest);
+  EXPECT_TRUE(verify_msf_clique(g, cert).accepted());
+}
+
+TEST(MstClique, WeightedDirectedRejected) {
+  EXPECT_THROW(mst_boruvka_clique(gen::gnp_directed(6, 0.3, 1)),
+               ModelViolation);
+}
+
+}  // namespace
+}  // namespace ccq

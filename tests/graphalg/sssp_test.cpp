@@ -1,0 +1,132 @@
+#include "graphalg/sssp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/oracles.hpp"
+#include "util/rng.hpp"
+
+namespace ccq {
+namespace {
+
+void expect_dist_match(const std::vector<std::uint64_t>& got,
+                       const std::vector<std::uint64_t>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    if (want[v] == oracle::kInfDist) {
+      EXPECT_GE(got[v], kUnreachable) << "node " << v;
+    } else {
+      EXPECT_EQ(got[v], want[v]) << "node " << v;
+    }
+  }
+}
+
+// Parents must form a valid shortest-path tree.
+void expect_valid_tree(const Graph& g, NodeId source, const SsspResult& r) {
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (v == source || r.dist[v] >= kUnreachable) {
+      EXPECT_EQ(r.parent[v], v);
+      continue;
+    }
+    const NodeId p = r.parent[v];
+    EXPECT_TRUE(g.is_directed() ? g.has_edge(p, v) : g.has_edge(p, v));
+    const std::uint64_t w = g.is_weighted() ? g.weight(p, v) : 1;
+    EXPECT_EQ(r.dist[v], r.dist[p] + w);
+  }
+}
+
+TEST(BfsClique, PathGraph) {
+  Graph g = gen::path(9);
+  auto r = bfs_clique(g, 0);
+  for (NodeId v = 0; v < 9; ++v) EXPECT_EQ(r.dist[v], v);
+  expect_valid_tree(g, 0, r);
+}
+
+TEST(BfsClique, MatchesOracleOnRandomGraphs) {
+  SplitMix64 rng(42);
+  for (int t = 0; t < 6; ++t) {
+    Graph g = gen::gnp(20, 0.15, rng.next());
+    const NodeId s = static_cast<NodeId>(rng.next_below(20));
+    auto r = bfs_clique(g, s);
+    expect_dist_match(r.dist, oracle::sssp(g, s));
+    expect_valid_tree(g, s, r);
+  }
+}
+
+TEST(BfsClique, DisconnectedMarksUnreachable) {
+  Graph g = Graph::undirected(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  auto r = bfs_clique(g, 0);
+  EXPECT_EQ(r.dist[2], 2u);
+  EXPECT_GE(r.dist[4], kUnreachable);
+}
+
+TEST(BfsClique, DirectedFollowsOrientation) {
+  Graph g = Graph::directed(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 0);
+  auto r = bfs_clique(g, 0);
+  EXPECT_EQ(r.dist[2], 2u);
+  EXPECT_GE(r.dist[3], kUnreachable);  // edge points 3→0 only
+}
+
+TEST(BfsClique, RoundsScaleWithDiameter) {
+  // Path graph: diameter n-1 ⇒ Θ(n) rounds. Clique: diameter 1 ⇒ O(1).
+  auto path_r = bfs_clique(gen::path(24), 0);
+  auto clique_r = bfs_clique(gen::complete(24), 0);
+  EXPECT_GT(path_r.cost.rounds, 24u);
+  EXPECT_LE(clique_r.cost.rounds, 8u);
+}
+
+TEST(BellmanFord, MatchesDijkstraOnWeightedGraphs) {
+  SplitMix64 rng(77);
+  for (int t = 0; t < 6; ++t) {
+    Graph g = gen::gnp_weighted(16, 0.3, 20, rng.next());
+    const NodeId s = static_cast<NodeId>(rng.next_below(16));
+    auto r = bellman_ford_clique(g, s);
+    expect_dist_match(r.dist, oracle::sssp(g, s));
+    expect_valid_tree(g, s, r);
+  }
+}
+
+TEST(BellmanFord, UnweightedAgreesWithBfs) {
+  Graph g = gen::gnp(18, 0.2, 5);
+  auto bf = bellman_ford_clique(g, 3);
+  auto bfs = bfs_clique(g, 3);
+  for (NodeId v = 0; v < 18; ++v) {
+    EXPECT_EQ(bf.dist[v] >= kUnreachable, bfs.dist[v] >= kUnreachable);
+    if (bf.dist[v] < kUnreachable) {
+      EXPECT_EQ(bf.dist[v], bfs.dist[v]);
+    }
+  }
+}
+
+TEST(BellmanFord, PrefersLightMultiHopRoute) {
+  Graph g = Graph::undirected(4);
+  g.add_edge(0, 3, 100);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 3, 1);
+  auto r = bellman_ford_clique(g, 0);
+  EXPECT_EQ(r.dist[3], 3u);
+  EXPECT_EQ(r.parent[3], 2u);
+}
+
+TEST(BellmanFord, SingleNode) {
+  auto r = bellman_ford_clique(gen::empty(1), 0);
+  EXPECT_EQ(r.dist[0], 0u);
+}
+
+TEST(BellmanFord, EarlyExitKeepsRoundsNearDiameter) {
+  // A clique converges in one iteration; rounds must be far below n-1
+  // iterations' worth.
+  Graph g = gen::complete(20);
+  auto r = bellman_ford_clique(g, 0);
+  const std::uint64_t per_iter_upper = 8;  // broadcast + vote at n=20
+  EXPECT_LE(r.cost.rounds, 3 * per_iter_upper);
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,135 @@
+#include "graphalg/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/oracles.hpp"
+#include "util/rng.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(TriangleClique, DetectsPlantedTriangle) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto p = gen::planted_clique(18, 3, 0.05, seed);
+    auto r = triangle_clique(p.graph);
+    EXPECT_TRUE(r.found);
+    ASSERT_EQ(r.witness.size(), 3u);
+    EXPECT_TRUE(p.graph.has_edge(r.witness[0], r.witness[1]));
+    EXPECT_TRUE(p.graph.has_edge(r.witness[1], r.witness[2]));
+    EXPECT_TRUE(p.graph.has_edge(r.witness[0], r.witness[2]));
+  }
+}
+
+TEST(TriangleClique, RejectsBipartite) {
+  EXPECT_FALSE(triangle_clique(gen::complete_bipartite(8, 8)).found);
+}
+
+// Parameterised soundness/completeness sweep against the oracle.
+struct DetectCase {
+  double p;
+  std::uint64_t seed;
+};
+
+class TriangleSweep : public ::testing::TestWithParam<DetectCase> {};
+
+TEST_P(TriangleSweep, AgreesWithOracle) {
+  Graph g = gen::gnp(16, GetParam().p, GetParam().seed);
+  auto r = triangle_clique(g);
+  EXPECT_EQ(r.found, oracle::k_clique(g, 3).has_value());
+  if (r.found) {
+    EXPECT_TRUE(g.has_edge(r.witness[0], r.witness[1]));
+    EXPECT_TRUE(g.has_edge(r.witness[1], r.witness[2]));
+    EXPECT_TRUE(g.has_edge(r.witness[0], r.witness[2]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, TriangleSweep,
+    ::testing::Values(DetectCase{0.05, 1}, DetectCase{0.1, 2},
+                      DetectCase{0.15, 3}, DetectCase{0.2, 4},
+                      DetectCase{0.3, 5}, DetectCase{0.5, 6}));
+
+class KisSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KisSweep, AgreesWithOracleAcrossDensities) {
+  const unsigned k = GetParam();
+  SplitMix64 rng(k * 1000 + 7);
+  for (int t = 0; t < 4; ++t) {
+    Graph g = gen::gnp(16, 0.35 + 0.15 * t, rng.next());
+    auto r = independent_set_clique(g, k);
+    EXPECT_EQ(r.found, oracle::independent_set(g, k).has_value())
+        << "k=" << k << " t=" << t;
+    if (r.found) {
+      EXPECT_TRUE(oracle::is_independent_set(g, r.witness));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(K, KisSweep, ::testing::Values(2u, 3u, 4u));
+
+TEST(CliqueDetect, FourCliqueSweep) {
+  SplitMix64 rng(99);
+  for (int t = 0; t < 5; ++t) {
+    Graph g = gen::gnp(16, 0.4, rng.next());
+    auto r = clique_detect_clique(g, 4);
+    EXPECT_EQ(r.found, oracle::k_clique(g, 4).has_value());
+  }
+}
+
+TEST(KCycleClique, ExactCycleLengths) {
+  Graph c7 = gen::cycle(7);
+  EXPECT_TRUE(k_cycle_clique(c7, 7).found);
+  EXPECT_FALSE(k_cycle_clique(c7, 4).found);
+  EXPECT_FALSE(k_cycle_clique(c7, 3).found);
+}
+
+TEST(KCycleClique, PlantedFourCycles) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto p = gen::planted_k_cycle(16, 4, 0.05, seed);
+    auto r = k_cycle_clique(p.graph, 4);
+    EXPECT_TRUE(r.found);
+    ASSERT_EQ(r.witness.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+      EXPECT_TRUE(p.graph.has_edge(r.witness[i], r.witness[(i + 1) % 4]));
+  }
+}
+
+TEST(SubgraphClique, PathPatternSweep) {
+  Graph p4 = gen::path(4);
+  SplitMix64 rng(123);
+  for (int t = 0; t < 5; ++t) {
+    Graph g = gen::gnp(16, 0.08 + 0.04 * t, rng.next());
+    auto r = subgraph_clique(g, p4);
+    EXPECT_EQ(r.found, oracle::subgraph(g, p4).has_value()) << t;
+  }
+}
+
+TEST(SubgraphClique, StarPattern) {
+  Graph star4 = gen::star(4);  // K_{1,3}
+  Graph host = gen::star(10);
+  EXPECT_TRUE(subgraph_clique(host, star4).found);
+  EXPECT_FALSE(subgraph_clique(gen::cycle(8), star4).found);
+}
+
+TEST(Detector, EmptyAndTinyGraphs) {
+  EXPECT_FALSE(triangle_clique(gen::empty(5)).found);
+  EXPECT_FALSE(triangle_clique(gen::empty(2)).found);
+  EXPECT_TRUE(independent_set_clique(gen::empty(4), 4).found);
+}
+
+TEST(Detector, RoundsGrowSublinearly) {
+  // Triangle detection is O(n^{1/3}·poly): rounds(64)/rounds(8) must stay
+  // far below the linear ratio 8.
+  auto r8 = triangle_clique(gen::gnp(8, 0.1, 1));
+  auto r64 = triangle_clique(gen::gnp(64, 0.1, 1));
+  EXPECT_LT(r64.cost.rounds, 8 * std::max<std::uint64_t>(r8.cost.rounds, 1));
+}
+
+TEST(Detector, DirectedRejected) {
+  EXPECT_THROW(triangle_clique(gen::gnp_directed(8, 0.2, 1)),
+               ModelViolation);
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,209 @@
+// Tests for the constructive Theorem 2 instantiation and the §6.2
+// alternation machinery (Theorem 7).
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/oracles.hpp"
+#include "hierarchy/alternation.hpp"
+#include "hierarchy/diagonal.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace ccq {
+namespace {
+
+// ---------- balanced private encoding ----------
+
+TEST(BalancedPrefixes, EveryEdgeOwnedExactlyOnce) {
+  Graph g = gen::gnp(6, 0.5, 3);
+  // Reconstruct the graph from the owners' bits.
+  auto prefixes = balanced_private_prefixes(g, 5);
+  // Count bits owned per node under the assignment rule.
+  std::vector<unsigned> owned(6, 0);
+  Graph rebuilt = Graph::undirected(6);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) {
+      const NodeId owner = ((u + v) % 2 == 0) ? u : v;
+      if (owned[owner] < 5 && prefixes[owner].get(owned[owner])) {
+        rebuilt.add_edge(u, v);
+      }
+      ++owned[owner];
+    }
+  }
+  // All nodes own ≤ 5 bits at n=6, so the reconstruction is complete.
+  EXPECT_TRUE(rebuilt == g);
+}
+
+TEST(BalancedPrefixes, PaddedToRequestedLength) {
+  Graph g = gen::path(4);
+  auto prefixes = balanced_private_prefixes(g, 7);
+  for (const auto& p : prefixes) EXPECT_EQ(p.size(), 7u);
+}
+
+// ---------- Theorem 2 at toy scale ----------
+
+TEST(ToyDiagonalisation, ExistsAtZeroRoundBudget) {
+  auto diag = ToyDiagonalisation::make(2, 1, 0);
+  ASSERT_TRUE(diag.has_value());
+  // The hard function is the lex-first non-constant: AND (see
+  // protocol_test); the diagonal language on 2 nodes has 1 input bit
+  // (the single potential edge), duplicated... — just check hardness.
+  EXPECT_EQ(diag->hard_function().to_string(), "0001");
+}
+
+TEST(ToyDiagonalisation, NoneAtGenerousBudget) {
+  // With t=1 every function is achievable — no diagonal language exists at
+  // this scale (the asymptotic theorem needs t strictly below L/b-ish).
+  EXPECT_FALSE(ToyDiagonalisation::make(2, 1, 1).has_value());
+}
+
+TEST(ToyDiagonalisation, CliqueAlgorithmDecidesTheLanguage) {
+  auto diag = ToyDiagonalisation::make(2, 1, 0);
+  ASSERT_TRUE(diag.has_value());
+  // Both 2-node graphs: with and without the edge.
+  for (bool edge : {false, true}) {
+    Graph g = Graph::undirected(2);
+    if (edge) g.add_edge(0, 1);
+    auto run = diag->decide_clique(g);
+    EXPECT_EQ(run.accepted(), diag->in_language(g)) << edge;
+    EXPECT_TRUE(run.accepted() || run.rejected());
+    // Upper bound side: ⌈L/B⌉ = 1 round of broadcast.
+    EXPECT_EQ(run.cost.rounds, 1u);
+  }
+}
+
+TEST(ToyDiagonalisation, HardFunctionTrulyUnachievable) {
+  auto diag = ToyDiagonalisation::make(2, 1, 0);
+  ASSERT_TRUE(diag.has_value());
+  auto achievable = diag->space().achievable_functions();
+  EXPECT_FALSE(achievable[index_from_table(diag->hard_function())]);
+}
+
+TEST(ToyDiagonalisation, LanguageSeparatesInputs) {
+  // f = AND of the two nodes' bits; node 0 owns the single edge bit
+  // (0+1 odd → owner is node 1, padded elsewhere)... regardless of the
+  // ownership details the two instances must get different answers, since
+  // the input codes differ and AND(0)=0 < AND(full)=… — check via codes.
+  auto diag = ToyDiagonalisation::make(2, 1, 0);
+  ASSERT_TRUE(diag.has_value());
+  Graph no_edge = Graph::undirected(2);
+  Graph with_edge = Graph::undirected(2);
+  with_edge.add_edge(0, 1);
+  EXPECT_NE(diag->input_code(no_edge), diag->input_code(with_edge));
+}
+
+TEST(ToyDiagonalisation, ThreeNodeInstance) {
+  auto diag = ToyDiagonalisation::make(3, 1, 0);
+  ASSERT_TRUE(diag.has_value());
+  SplitMix64 rng(5);
+  for (int t = 0; t < 8; ++t) {
+    Graph g = gen::gnp(3, 0.5, rng.next());
+    auto run = diag->decide_clique(g);
+    EXPECT_EQ(run.accepted(), diag->in_language(g)) << t;
+  }
+}
+
+// ---------- Σ_k / Π_k basics on a toy algorithm ----------
+
+// A 1-labelling algorithm: "∃ a selected node that is isolated" (each node
+// guesses 1 bit = "I am selected & isolated"), giving a Σ₁ language; its
+// complement "∀..." shape gives the Π₁ dual.
+KLabelAlgorithm isolated_selected() {
+  KLabelAlgorithm a;
+  a.name = "exists-isolated";
+  a.k = 1;
+  a.label_bits = [](NodeId) { return std::size_t{1}; };
+  a.program = [](NodeCtx& ctx) {
+    const bool claim = ctx.label(0).get(0);
+    const bool valid = !claim || ctx.adj_row().popcount() == 0;
+    const bool someone = ctx.any(claim && valid);
+    // Reject invalid claims globally; accept iff a valid claim exists.
+    const bool liar = ctx.any(claim && !valid);
+    ctx.decide(someone && !liar);
+  };
+  return a;
+}
+
+TEST(Alternation, SigmaOneSemantics) {
+  // Graph with an isolated node: accepted; without: rejected.
+  Graph has_iso = Graph::undirected(3);
+  has_iso.add_edge(0, 1);  // node 2 isolated
+  EXPECT_TRUE(alternating_accepts(has_iso, isolated_selected(), true));
+  Graph no_iso = gen::cycle(3);
+  EXPECT_FALSE(alternating_accepts(no_iso, isolated_selected(), true));
+}
+
+TEST(Alternation, PiOneIsTheDual) {
+  // Π₁ with the same algorithm: ∀z A(G,z)=1. The all-zero labelling makes
+  // `someone` false, so Π₁ acceptance fails everywhere for this A.
+  Graph has_iso = Graph::undirected(3);
+  has_iso.add_edge(0, 1);
+  EXPECT_FALSE(alternating_accepts(has_iso, isolated_selected(), false));
+}
+
+// ---------- Theorem 7 ----------
+
+TEST(Sigma2Universal, HonestGuessAcceptedForAllProbes) {
+  // G ∈ L with the honest z₁ ⇒ accepted for every universal z₂.
+  auto algo = sigma2_universal("has-triangle", [](const Graph& g) {
+    return oracle::k_clique(g, 3).has_value();
+  });
+  auto p = gen::planted_clique(4, 3, 0.2, 7);
+  EXPECT_TRUE(
+      accepts_for_all_suffix(p.graph, algo, sigma2_honest_guess(p.graph)));
+}
+
+TEST(Sigma2Universal, HonestGuessRejectedWhenNotInLanguage) {
+  auto algo = sigma2_universal("has-triangle", [](const Graph& g) {
+    return oracle::k_clique(g, 3).has_value();
+  });
+  Graph g = gen::path(4);  // triangle-free
+  EXPECT_FALSE(accepts_for_all_suffix(g, algo, sigma2_honest_guess(g)));
+}
+
+TEST(Sigma2Universal, DishonestGuessCaughtByUniversalProbe) {
+  // Some node guesses a different graph (one with a triangle); a universal
+  // probe must expose the inconsistency, so ∀z₂-acceptance fails.
+  auto algo = sigma2_universal("has-triangle", [](const Graph& g) {
+    return oracle::k_clique(g, 3).has_value();
+  });
+  Graph g = gen::path(4);           // the real input: triangle-free
+  Graph fake = gen::complete(4);    // the forged guess
+  Labelling z1 = sigma2_honest_guess(g);
+  z1[2] = sigma2_encode_guess(fake);
+  EXPECT_FALSE(accepts_for_all_suffix(g, algo, z1));
+}
+
+TEST(Sigma2Universal, WorksForSeveralLanguages) {
+  // Theorem 7 is universal: plug in arbitrary decidable languages.
+  SplitMix64 rng(9);
+  auto connected = sigma2_universal(
+      "connected", [](const Graph& g) { return oracle::is_connected(g); });
+  auto even_edges = sigma2_universal(
+      "even-m", [](const Graph& g) { return g.m() % 2 == 0; });
+  for (int t = 0; t < 4; ++t) {
+    Graph g = gen::gnp(4, 0.4, rng.next());
+    EXPECT_EQ(accepts_for_all_suffix(g, connected, sigma2_honest_guess(g)),
+              oracle::is_connected(g))
+        << t;
+    EXPECT_EQ(accepts_for_all_suffix(g, even_edges, sigma2_honest_guess(g)),
+              g.m() % 2 == 0)
+        << t;
+  }
+}
+
+TEST(Sigma2Universal, GuessLabelsExceedLogarithmicBudget) {
+  // The Theorem 7 labels are Θ(n²) bits per node; the logarithmic
+  // hierarchy allows O(n log n). Crossover: n(n-1)/2 > n·⌈log₂n⌉ for
+  // n ≥ 8 — the quantitative reason Theorem 8 can still separate.
+  for (NodeId n : {8u, 32u, 128u}) {
+    const std::size_t guess_bits = static_cast<std::size_t>(n) * (n - 1) / 2;
+    const std::size_t log_budget =
+        static_cast<std::size_t>(n) * ceil_log2(n);
+    EXPECT_GT(guess_bits, log_budget) << n;
+  }
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,118 @@
+// Tests for the §8 Monte Carlo → nondeterminism conversion.
+
+#include "nondet/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/oracles.hpp"
+#include "util/rng.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(MonteCarlo, TrialIsOneSided) {
+  // Soundness is unconditional: on a graph with no 3-path, no seed
+  // accepts.
+  auto mc = k_path_monte_carlo(3);
+  Graph g = Graph::undirected(8);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);  // matching: max path length 2 nodes
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    EXPECT_FALSE(mc.trial(g, seed).accepted()) << seed;
+  }
+}
+
+TEST(MonteCarlo, SomeSeedSucceedsOnYesInstances) {
+  auto mc = k_path_monte_carlo(3);
+  Graph g = gen::path(8);
+  bool any = false;
+  for (std::uint64_t seed = 0; seed < 40 && !any; ++seed) {
+    any = mc.trial(g, seed).accepted();
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(MonteCarloVerifier, ProverFindsCertificates) {
+  MonteCarloVerifier v(k_path_monte_carlo(3));
+  auto planted = gen::planted_hamiltonian_path(10, 0.05, 3);
+  auto z = v.prove(planted.graph);
+  ASSERT_TRUE(z.has_value());
+  EXPECT_TRUE(v.verify(planted.graph, *z).accepted());
+}
+
+TEST(MonteCarloVerifier, ProverRefusesNoInstances) {
+  MonteCarloVerifier v(k_path_monte_carlo(4));
+  EXPECT_FALSE(v.prove(gen::empty(8), 32).has_value());
+}
+
+TEST(MonteCarloVerifier, VerificationIsDeterministic) {
+  MonteCarloVerifier v(k_path_monte_carlo(3));
+  Graph g = gen::path(8);
+  auto z = v.prove(g);
+  ASSERT_TRUE(z.has_value());
+  auto a = v.verify(g, *z);
+  auto b = v.verify(g, *z);
+  EXPECT_EQ(a.accepted(), b.accepted());
+  EXPECT_EQ(a.cost.rounds, b.cost.rounds);
+}
+
+TEST(MonteCarloVerifier, WrongSeedRejected) {
+  // A seed whose trial fails must not verify, even on a yes-instance.
+  MonteCarloVerifier v(k_path_monte_carlo(3));
+  Graph g = gen::path(8);
+  std::uint64_t bad_seed = 0;
+  bool found_bad = false;
+  auto mc = k_path_monte_carlo(3);
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    if (!mc.trial(g, seed).accepted()) {
+      bad_seed = seed;
+      found_bad = true;
+      break;
+    }
+  }
+  if (found_bad) {
+    EXPECT_FALSE(v.verify(g, v.certificate(8, bad_seed)).accepted());
+  }
+}
+
+TEST(MonteCarloVerifier, DisagreeingSeedsRejected) {
+  // Certificates are labellings: a prover handing different seeds to
+  // different nodes is caught by the agreement round.
+  MonteCarloVerifier v(k_path_monte_carlo(3));
+  Graph g = gen::path(8);
+  auto z = v.prove(g);
+  ASSERT_TRUE(z.has_value());
+  Labelling forged = *z;
+  BitVector other;
+  other.append_bits(0xbeef, 16);
+  forged[5] = other;
+  EXPECT_FALSE(v.verify(g, forged).accepted());
+}
+
+TEST(MonteCarloVerifier, CertificateSizeIsSeedBits) {
+  MonteCarloVerifier v(k_path_monte_carlo(5));
+  EXPECT_EQ(v.certificate_bits(), 16u);
+  auto z = v.certificate(6, 1234);
+  EXPECT_EQ(z.size(), 6u);
+  EXPECT_EQ(z[0].read_bits(0, 16), 1234u);
+}
+
+TEST(MonteCarloVerifier, SuccessProbabilityRoughlyEMinusK) {
+  // k! / k^k per trial; for k = 3 that is 6/27 ≈ 0.22 for a fixed 3-path.
+  // Sample 200 seeds on a bare 3-path and check the empirical rate is in a
+  // generous band (one-sided: every acceptance is genuine).
+  auto mc = k_path_monte_carlo(3);
+  Graph g = gen::path(3);
+  int hits = 0;
+  const int trials = 200;
+  for (std::uint64_t seed = 0; seed < trials; ++seed) {
+    hits += mc.trial(g, seed).accepted();
+  }
+  const double rate = static_cast<double>(hits) / trials;
+  EXPECT_GT(rate, 0.10);
+  EXPECT_LT(rate, 0.40);
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,289 @@
+// Tests for Theorem 3 (NCLIQUE normal form) and Theorem 6 (edge labelling
+// canonical family).
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/oracles.hpp"
+#include "nondet/edge_labelling.hpp"
+#include "nondet/transcript.hpp"
+#include "nondet/verifiers.hpp"
+#include "util/rng.hpp"
+
+namespace ccq {
+namespace {
+
+// ---------- TranscriptCodec ----------
+
+TEST(TranscriptCodec, SizeIsOfTnLogN) {
+  // node_bits = T·(n-1)·2·(1 + w + B) with B = ⌈log₂n⌉.
+  TranscriptCodec c(16, 3);
+  const std::size_t slot = 1 + 3 + 4;  // w = ⌈log₂(B+1)⌉ = 3 at B = 4
+  EXPECT_EQ(c.node_bits(), 3u * 15 * 2 * slot);
+}
+
+TEST(TranscriptCodec, EncodeDecodeRoundTrip) {
+  auto v = verifiers::hamiltonian_path();
+  auto p = gen::planted_hamiltonian_path(6, 0.3, 5);
+  auto z = v.prover(p.graph);
+  ASSERT_TRUE(z.has_value());
+  auto transcripts = record_transcripts(p.graph, v, *z);
+  TranscriptCodec codec(6, v.rounds(6));
+  for (NodeId u = 0; u < 6; ++u) {
+    auto t = codec.decode(u, transcripts[u]);
+    ASSERT_TRUE(t.has_value()) << u;
+    // Every node sent its position to everyone in round 0.
+    for (NodeId w = 0; w < 6; ++w) {
+      if (w == u) continue;
+      EXPECT_TRUE(t->sent[0][w].has_value());
+      EXPECT_TRUE(t->received[0][w].has_value());
+    }
+  }
+}
+
+TEST(TranscriptCodec, MalformedBitsRejected) {
+  TranscriptCodec codec(4, 1);
+  BitVector junk(codec.node_bits(), true);  // all-ones: width too large
+  EXPECT_FALSE(codec.decode(0, junk).has_value());
+  BitVector short_bits(3);
+  EXPECT_FALSE(codec.decode(0, short_bits).has_value());
+}
+
+TEST(TranscriptCodec, TranscriptsAreMutuallyConsistent) {
+  auto v = verifiers::k_colouring(3);
+  auto g = gen::gnp(7, 0.4, 9);
+  auto z = v.prover(g);
+  ASSERT_TRUE(z.has_value());
+  auto transcripts = record_transcripts(g, v, *z);
+  TranscriptCodec codec(7, 1);
+  for (NodeId u = 0; u < 7; ++u) {
+    auto tu = codec.decode(u, transcripts[u]);
+    for (NodeId w = 0; w < 7; ++w) {
+      if (w == u) continue;
+      auto tw = codec.decode(w, transcripts[w]);
+      EXPECT_EQ(tu->sent[0][w], tw->received[0][u]);
+    }
+  }
+}
+
+// ---------- Theorem 3: normal form ----------
+
+class NormalFormSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(NormalFormSweep, PreservesTheLanguage) {
+  const auto [seed, p] = GetParam();
+  Graph g = gen::gnp(7, p, static_cast<std::uint64_t>(seed));
+  auto a = verifiers::k_colouring(3);
+  auto b = normal_form(a);
+  const bool in_l = oracle::k_colouring(g, 3).has_value();
+  // Completeness: B's prover (A's transcripts) is accepted iff G ∈ L.
+  auto run = run_with_prover(g, b);
+  EXPECT_EQ(run.has_value(), in_l);
+  if (run) {
+    EXPECT_TRUE(run->accepted());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, NormalFormSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(0.3, 0.5,
+                                                              0.7)));
+
+TEST(NormalForm, LabelSizeMatchesTheoremBound) {
+  // O(T·n·log n): check the exact codec size formula and the Big-O shape.
+  auto a = verifiers::connectivity();
+  auto b = normal_form(a);
+  for (NodeId n : {8u, 16u, 32u, 64u}) {
+    const std::size_t bits = b.label_bits(n);
+    const double bound =
+        2.0 * a.rounds(n) * n * (2.0 * node_id_bits(n) + 2);
+    EXPECT_LE(static_cast<double>(bits), bound) << n;
+  }
+}
+
+TEST(NormalForm, RunsInSameRoundCount) {
+  Graph g = gen::gnp(8, 0.5, 2);
+  auto a = verifiers::k_clique(3);
+  auto b = normal_form(a);
+  EXPECT_EQ(b.rounds(8), a.rounds(8));
+  if (auto run = run_with_prover(g, b)) {
+    EXPECT_EQ(run->cost.rounds, a.rounds(8));
+  }
+}
+
+TEST(NormalForm, TamperedReceivedPartRejected) {
+  auto a = verifiers::k_colouring(3);
+  auto b = normal_form(a);
+  auto p = gen::planted_k_colourable(6, 3, 0.5, 3);
+  auto z = a.prover(p.graph);
+  ASSERT_TRUE(z.has_value());
+  auto transcripts = record_transcripts(p.graph, a, *z);
+  ASSERT_TRUE(run_verifier(p.graph, b, transcripts).accepted());
+  // Flip one *value* bit inside node 2's received-part: replay mismatch.
+  TranscriptCodec codec(6, 1);
+  // Slot layout: per peer, sent slot then received slot. Peer 0 of node 2:
+  // received slot starts after the sent slot.
+  const std::size_t slot = codec.node_bits() / (5 * 2);
+  const std::size_t value_bit_in_received = slot + 1 + 3;  // skip flag+width
+  transcripts[2].set(value_bit_in_received,
+                     !transcripts[2].get(value_bit_in_received));
+  EXPECT_FALSE(run_verifier(p.graph, b, transcripts).accepted());
+}
+
+TEST(NormalForm, ForgedAcceptingTranscriptForNoInstanceRejected) {
+  // C5 with k=2: transcripts from a 2-colouring of P5 (a different graph)
+  // are internally consistent but must fail step 3 or the replay.
+  Graph c5 = gen::cycle(5);
+  Graph p5 = gen::path(5);
+  auto a = verifiers::k_colouring(2);
+  auto b = normal_form(a);
+  auto zp = a.prover(p5);
+  ASSERT_TRUE(zp.has_value());
+  auto forged = record_transcripts(p5, a, *zp);
+  EXPECT_FALSE(run_verifier(c5, b, forged).accepted());
+}
+
+TEST(NormalForm, WorksForMultiRoundVerifiers) {
+  SplitMix64 rng(41);
+  auto a = verifiers::connectivity();  // 2 rounds
+  auto b = normal_form(a);
+  for (int t = 0; t < 4; ++t) {
+    Graph g = gen::gnp(6, 0.3 + 0.1 * t, rng.next());
+    auto run = run_with_prover(g, b);
+    EXPECT_EQ(run.has_value(), oracle::is_connected(g)) << t;
+    if (run) {
+      EXPECT_TRUE(run->accepted());
+    }
+  }
+}
+
+// ---------- Theorem 6: edge labelling ----------
+
+// A hand-rolled edge labelling problem: label every clique edge 0/1 such
+// that at each node the incident 1-labels point exactly to input-graph
+// neighbours. Solvable always (copy the graph), so it tests the plumbing.
+EdgeLabellingProblem copy_graph_problem() {
+  EdgeLabellingProblem p;
+  p.name = "copy-graph";
+  p.label_bits = [](NodeId) { return 1u; };
+  p.satisfied = [](NodeId n, NodeId u, const BitVector& row,
+                   const std::vector<std::uint64_t>& incident) {
+    for (NodeId w = 0; w < n; ++w) {
+      if (w == u) continue;
+      if ((incident[w] != 0) != row.get(w)) return false;
+    }
+    return true;
+  };
+  return p;
+}
+
+// 2-edge-colouring of the *input* edges such that no node has two incident
+// input edges of the same colour — solvable iff max degree ≤ 2 and input
+// components are paths/even cycles (proper edge colouring with 2 colours).
+EdgeLabellingProblem two_edge_colouring_problem() {
+  EdgeLabellingProblem p;
+  p.name = "2-edge-colouring";
+  p.label_bits = [](NodeId) { return 1u; };
+  p.satisfied = [](NodeId n, NodeId u, const BitVector& row,
+                   const std::vector<std::uint64_t>& incident) {
+    int seen[2] = {0, 0};
+    for (NodeId w = 0; w < n; ++w) {
+      if (w == u || !row.get(w)) continue;
+      ++seen[incident[w] & 1];
+    }
+    return seen[0] <= 1 && seen[1] <= 1;
+  };
+  return p;
+}
+
+TEST(EdgeLabelling, ExhaustiveSolverOnCopyGraph) {
+  Graph g = gen::path(4);  // 6 clique edges, 1 bit each
+  auto sol = solve_edge_labelling(g, copy_graph_problem(), 20);
+  ASSERT_TRUE(sol.has_value());
+  for (NodeId u = 0; u < 4; ++u)
+    for (NodeId v = u + 1; v < 4; ++v)
+      EXPECT_EQ(sol->label(u, v) != 0, g.has_edge(u, v));
+}
+
+TEST(EdgeLabelling, TwoEdgeColouringFeasibility) {
+  // P4 (max degree 2): solvable. Star K_{1,3} (degree 3): not solvable.
+  EXPECT_TRUE(
+      solve_edge_labelling(gen::path(4), two_edge_colouring_problem(), 20)
+          .has_value());
+  EXPECT_FALSE(
+      solve_edge_labelling(gen::star(4), two_edge_colouring_problem(), 20)
+          .has_value());
+}
+
+TEST(EdgeLabelling, VerifierDecidesSolvability) {
+  // The NCLIQUE(1) wrapper accepts exactly the solvable instances.
+  auto p = two_edge_colouring_problem();
+  auto v = edge_labelling_verifier(p);
+  auto yes = run_with_prover(gen::path(4), v);
+  ASSERT_TRUE(yes.has_value());
+  EXPECT_TRUE(yes->accepted());
+  EXPECT_FALSE(run_with_prover(gen::star(4), v).has_value());
+}
+
+TEST(EdgeLabelling, VerifierRejectsInconsistentGuesses) {
+  // Endpoints disagreeing on the shared edge label must be caught.
+  Graph g = gen::path(3);
+  auto p = copy_graph_problem();
+  auto v = edge_labelling_verifier(p);
+  Labelling z(3, BitVector(2));  // per node: labels for 2 incident edges
+  // Node 0 claims ℓ(0,1) = 1, node 1 claims ℓ(0,1) = 0.
+  z[0].set(0);
+  EXPECT_FALSE(run_verifier(g, v, z).accepted());
+}
+
+TEST(EdgeLabelling, TranscriptProblemAcceptsHonestLabels) {
+  // Theorem 6 forward direction: transcripts of an accepting run satisfy
+  // the induced edge labelling problem.
+  auto a = verifiers::k_colouring(3);
+  auto p = edge_labelling_from_verifier(a);
+  auto inst = gen::planted_k_colourable(6, 3, 0.5, 7);
+  auto z = a.prover(inst.graph);
+  ASSERT_TRUE(z.has_value());
+  auto ell = edge_labels_from_run(inst.graph, a, *z);
+  EXPECT_TRUE(edge_labelling_satisfied(inst.graph, p, ell));
+}
+
+TEST(EdgeLabelling, TranscriptProblemRejectsCorruptedLabels) {
+  auto a = verifiers::k_colouring(3);
+  auto p = edge_labelling_from_verifier(a);
+  auto inst = gen::planted_k_colourable(6, 3, 0.5, 7);
+  auto z = a.prover(inst.graph);
+  ASSERT_TRUE(z.has_value());
+  auto ell = edge_labels_from_run(inst.graph, a, *z);
+  // Corrupt one edge label's value bits.
+  ell.labels[0] ^= 0b10;
+  EXPECT_FALSE(edge_labelling_satisfied(inst.graph, p, ell));
+}
+
+TEST(EdgeLabelling, TranscriptProblemUnsatisfiableOnNoInstance) {
+  // For a no-instance, labels from a *different* graph's accepting run
+  // cannot satisfy the constraints.
+  Graph c5 = gen::cycle(5);
+  Graph p5 = gen::path(5);
+  auto a = verifiers::k_colouring(2);
+  auto prob = edge_labelling_from_verifier(a);
+  auto z = a.prover(p5);
+  ASSERT_TRUE(z.has_value());
+  auto forged = edge_labels_from_run(p5, a, *z);
+  forged.n = 5;
+  EXPECT_FALSE(edge_labelling_satisfied(c5, prob, forged));
+}
+
+TEST(EdgeLabelling, LabelBitsAreLogarithmic) {
+  auto a = verifiers::k_clique(3);
+  auto p = edge_labelling_from_verifier(a);
+  for (NodeId n : {8u, 16u, 32u}) {
+    // 2T slots of (1 + ⌈log₂(B+1)⌉ + B) bits: O(log n) per edge.
+    EXPECT_LE(p.label_bits(n), 2 * (2 + node_id_bits(n) + 4) *
+                                   a.rounds(n));
+  }
+}
+
+}  // namespace
+}  // namespace ccq

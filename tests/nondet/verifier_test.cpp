@@ -1,0 +1,243 @@
+// Tests for §5/§6.1: the nondeterministic clique model and the concrete
+// NCLIQUE(1) verifiers — completeness (honest prover accepted), soundness
+// (∃z agrees with the oracle via exhaustive search), and model properties
+// (O(1) rounds, O(log n)-bit labels).
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/oracles.hpp"
+#include "nondet/round_verifier.hpp"
+#include "nondet/verifiers.hpp"
+#include "util/rng.hpp"
+
+namespace ccq {
+namespace {
+
+// Completeness + soundness against an oracle over random graphs, using the
+// honest prover (completeness) and prover refusal (oracle-exactness).
+template <typename OracleFn>
+void check_prover_matches_oracle(const RoundVerifier& v, OracleFn oracle_fn,
+                                 NodeId n, double p_lo, double p_hi,
+                                 int cases, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (int t = 0; t < cases; ++t) {
+    const double p = p_lo + (p_hi - p_lo) * t / std::max(1, cases - 1);
+    Graph g = gen::gnp(n, p, rng.next());
+    const bool expect = oracle_fn(g);
+    auto run = run_with_prover(g, v);
+    EXPECT_EQ(run.has_value(), expect) << v.name << " t=" << t;
+    if (run) {
+      EXPECT_TRUE(run->accepted()) << v.name << " t=" << t;
+    }
+  }
+}
+
+TEST(KColouringVerifier, ProverMatchesOracle) {
+  check_prover_matches_oracle(
+      verifiers::k_colouring(3),
+      [](const Graph& g) { return oracle::k_colouring(g, 3).has_value(); },
+      10, 0.2, 0.7, 5, 1);
+}
+
+TEST(KColouringVerifier, RejectsWrongCertificates) {
+  // An improper colouring must be rejected by some node.
+  Graph g = gen::cycle(6);
+  auto v = verifiers::k_colouring(2);
+  Labelling bad = zero_labelling(g, v);  // everyone colour 0
+  EXPECT_FALSE(run_verifier(g, v, bad).accepted());
+}
+
+TEST(KColouringVerifier, ExhaustiveAgreesWithOracle) {
+  // C5 is not 2-colourable: no certificate works (soundness, ∀z).
+  Graph c5 = gen::cycle(5);
+  auto v = verifiers::k_colouring(2);
+  EXPECT_FALSE(exhaustive_nondet_decide(c5, v).accepted);
+  // P4 is 2-colourable: some certificate works.
+  Graph p4 = gen::path(4);
+  auto d = exhaustive_nondet_decide(p4, v);
+  EXPECT_TRUE(d.accepted);
+  EXPECT_TRUE(run_verifier(p4, v, d.witness).accepted());
+}
+
+TEST(KColouringVerifier, OutOfRangeColourRejected) {
+  // k=3 needs 2 bits; the value 3 is expressible but not a legal colour.
+  Graph g = gen::path(4);
+  auto v = verifiers::k_colouring(3);
+  Labelling z(4, BitVector(2));
+  z[1].set(0);             // node 1: colour 1
+  z[2].set(1);             // node 2: colour 2
+  z[3].set(0);
+  z[3].set(1);             // node 3: colour 3 ≥ k → reject
+  EXPECT_FALSE(run_verifier(g, v, z).accepted());
+}
+
+TEST(HamPathVerifier, ProverMatchesOracle) {
+  SplitMix64 rng(7);
+  for (int t = 0; t < 5; ++t) {
+    Graph g = gen::gnp(8, 0.25 + 0.1 * t, rng.next());
+    const bool expect = oracle::hamiltonian_path(g).has_value();
+    auto run = run_with_prover(g, verifiers::hamiltonian_path());
+    EXPECT_EQ(run.has_value(), expect) << t;
+    if (run) {
+      EXPECT_TRUE(run->accepted());
+    }
+  }
+}
+
+TEST(HamPathVerifier, RejectsNonPermutationPositions) {
+  Graph g = gen::complete(4);
+  auto v = verifiers::hamiltonian_path();
+  Labelling z(4, BitVector(2));  // everyone claims position 0
+  EXPECT_FALSE(run_verifier(g, v, z).accepted());
+}
+
+TEST(HamPathVerifier, RejectsNonAdjacentConsecutive) {
+  // Positions form a permutation but consecutive nodes miss an edge.
+  Graph g = gen::path(4);  // 0-1-2-3
+  auto v = verifiers::hamiltonian_path();
+  // Claim order 0,2,1,3: consecutive (0,2) not adjacent.
+  const unsigned idb = node_id_bits(4);
+  std::vector<std::uint64_t> pos = {0, 2, 1, 3};
+  Labelling z(4);
+  for (NodeId u = 0; u < 4; ++u) {
+    BitVector b;
+    b.append_bits(pos[u], idb);
+    z[u] = std::move(b);
+  }
+  EXPECT_FALSE(run_verifier(g, v, z).accepted());
+}
+
+TEST(HamPathVerifier, ExhaustiveOnTinyGraphs) {
+  // Triangle has a Hamiltonian path; a star on 4 nodes does not.
+  EXPECT_TRUE(
+      exhaustive_nondet_decide(gen::cycle(3), verifiers::hamiltonian_path())
+          .accepted);
+  EXPECT_FALSE(
+      exhaustive_nondet_decide(gen::star(4), verifiers::hamiltonian_path())
+          .accepted);
+}
+
+TEST(KCliqueVerifier, ProverMatchesOracle) {
+  check_prover_matches_oracle(
+      verifiers::k_clique(3),
+      [](const Graph& g) { return oracle::k_clique(g, 3).has_value(); }, 9,
+      0.2, 0.6, 5, 11);
+}
+
+TEST(KCliqueVerifier, ExhaustiveAgreesWithOracle) {
+  SplitMix64 rng(13);
+  for (int t = 0; t < 4; ++t) {
+    Graph g = gen::gnp(5, 0.5, rng.next());
+    EXPECT_EQ(exhaustive_nondet_decide(g, verifiers::k_clique(3)).accepted,
+              oracle::k_clique(g, 3).has_value())
+        << t;
+  }
+}
+
+TEST(KCliqueVerifier, WrongCardinalityRejected) {
+  Graph g = gen::complete(5);
+  auto v = verifiers::k_clique(3);
+  Labelling z(5, BitVector(1));
+  for (NodeId u = 0; u < 4; ++u) z[u].set(0);  // 4 members, not 3
+  EXPECT_FALSE(run_verifier(g, v, z).accepted());
+}
+
+TEST(KIsVerifier, ProverMatchesOracle) {
+  check_prover_matches_oracle(
+      verifiers::k_independent_set(3),
+      [](const Graph& g) {
+        return oracle::independent_set(g, 3).has_value();
+      },
+      9, 0.3, 0.8, 5, 17);
+}
+
+TEST(KDsVerifier, ProverMatchesOracle) {
+  check_prover_matches_oracle(
+      verifiers::k_dominating_set(2),
+      [](const Graph& g) { return oracle::dominating_set(g, 2).has_value(); },
+      9, 0.15, 0.5, 5, 19);
+}
+
+TEST(KDsVerifier, NonDominatingRejected) {
+  Graph g = gen::path(5);
+  auto v = verifiers::k_dominating_set(2);
+  Labelling z(5, BitVector(1));
+  z[0].set(0);
+  z[1].set(0);  // {0,1} leaves 3,4 undominated
+  EXPECT_FALSE(run_verifier(g, v, z).accepted());
+}
+
+TEST(ConnectivityVerifier, ProverMatchesOracle) {
+  SplitMix64 rng(23);
+  for (int t = 0; t < 6; ++t) {
+    Graph g = gen::gnp(10, 0.12 + 0.06 * t, rng.next());
+    auto run = run_with_prover(g, verifiers::connectivity());
+    EXPECT_EQ(run.has_value(), oracle::is_connected(g)) << t;
+    if (run) {
+      EXPECT_TRUE(run->accepted());
+    }
+  }
+}
+
+TEST(ConnectivityVerifier, ForgedDistancesRejectedOnDisconnected) {
+  // Two components; exhaustively no certificate can prove connectivity.
+  Graph g = Graph::undirected(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  auto v = verifiers::connectivity();
+  EXPECT_FALSE(exhaustive_nondet_decide(g, v, 16).accepted);
+}
+
+// ---------- model properties ----------
+
+TEST(Verifiers, ConstantRoundsAndLogLabels) {
+  for (NodeId n : {8u, 16u, 32u}) {
+    EXPECT_EQ(verifiers::k_colouring(3).rounds(n), 1u);
+    EXPECT_EQ(verifiers::hamiltonian_path().rounds(n), 1u);
+    EXPECT_EQ(verifiers::connectivity().rounds(n), 2u);
+    // Labels are O(log n) bits.
+    EXPECT_LE(verifiers::hamiltonian_path().label_bits(n),
+              std::size_t{node_id_bits(n)});
+    EXPECT_LE(verifiers::connectivity().label_bits(n),
+              2 * std::size_t{node_id_bits(n)});
+    EXPECT_EQ(verifiers::k_clique(4).label_bits(n), 1u);
+  }
+}
+
+TEST(Verifiers, EngineAndCentralSimulationAgree) {
+  SplitMix64 rng(31);
+  auto v = verifiers::k_colouring(3);
+  for (int t = 0; t < 5; ++t) {
+    Graph g = gen::gnp(7, 0.4, rng.next());
+    // Random (not necessarily valid) certificates.
+    Labelling z(7);
+    for (NodeId u = 0; u < 7; ++u) {
+      BitVector b;
+      b.append_bits(rng.next_below(4), 2);
+      z[u] = std::move(b);
+    }
+    EXPECT_EQ(run_verifier(g, v, z).accepted(),
+              simulate_verifier(g, v, z).accepted)
+        << t;
+  }
+}
+
+TEST(Verifiers, MeasuredRoundsMatchDeclared) {
+  Graph g = gen::gnp(12, 0.5, 3);
+  auto v = verifiers::k_colouring(4);
+  auto z = v.prover(g);
+  ASSERT_TRUE(z.has_value());
+  auto run = run_verifier(g, v, *z);
+  EXPECT_EQ(run.cost.rounds, v.rounds(12));
+}
+
+TEST(Verifiers, WrongLabelSizeRejected) {
+  Graph g = gen::path(3);
+  auto v = verifiers::k_colouring(2);
+  Labelling z(3, BitVector(5));  // verifier wants 1 bit
+  EXPECT_THROW(run_verifier(g, v, z), ModelViolation);
+}
+
+}  // namespace
+}  // namespace ccq

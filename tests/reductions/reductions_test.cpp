@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "algebra/mm.hpp"
+#include "graph/generators.hpp"
+#include "graph/oracles.hpp"
+#include "reductions/bmm_to_apsp.hpp"
+#include "reductions/complement.hpp"
+#include "reductions/is_to_ds.hpp"
+#include "reductions/kcol_to_maxis.hpp"
+#include "util/rng.hpp"
+
+namespace ccq {
+namespace {
+
+// ---------- Theorem 10 / Figure 2 gadget ----------
+
+TEST(IsToDsGadget, NodeCountMatchesPaperBound) {
+  for (unsigned k : {1u, 2u, 3u, 4u}) {
+    IsToDsGadget gadget(10, k);
+    EXPECT_LE(gadget.total_nodes(), (k * k + k + 2) * 10u) << k;
+    EXPECT_EQ(gadget.total_nodes(),
+              (k + k * (k - 1) / 2) * 10u + 2 * k);
+  }
+}
+
+TEST(IsToDsGadget, SpecialNodesOnlyTouchTheirClique) {
+  Graph g = gen::gnp(6, 0.4, 5);
+  IsToDsGadget gadget(6, 3);
+  Graph gp = gadget.build(g);
+  for (unsigned i = 0; i < 3; ++i) {
+    EXPECT_EQ(gp.degree(gadget.special_x(i)), 6u);
+    EXPECT_EQ(gp.degree(gadget.special_y(i)), 6u);
+    for (NodeId v = 0; v < 6; ++v) {
+      EXPECT_TRUE(gp.has_edge(gadget.special_x(i), gadget.clique_node(i, v)));
+    }
+  }
+}
+
+TEST(IsToDsGadget, GadgetAdjacencyMatchesFigure2) {
+  Graph g = Graph::undirected(4);
+  g.add_edge(0, 1);
+  IsToDsGadget gadget(4, 2);
+  Graph gp = gadget.build(g);
+  // v_0 = node 0 in K_0: adjacent to u_{0,1} for all u != 0.
+  for (NodeId u = 1; u < 4; ++u)
+    EXPECT_TRUE(gp.has_edge(gadget.clique_node(0, 0),
+                            gadget.gadget_node(0, 1, u)));
+  EXPECT_FALSE(gp.has_edge(gadget.clique_node(0, 0),
+                           gadget.gadget_node(0, 1, 0)));
+  // v_1 = node 0 in K_1: adjacent to u_{0,1} for non-neighbours u of 0:
+  // u ∈ {2,3} (1 is a neighbour).
+  EXPECT_FALSE(gp.has_edge(gadget.clique_node(1, 0),
+                           gadget.gadget_node(0, 1, 1)));
+  EXPECT_TRUE(gp.has_edge(gadget.clique_node(1, 0),
+                          gadget.gadget_node(0, 1, 2)));
+  EXPECT_TRUE(gp.has_edge(gadget.clique_node(1, 0),
+                          gadget.gadget_node(0, 1, 3)));
+}
+
+// The structural iff of Theorem 10, checked with exact oracles.
+TEST(IsToDsGadget, IffPropertyOnRandomGraphs) {
+  SplitMix64 rng(0xf16);
+  for (int t = 0; t < 6; ++t) {
+    const unsigned k = 2;
+    Graph g = gen::gnp(7, 0.3 + 0.1 * t, rng.next());
+    IsToDsGadget gadget(7, k);
+    Graph gp = gadget.build(g);
+    const bool has_is = oracle::independent_set(g, k).has_value();
+    const bool has_ds = oracle::dominating_set(gp, k).has_value();
+    EXPECT_EQ(has_is, has_ds) << t;
+  }
+}
+
+TEST(IsToDsGadget, ForwardWitnessDominates) {
+  auto p = gen::planted_independent_set(8, 3, 0.5, 11);
+  IsToDsGadget gadget(8, 3);
+  Graph gp = gadget.build(p.graph);
+  auto ds = gadget.witness_forward(p.witness);
+  EXPECT_TRUE(oracle::is_dominating_set(gp, ds));
+}
+
+TEST(IsToDsGadget, BackWitnessIsIndependent) {
+  SplitMix64 rng(0xbac);
+  for (int t = 0; t < 4; ++t) {
+    Graph g = gen::gnp(7, 0.35, rng.next());
+    IsToDsGadget gadget(7, 2);
+    Graph gp = gadget.build(g);
+    auto ds = oracle::dominating_set(gp, 2);
+    if (!ds) continue;
+    auto is = gadget.witness_back(*ds);
+    EXPECT_EQ(is.size(), 2u);
+    EXPECT_TRUE(oracle::is_independent_set(g, is));
+  }
+}
+
+TEST(IsToDsReduction, EndToEndAgainstOracle) {
+  SplitMix64 rng(0xe2e);
+  for (int t = 0; t < 4; ++t) {
+    Graph g = gen::gnp(8, 0.4 + 0.1 * t, rng.next());
+    auto r = k_independent_set_via_ds_clique(g, 2);
+    EXPECT_EQ(r.found, oracle::independent_set(g, 2).has_value()) << t;
+    if (r.found) {
+      EXPECT_TRUE(oracle::is_independent_set(g, r.witness));
+    }
+  }
+}
+
+TEST(IsToDsReduction, PlantedIndependentSets) {
+  auto p = gen::planted_independent_set(10, 3, 0.55, 21);
+  auto r = k_independent_set_via_ds_clique(p.graph, 3);
+  EXPECT_TRUE(r.found);
+  EXPECT_TRUE(oracle::is_independent_set(p.graph, r.witness));
+}
+
+// ---------- k-COL → MaxIS ----------
+
+TEST(KColGadget, BlowUpStructure) {
+  Graph g = gen::path(3);
+  KColGadget gadget(3, 2);
+  Graph gp = gadget.build(g);
+  EXPECT_EQ(gp.n(), 6u);
+  // Copy cliques.
+  EXPECT_TRUE(gp.has_edge(gadget.copy_node(0, 0), gadget.copy_node(0, 1)));
+  // Same-colour copies of adjacent vertices connected.
+  EXPECT_TRUE(gp.has_edge(gadget.copy_node(0, 0), gadget.copy_node(1, 0)));
+  EXPECT_FALSE(gp.has_edge(gadget.copy_node(0, 0), gadget.copy_node(1, 1)));
+  // Non-adjacent originals stay unconnected.
+  EXPECT_FALSE(gp.has_edge(gadget.copy_node(0, 0), gadget.copy_node(2, 0)));
+}
+
+TEST(KColGadget, AlphaEqualsNIffColourable) {
+  SplitMix64 rng(0xc01);
+  for (int t = 0; t < 5; ++t) {
+    Graph g = gen::gnp(6, 0.45, rng.next());
+    for (unsigned k : {2u, 3u}) {
+      KColGadget gadget(6, k);
+      Graph gp = gadget.build(g);
+      const bool colourable = oracle::k_colouring(g, k).has_value();
+      const bool alpha_n = oracle::independent_set(gp, 6).has_value();
+      EXPECT_EQ(colourable, alpha_n) << "k=" << k << " t=" << t;
+    }
+  }
+}
+
+TEST(KColReduction, EndToEnd) {
+  // Odd cycle: 2-colouring fails, 3 works; recovered colouring is proper.
+  Graph c5 = gen::cycle(5);
+  EXPECT_FALSE(k_colouring_via_maxis_clique(c5, 2).colourable);
+  auto r = k_colouring_via_maxis_clique(c5, 3);
+  EXPECT_TRUE(r.colourable);
+  EXPECT_TRUE(oracle::is_proper_colouring(c5, r.colouring, 3));
+}
+
+TEST(KColReduction, PlantedColourable) {
+  auto p = gen::planted_k_colourable(7, 3, 0.6, 9);
+  auto r = k_colouring_via_maxis_clique(p.graph, 3);
+  EXPECT_TRUE(r.colourable);
+  EXPECT_TRUE(oracle::is_proper_colouring(p.graph, r.colouring, 3));
+}
+
+// ---------- BMM → (2−ε)-APSP ----------
+
+TEST(BmmToApsp, GadgetDistancesAreTwoOrAtLeastFour) {
+  SplitMix64 rng(0xb2a);
+  Matrix<std::uint8_t> a(5, 6, 0), b(6, 4, 0);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 6; ++j) a.at(i, j) = rng.next_bool(0.3);
+  for (std::size_t j = 0; j < 6; ++j)
+    for (std::size_t k = 0; k < 4; ++k) b.at(j, k) = rng.next_bool(0.3);
+  BmmToApspGadget gadget(5, 6, 4);
+  Graph g = gadget.build(a, b);
+  auto dist = oracle::apsp(g);
+  auto prod = mm_naive<BoolSemiring>(a, b);
+  const std::size_t n = gadget.total_nodes();
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t k = 0; k < 4; ++k) {
+      const auto d = dist[gadget.layer_i(i) * n + gadget.layer_k(k)];
+      if (prod.at(i, k)) {
+        EXPECT_EQ(d, 2u);
+      } else {
+        EXPECT_GE(d, 4u);
+      }
+    }
+}
+
+TEST(BmmToApsp, EndToEndMatchesDirectProduct) {
+  SplitMix64 rng(0xe2d);
+  for (int t = 0; t < 3; ++t) {
+    Matrix<std::uint8_t> a(6, 6, 0), b(6, 6, 0);
+    for (std::size_t i = 0; i < 6; ++i)
+      for (std::size_t j = 0; j < 6; ++j) {
+        a.at(i, j) = rng.next_bool(0.35);
+        b.at(i, j) = rng.next_bool(0.35);
+      }
+    auto r = bmm_via_apsp_clique(a, b);
+    EXPECT_EQ(r.product, mm_naive<BoolSemiring>(a, b)) << t;
+  }
+}
+
+// ---------- complementation ----------
+
+TEST(Complement, ThreeIsViaTriangle) {
+  SplitMix64 rng(0x315);
+  for (int t = 0; t < 5; ++t) {
+    Graph g = gen::gnp(14, 0.55, rng.next());
+    auto r = three_is_via_triangle_clique(g);
+    EXPECT_EQ(r.found, oracle::independent_set(g, 3).has_value()) << t;
+    if (r.found) {
+      EXPECT_TRUE(oracle::is_independent_set(g, r.witness));
+    }
+  }
+}
+
+TEST(Complement, MinVcViaMaxIs) {
+  Graph g = gen::gnp(12, 0.3, 77);
+  auto r = min_vertex_cover_via_maxis_clique(g);
+  EXPECT_TRUE(oracle::is_vertex_cover(g, r.witness));
+  EXPECT_EQ(r.witness.size(), oracle::min_vertex_cover(g).size());
+}
+
+}  // namespace
+}  // namespace ccq

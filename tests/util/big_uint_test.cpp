@@ -1,0 +1,127 @@
+#include "util/big_uint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(BigUInt, BasicArithmetic) {
+  BigUInt a(123456789), b(987654321);
+  EXPECT_EQ((a + b).to_decimal(), "1111111110");
+  EXPECT_EQ((b - a).to_decimal(), "864197532");
+  EXPECT_EQ((a * b).to_decimal(), "121932631112635269");
+}
+
+TEST(BigUInt, CarryPropagation) {
+  BigUInt max64(~std::uint64_t{0});
+  BigUInt r = max64 + BigUInt(1);
+  EXPECT_EQ(r.to_decimal(), "18446744073709551616");  // 2^64
+  EXPECT_EQ((r - BigUInt(1)).to_decimal(), "18446744073709551615");
+}
+
+TEST(BigUInt, MultiplicationGrowsLimbs) {
+  BigUInt a = BigUInt::pow2(100);
+  BigUInt b = BigUInt::pow2(60);
+  EXPECT_EQ((a * b).bit_length(), 161u);  // 2^160 has 161 bits
+}
+
+TEST(BigUInt, Pow2AndBitLength) {
+  EXPECT_EQ(BigUInt::pow2(0).to_decimal(), "1");
+  EXPECT_EQ(BigUInt::pow2(10).to_decimal(), "1024");
+  EXPECT_EQ(BigUInt::pow2(64).to_decimal(), "18446744073709551616");
+  EXPECT_EQ(BigUInt::pow2(200).bit_length(), 201u);
+  EXPECT_EQ(BigUInt(0).bit_length(), 0u);
+  EXPECT_EQ(BigUInt(1).bit_length(), 1u);
+}
+
+TEST(BigUInt, Pow) {
+  EXPECT_EQ(BigUInt::pow(BigUInt(3), 5).to_decimal(), "243");
+  EXPECT_EQ(BigUInt::pow(BigUInt(2), 100), BigUInt::pow2(100));
+  EXPECT_EQ(BigUInt::pow(BigUInt(10), 0).to_decimal(), "1");
+  EXPECT_EQ(BigUInt::pow(BigUInt(0), 5).to_decimal(), "0");
+}
+
+TEST(BigUInt, Comparisons) {
+  EXPECT_LT(BigUInt(5), BigUInt(7));
+  EXPECT_GT(BigUInt::pow2(65), BigUInt::pow2(64));
+  EXPECT_EQ(BigUInt::pow2(64), BigUInt::pow2(64));
+  EXPECT_LE(BigUInt(0), BigUInt(0));
+  EXPECT_NE(BigUInt(1), BigUInt(2));
+}
+
+TEST(BigUInt, UnderflowThrows) {
+  BigUInt a(5), b(6);
+  EXPECT_THROW(a -= b, ModelViolation);
+}
+
+TEST(BigUInt, DecimalRoundTrip) {
+  const std::string big =
+      "123456789012345678901234567890123456789012345678901234567890";
+  EXPECT_EQ(BigUInt::from_decimal(big).to_decimal(), big);
+}
+
+TEST(BigUInt, Log2) {
+  EXPECT_DOUBLE_EQ(BigUInt::pow2(1000).log2(), 1000.0);
+  EXPECT_NEAR(BigUInt(1000).log2(), std::log2(1000.0), 1e-9);
+  EXPECT_TRUE(std::isinf(BigUInt(0).log2()));
+}
+
+TEST(BigUInt, ShiftLeft) {
+  BigUInt a(0b1011);
+  EXPECT_EQ((a << 3).to_decimal(), "88");
+  EXPECT_EQ((a << 64).to_decimal(), "202914184810805067776");
+  EXPECT_EQ((BigUInt(0) << 100).to_decimal(), "0");
+}
+
+TEST(BigUInt, ToU64) {
+  EXPECT_EQ(BigUInt(42).to_u64(), 42u);
+  EXPECT_THROW(BigUInt::pow2(64).to_u64(), ModelViolation);
+}
+
+// Property: operations agree with native __int128 arithmetic on random
+// inputs small enough to compare.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+TEST(BigUIntProperty, MatchesInt128) {
+  SplitMix64 rng(0xb16);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t x = rng.next() >> 2, y = rng.next() >> 2;
+    const unsigned __int128 xi = x, yi = y;
+    {
+      const unsigned __int128 s = xi + yi;
+      BigUInt expect =
+          (BigUInt(static_cast<std::uint64_t>(s >> 64)) << 64) +
+          BigUInt(static_cast<std::uint64_t>(s));
+      EXPECT_EQ(BigUInt(x) + BigUInt(y), expect);
+    }
+    // Multiplication agrees, reconstructed from 64-bit halves.
+    const unsigned __int128 prod = xi * yi;
+    BigUInt expect = (BigUInt(static_cast<std::uint64_t>(prod >> 64)) << 64) +
+                     BigUInt(static_cast<std::uint64_t>(prod));
+    EXPECT_EQ(BigUInt(x) * BigUInt(y), expect);
+    // Ordering agrees.
+    EXPECT_EQ(BigUInt(x) < BigUInt(y), x < y);
+    // Subtraction agrees.
+    if (x >= y) {
+      EXPECT_EQ((BigUInt(x) - BigUInt(y)).to_u64(), x - y);
+    }
+  }
+}
+#pragma GCC diagnostic pop
+
+// The Lemma 1 sanity identity: 2^a · 2^b = 2^{a+b} exactly.
+TEST(BigUIntProperty, Pow2Additivity) {
+  SplitMix64 rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t a = rng.next_below(500), b = rng.next_below(500);
+    EXPECT_EQ(BigUInt::pow2(a) * BigUInt::pow2(b), BigUInt::pow2(a + b));
+  }
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,184 @@
+#include "util/bit_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(BitVector, StartsZeroed) {
+  BitVector b(130);
+  EXPECT_EQ(b.size(), 130u);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_FALSE(b.get(i));
+  EXPECT_EQ(b.popcount(), 0u);
+}
+
+TEST(BitVector, FillConstructor) {
+  BitVector b(67, true);
+  EXPECT_EQ(b.popcount(), 67u);
+  EXPECT_TRUE(b.get(0));
+  EXPECT_TRUE(b.get(66));
+}
+
+TEST(BitVector, SetAndClearAcrossWordBoundary) {
+  BitVector b(128);
+  b.set(63);
+  b.set(64);
+  EXPECT_TRUE(b.get(63));
+  EXPECT_TRUE(b.get(64));
+  EXPECT_EQ(b.popcount(), 2u);
+  b.set(63, false);
+  EXPECT_FALSE(b.get(63));
+  EXPECT_EQ(b.popcount(), 1u);
+}
+
+TEST(BitVector, PushBackGrows) {
+  BitVector b;
+  for (int i = 0; i < 100; ++i) b.push_back(i % 3 == 0);
+  EXPECT_EQ(b.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(b.get(i), i % 3 == 0) << i;
+}
+
+TEST(BitVector, AppendAndReadBitsRoundTrip) {
+  BitVector b;
+  b.append_bits(0b1011, 4);
+  b.append_bits(0xdeadbeefULL, 32);
+  b.append_bits(1, 1);
+  EXPECT_EQ(b.size(), 37u);
+  EXPECT_EQ(b.read_bits(0, 4), 0b1011u);
+  EXPECT_EQ(b.read_bits(4, 32), 0xdeadbeefULL);
+  EXPECT_EQ(b.read_bits(36, 1), 1u);
+}
+
+TEST(BitVector, ReadBitsAcrossWordBoundary) {
+  BitVector b(128);
+  for (int i = 60; i < 70; ++i) b.set(i);
+  EXPECT_EQ(b.read_bits(60, 10), 0b1111111111u);
+  EXPECT_EQ(b.read_bits(59, 12), 0b011111111110u);
+}
+
+TEST(BitVector, AppendBitsRejectsOverflowValue) {
+  BitVector b;
+  EXPECT_THROW(b.append_bits(16, 4), ModelViolation);
+}
+
+TEST(BitVector, ReadBitsRejectsPastEnd) {
+  BitVector b(10);
+  EXPECT_THROW(b.read_bits(5, 6), ModelViolation);
+}
+
+TEST(BitVector, FindFirst) {
+  BitVector b(200);
+  EXPECT_EQ(b.find_first(), 200u);
+  b.set(5);
+  b.set(130);
+  EXPECT_EQ(b.find_first(), 5u);
+  EXPECT_EQ(b.find_first(6), 130u);
+  EXPECT_EQ(b.find_first(131), 200u);
+}
+
+TEST(BitVector, FindFirstIteratesAllSetBits) {
+  BitVector b(300);
+  std::vector<std::size_t> expect = {0, 1, 63, 64, 65, 128, 299};
+  for (auto i : expect) b.set(i);
+  std::vector<std::size_t> got;
+  for (std::size_t i = b.find_first(); i < b.size(); i = b.find_first(i + 1))
+    got.push_back(i);
+  EXPECT_EQ(got, expect);
+}
+
+TEST(BitVector, BitwiseOps) {
+  BitVector a = BitVector::from_string("110010");
+  BitVector b = BitVector::from_string("011011");
+  BitVector o = a;
+  o |= b;
+  EXPECT_EQ(o.to_string(), "111011");
+  BitVector n = a;
+  n &= b;
+  EXPECT_EQ(n.to_string(), "010010");
+  BitVector x = a;
+  x ^= b;
+  EXPECT_EQ(x.to_string(), "101001");
+}
+
+TEST(BitVector, MismatchedSizesThrow) {
+  BitVector a(5), b(6);
+  EXPECT_THROW(a |= b, ModelViolation);
+}
+
+TEST(BitVector, LexOrder) {
+  // Index 0 is the most significant position for lex comparison.
+  BitVector a = BitVector::from_string("0111");
+  BitVector b = BitVector::from_string("1000");
+  EXPECT_TRUE(a.lex_less(b));
+  EXPECT_FALSE(b.lex_less(a));
+  EXPECT_FALSE(a.lex_less(a));
+  // Prefix is smaller.
+  BitVector p = BitVector::from_string("10");
+  BitVector q = BitVector::from_string("100");
+  EXPECT_TRUE(p.lex_less(q));
+}
+
+TEST(BitVector, StringRoundTrip) {
+  const std::string s = "1010011101010101111000001";
+  EXPECT_EQ(BitVector::from_string(s).to_string(), s);
+}
+
+TEST(BitVector, EqualityIncludesLength) {
+  BitVector a(5), b(6);
+  EXPECT_FALSE(a == b);
+  BitVector c(5);
+  EXPECT_TRUE(a == c);
+  c.set(3);
+  EXPECT_FALSE(a == c);
+}
+
+// Property test: BitVector agrees with a reference std::vector<bool> under a
+// random op sequence.
+TEST(BitVectorProperty, MatchesReferenceImplementation) {
+  SplitMix64 rng(0xb17b17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t len = 1 + rng.next_below(300);
+    BitVector b(len);
+    std::vector<bool> ref(len, false);
+    for (int op = 0; op < 200; ++op) {
+      const std::size_t i = rng.next_below(len);
+      const bool v = rng.next_bool(0.5);
+      b.set(i, v);
+      ref[i] = v;
+    }
+    std::size_t pc = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      EXPECT_EQ(b.get(i), ref[i]);
+      pc += ref[i];
+    }
+    EXPECT_EQ(b.popcount(), pc);
+  }
+}
+
+TEST(BitVectorProperty, AppendReadRandomChunks) {
+  SplitMix64 rng(0xfeed);
+  for (int trial = 0; trial < 30; ++trial) {
+    BitVector b;
+    std::vector<std::pair<std::uint64_t, unsigned>> chunks;
+    for (int i = 0; i < 40; ++i) {
+      const unsigned bits = 1 + static_cast<unsigned>(rng.next_below(64));
+      const std::uint64_t v =
+          bits == 64 ? rng.next() : rng.next() & ((1ULL << bits) - 1);
+      chunks.emplace_back(v, bits);
+      b.append_bits(v, bits);
+    }
+    std::size_t pos = 0;
+    for (auto [v, bits] : chunks) {
+      EXPECT_EQ(b.read_bits(pos, bits), v);
+      pos += bits;
+    }
+    EXPECT_EQ(pos, b.size());
+  }
+}
+
+}  // namespace
+}  // namespace ccq
