@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bcc.dir/bcc.cpp.o"
+  "CMakeFiles/bench_bcc.dir/bcc.cpp.o.d"
+  "bench_bcc"
+  "bench_bcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_congest.dir/congest.cpp.o"
+  "CMakeFiles/bench_congest.dir/congest.cpp.o.d"
+  "bench_congest"
+  "bench_congest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_exponents.cpp" "bench/CMakeFiles/bench_fig1_exponents.dir/fig1_exponents.cpp.o" "gcc" "bench/CMakeFiles/bench_fig1_exponents.dir/fig1_exponents.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/finegrained/CMakeFiles/ccq_finegrained.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/ccq_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/nondet/CMakeFiles/ccq_nondet.dir/DependInfo.cmake"
+  "/root/repo/build/src/reductions/CMakeFiles/ccq_reductions.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphalg/CMakeFiles/ccq_graphalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/clique/CMakeFiles/ccq_clique.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ccq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

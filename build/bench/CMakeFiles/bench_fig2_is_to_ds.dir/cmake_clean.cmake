@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_is_to_ds.dir/fig2_is_to_ds.cpp.o"
+  "CMakeFiles/bench_fig2_is_to_ds.dir/fig2_is_to_ds.cpp.o.d"
+  "bench_fig2_is_to_ds"
+  "bench_fig2_is_to_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_is_to_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

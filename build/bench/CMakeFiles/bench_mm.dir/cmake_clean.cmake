@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mm.dir/mm.cpp.o"
+  "CMakeFiles/bench_mm.dir/mm.cpp.o.d"
+  "bench_mm"
+  "bench_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nclique1_search.dir/nclique1_search.cpp.o"
+  "CMakeFiles/bench_nclique1_search.dir/nclique1_search.cpp.o.d"
+  "bench_nclique1_search"
+  "bench_nclique1_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nclique1_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec73_fpt.dir/sec73_fpt.cpp.o"
+  "CMakeFiles/bench_sec73_fpt.dir/sec73_fpt.cpp.o.d"
+  "bench_sec73_fpt"
+  "bench_sec73_fpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec73_fpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec8_randomness.dir/sec8_randomness.cpp.o"
+  "CMakeFiles/bench_sec8_randomness.dir/sec8_randomness.cpp.o.d"
+  "bench_sec8_randomness"
+  "bench_sec8_randomness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_randomness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm11_kvc.dir/thm11_kvc.cpp.o"
+  "CMakeFiles/bench_thm11_kvc.dir/thm11_kvc.cpp.o.d"
+  "bench_thm11_kvc"
+  "bench_thm11_kvc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm11_kvc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

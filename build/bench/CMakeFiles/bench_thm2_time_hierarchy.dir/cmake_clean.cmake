@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm2_time_hierarchy.dir/thm2_time_hierarchy.cpp.o"
+  "CMakeFiles/bench_thm2_time_hierarchy.dir/thm2_time_hierarchy.cpp.o.d"
+  "bench_thm2_time_hierarchy"
+  "bench_thm2_time_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm2_time_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

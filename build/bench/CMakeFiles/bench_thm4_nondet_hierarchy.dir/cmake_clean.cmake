@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm4_nondet_hierarchy.dir/thm4_nondet_hierarchy.cpp.o"
+  "CMakeFiles/bench_thm4_nondet_hierarchy.dir/thm4_nondet_hierarchy.cpp.o.d"
+  "bench_thm4_nondet_hierarchy"
+  "bench_thm4_nondet_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm4_nondet_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

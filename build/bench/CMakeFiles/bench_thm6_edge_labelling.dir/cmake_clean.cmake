@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm6_edge_labelling.dir/thm6_edge_labelling.cpp.o"
+  "CMakeFiles/bench_thm6_edge_labelling.dir/thm6_edge_labelling.cpp.o.d"
+  "bench_thm6_edge_labelling"
+  "bench_thm6_edge_labelling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm6_edge_labelling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm6_edge_labelling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm7_sigma2.dir/thm7_sigma2.cpp.o"
+  "CMakeFiles/bench_thm7_sigma2.dir/thm7_sigma2.cpp.o.d"
+  "bench_thm7_sigma2"
+  "bench_thm7_sigma2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm7_sigma2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm8_log_hierarchy.dir/thm8_log_hierarchy.cpp.o"
+  "CMakeFiles/bench_thm8_log_hierarchy.dir/thm8_log_hierarchy.cpp.o.d"
+  "bench_thm8_log_hierarchy"
+  "bench_thm8_log_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm8_log_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm9_kds.dir/thm9_kds.cpp.o"
+  "CMakeFiles/bench_thm9_kds.dir/thm9_kds.cpp.o.d"
+  "bench_thm9_kds"
+  "bench_thm9_kds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm9_kds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_certificates.dir/certificates.cpp.o"
+  "CMakeFiles/example_certificates.dir/certificates.cpp.o.d"
+  "example_certificates"
+  "example_certificates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_certificates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fine_grained_map.dir/fine_grained_map.cpp.o"
+  "CMakeFiles/example_fine_grained_map.dir/fine_grained_map.cpp.o.d"
+  "example_fine_grained_map"
+  "example_fine_grained_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fine_grained_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

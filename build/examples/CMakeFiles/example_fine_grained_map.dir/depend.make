@@ -1,0 +1,2 @@
+# Empty dependencies file for example_fine_grained_map.
+# This may be replaced when dependencies are built.

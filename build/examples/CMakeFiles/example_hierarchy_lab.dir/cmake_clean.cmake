@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hierarchy_lab.dir/hierarchy_lab.cpp.o"
+  "CMakeFiles/example_hierarchy_lab.dir/hierarchy_lab.cpp.o.d"
+  "example_hierarchy_lab"
+  "example_hierarchy_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hierarchy_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

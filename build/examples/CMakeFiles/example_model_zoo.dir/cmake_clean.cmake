@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_model_zoo.dir/model_zoo.cpp.o"
+  "CMakeFiles/example_model_zoo.dir/model_zoo.cpp.o.d"
+  "example_model_zoo"
+  "example_model_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_model_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clique/broadcast.cpp" "src/clique/CMakeFiles/ccq_clique.dir/broadcast.cpp.o" "gcc" "src/clique/CMakeFiles/ccq_clique.dir/broadcast.cpp.o.d"
+  "/root/repo/src/clique/congest.cpp" "src/clique/CMakeFiles/ccq_clique.dir/congest.cpp.o" "gcc" "src/clique/CMakeFiles/ccq_clique.dir/congest.cpp.o.d"
+  "/root/repo/src/clique/engine.cpp" "src/clique/CMakeFiles/ccq_clique.dir/engine.cpp.o" "gcc" "src/clique/CMakeFiles/ccq_clique.dir/engine.cpp.o.d"
+  "/root/repo/src/clique/routing.cpp" "src/clique/CMakeFiles/ccq_clique.dir/routing.cpp.o" "gcc" "src/clique/CMakeFiles/ccq_clique.dir/routing.cpp.o.d"
+  "/root/repo/src/clique/word.cpp" "src/clique/CMakeFiles/ccq_clique.dir/word.cpp.o" "gcc" "src/clique/CMakeFiles/ccq_clique.dir/word.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ccq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccq_clique.dir/broadcast.cpp.o"
+  "CMakeFiles/ccq_clique.dir/broadcast.cpp.o.d"
+  "CMakeFiles/ccq_clique.dir/congest.cpp.o"
+  "CMakeFiles/ccq_clique.dir/congest.cpp.o.d"
+  "CMakeFiles/ccq_clique.dir/engine.cpp.o"
+  "CMakeFiles/ccq_clique.dir/engine.cpp.o.d"
+  "CMakeFiles/ccq_clique.dir/routing.cpp.o"
+  "CMakeFiles/ccq_clique.dir/routing.cpp.o.d"
+  "CMakeFiles/ccq_clique.dir/word.cpp.o"
+  "CMakeFiles/ccq_clique.dir/word.cpp.o.d"
+  "libccq_clique.a"
+  "libccq_clique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccq_clique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccq_finegrained.dir/problem.cpp.o"
+  "CMakeFiles/ccq_finegrained.dir/problem.cpp.o.d"
+  "CMakeFiles/ccq_finegrained.dir/registry.cpp.o"
+  "CMakeFiles/ccq_finegrained.dir/registry.cpp.o.d"
+  "libccq_finegrained.a"
+  "libccq_finegrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccq_finegrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

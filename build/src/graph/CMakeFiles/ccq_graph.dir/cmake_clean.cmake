@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccq_graph.dir/generators.cpp.o"
+  "CMakeFiles/ccq_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/ccq_graph.dir/graph.cpp.o"
+  "CMakeFiles/ccq_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/ccq_graph.dir/oracles.cpp.o"
+  "CMakeFiles/ccq_graph.dir/oracles.cpp.o.d"
+  "libccq_graph.a"
+  "libccq_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccq_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graphalg/apsp.cpp" "src/graphalg/CMakeFiles/ccq_graphalg.dir/apsp.cpp.o" "gcc" "src/graphalg/CMakeFiles/ccq_graphalg.dir/apsp.cpp.o.d"
+  "/root/repo/src/graphalg/global.cpp" "src/graphalg/CMakeFiles/ccq_graphalg.dir/global.cpp.o" "gcc" "src/graphalg/CMakeFiles/ccq_graphalg.dir/global.cpp.o.d"
+  "/root/repo/src/graphalg/kds.cpp" "src/graphalg/CMakeFiles/ccq_graphalg.dir/kds.cpp.o" "gcc" "src/graphalg/CMakeFiles/ccq_graphalg.dir/kds.cpp.o.d"
+  "/root/repo/src/graphalg/kpath.cpp" "src/graphalg/CMakeFiles/ccq_graphalg.dir/kpath.cpp.o" "gcc" "src/graphalg/CMakeFiles/ccq_graphalg.dir/kpath.cpp.o.d"
+  "/root/repo/src/graphalg/kvc.cpp" "src/graphalg/CMakeFiles/ccq_graphalg.dir/kvc.cpp.o" "gcc" "src/graphalg/CMakeFiles/ccq_graphalg.dir/kvc.cpp.o.d"
+  "/root/repo/src/graphalg/mst.cpp" "src/graphalg/CMakeFiles/ccq_graphalg.dir/mst.cpp.o" "gcc" "src/graphalg/CMakeFiles/ccq_graphalg.dir/mst.cpp.o.d"
+  "/root/repo/src/graphalg/sssp.cpp" "src/graphalg/CMakeFiles/ccq_graphalg.dir/sssp.cpp.o" "gcc" "src/graphalg/CMakeFiles/ccq_graphalg.dir/sssp.cpp.o.d"
+  "/root/repo/src/graphalg/subgraph.cpp" "src/graphalg/CMakeFiles/ccq_graphalg.dir/subgraph.cpp.o" "gcc" "src/graphalg/CMakeFiles/ccq_graphalg.dir/subgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clique/CMakeFiles/ccq_clique.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ccq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccq_graphalg.dir/apsp.cpp.o"
+  "CMakeFiles/ccq_graphalg.dir/apsp.cpp.o.d"
+  "CMakeFiles/ccq_graphalg.dir/global.cpp.o"
+  "CMakeFiles/ccq_graphalg.dir/global.cpp.o.d"
+  "CMakeFiles/ccq_graphalg.dir/kds.cpp.o"
+  "CMakeFiles/ccq_graphalg.dir/kds.cpp.o.d"
+  "CMakeFiles/ccq_graphalg.dir/kpath.cpp.o"
+  "CMakeFiles/ccq_graphalg.dir/kpath.cpp.o.d"
+  "CMakeFiles/ccq_graphalg.dir/kvc.cpp.o"
+  "CMakeFiles/ccq_graphalg.dir/kvc.cpp.o.d"
+  "CMakeFiles/ccq_graphalg.dir/mst.cpp.o"
+  "CMakeFiles/ccq_graphalg.dir/mst.cpp.o.d"
+  "CMakeFiles/ccq_graphalg.dir/sssp.cpp.o"
+  "CMakeFiles/ccq_graphalg.dir/sssp.cpp.o.d"
+  "CMakeFiles/ccq_graphalg.dir/subgraph.cpp.o"
+  "CMakeFiles/ccq_graphalg.dir/subgraph.cpp.o.d"
+  "libccq_graphalg.a"
+  "libccq_graphalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccq_graphalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hierarchy/alternation.cpp" "src/hierarchy/CMakeFiles/ccq_hierarchy.dir/alternation.cpp.o" "gcc" "src/hierarchy/CMakeFiles/ccq_hierarchy.dir/alternation.cpp.o.d"
+  "/root/repo/src/hierarchy/bcast_protocol.cpp" "src/hierarchy/CMakeFiles/ccq_hierarchy.dir/bcast_protocol.cpp.o" "gcc" "src/hierarchy/CMakeFiles/ccq_hierarchy.dir/bcast_protocol.cpp.o.d"
+  "/root/repo/src/hierarchy/counting.cpp" "src/hierarchy/CMakeFiles/ccq_hierarchy.dir/counting.cpp.o" "gcc" "src/hierarchy/CMakeFiles/ccq_hierarchy.dir/counting.cpp.o.d"
+  "/root/repo/src/hierarchy/diagonal.cpp" "src/hierarchy/CMakeFiles/ccq_hierarchy.dir/diagonal.cpp.o" "gcc" "src/hierarchy/CMakeFiles/ccq_hierarchy.dir/diagonal.cpp.o.d"
+  "/root/repo/src/hierarchy/protocol.cpp" "src/hierarchy/CMakeFiles/ccq_hierarchy.dir/protocol.cpp.o" "gcc" "src/hierarchy/CMakeFiles/ccq_hierarchy.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clique/CMakeFiles/ccq_clique.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ccq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccq_hierarchy.dir/alternation.cpp.o"
+  "CMakeFiles/ccq_hierarchy.dir/alternation.cpp.o.d"
+  "CMakeFiles/ccq_hierarchy.dir/bcast_protocol.cpp.o"
+  "CMakeFiles/ccq_hierarchy.dir/bcast_protocol.cpp.o.d"
+  "CMakeFiles/ccq_hierarchy.dir/counting.cpp.o"
+  "CMakeFiles/ccq_hierarchy.dir/counting.cpp.o.d"
+  "CMakeFiles/ccq_hierarchy.dir/diagonal.cpp.o"
+  "CMakeFiles/ccq_hierarchy.dir/diagonal.cpp.o.d"
+  "CMakeFiles/ccq_hierarchy.dir/protocol.cpp.o"
+  "CMakeFiles/ccq_hierarchy.dir/protocol.cpp.o.d"
+  "libccq_hierarchy.a"
+  "libccq_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccq_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccq_hierarchy.a"
+)

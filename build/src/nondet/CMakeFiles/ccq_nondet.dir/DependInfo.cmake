@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nondet/edge_labelling.cpp" "src/nondet/CMakeFiles/ccq_nondet.dir/edge_labelling.cpp.o" "gcc" "src/nondet/CMakeFiles/ccq_nondet.dir/edge_labelling.cpp.o.d"
+  "/root/repo/src/nondet/monte_carlo.cpp" "src/nondet/CMakeFiles/ccq_nondet.dir/monte_carlo.cpp.o" "gcc" "src/nondet/CMakeFiles/ccq_nondet.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/nondet/round_verifier.cpp" "src/nondet/CMakeFiles/ccq_nondet.dir/round_verifier.cpp.o" "gcc" "src/nondet/CMakeFiles/ccq_nondet.dir/round_verifier.cpp.o.d"
+  "/root/repo/src/nondet/search.cpp" "src/nondet/CMakeFiles/ccq_nondet.dir/search.cpp.o" "gcc" "src/nondet/CMakeFiles/ccq_nondet.dir/search.cpp.o.d"
+  "/root/repo/src/nondet/transcript.cpp" "src/nondet/CMakeFiles/ccq_nondet.dir/transcript.cpp.o" "gcc" "src/nondet/CMakeFiles/ccq_nondet.dir/transcript.cpp.o.d"
+  "/root/repo/src/nondet/verifiers.cpp" "src/nondet/CMakeFiles/ccq_nondet.dir/verifiers.cpp.o" "gcc" "src/nondet/CMakeFiles/ccq_nondet.dir/verifiers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clique/CMakeFiles/ccq_clique.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ccq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphalg/CMakeFiles/ccq_graphalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

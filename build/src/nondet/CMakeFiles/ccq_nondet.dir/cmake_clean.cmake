@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccq_nondet.dir/edge_labelling.cpp.o"
+  "CMakeFiles/ccq_nondet.dir/edge_labelling.cpp.o.d"
+  "CMakeFiles/ccq_nondet.dir/monte_carlo.cpp.o"
+  "CMakeFiles/ccq_nondet.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/ccq_nondet.dir/round_verifier.cpp.o"
+  "CMakeFiles/ccq_nondet.dir/round_verifier.cpp.o.d"
+  "CMakeFiles/ccq_nondet.dir/search.cpp.o"
+  "CMakeFiles/ccq_nondet.dir/search.cpp.o.d"
+  "CMakeFiles/ccq_nondet.dir/transcript.cpp.o"
+  "CMakeFiles/ccq_nondet.dir/transcript.cpp.o.d"
+  "CMakeFiles/ccq_nondet.dir/verifiers.cpp.o"
+  "CMakeFiles/ccq_nondet.dir/verifiers.cpp.o.d"
+  "libccq_nondet.a"
+  "libccq_nondet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccq_nondet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

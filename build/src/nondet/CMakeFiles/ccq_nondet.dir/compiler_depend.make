@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ccq_nondet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reductions/bmm_to_apsp.cpp" "src/reductions/CMakeFiles/ccq_reductions.dir/bmm_to_apsp.cpp.o" "gcc" "src/reductions/CMakeFiles/ccq_reductions.dir/bmm_to_apsp.cpp.o.d"
+  "/root/repo/src/reductions/complement.cpp" "src/reductions/CMakeFiles/ccq_reductions.dir/complement.cpp.o" "gcc" "src/reductions/CMakeFiles/ccq_reductions.dir/complement.cpp.o.d"
+  "/root/repo/src/reductions/is_to_ds.cpp" "src/reductions/CMakeFiles/ccq_reductions.dir/is_to_ds.cpp.o" "gcc" "src/reductions/CMakeFiles/ccq_reductions.dir/is_to_ds.cpp.o.d"
+  "/root/repo/src/reductions/kcol_to_maxis.cpp" "src/reductions/CMakeFiles/ccq_reductions.dir/kcol_to_maxis.cpp.o" "gcc" "src/reductions/CMakeFiles/ccq_reductions.dir/kcol_to_maxis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graphalg/CMakeFiles/ccq_graphalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/clique/CMakeFiles/ccq_clique.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ccq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccq_reductions.dir/bmm_to_apsp.cpp.o"
+  "CMakeFiles/ccq_reductions.dir/bmm_to_apsp.cpp.o.d"
+  "CMakeFiles/ccq_reductions.dir/complement.cpp.o"
+  "CMakeFiles/ccq_reductions.dir/complement.cpp.o.d"
+  "CMakeFiles/ccq_reductions.dir/is_to_ds.cpp.o"
+  "CMakeFiles/ccq_reductions.dir/is_to_ds.cpp.o.d"
+  "CMakeFiles/ccq_reductions.dir/kcol_to_maxis.cpp.o"
+  "CMakeFiles/ccq_reductions.dir/kcol_to_maxis.cpp.o.d"
+  "libccq_reductions.a"
+  "libccq_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccq_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/big_uint.cpp" "src/util/CMakeFiles/ccq_util.dir/big_uint.cpp.o" "gcc" "src/util/CMakeFiles/ccq_util.dir/big_uint.cpp.o.d"
+  "/root/repo/src/util/bit_vector.cpp" "src/util/CMakeFiles/ccq_util.dir/bit_vector.cpp.o" "gcc" "src/util/CMakeFiles/ccq_util.dir/bit_vector.cpp.o.d"
+  "/root/repo/src/util/log2_real.cpp" "src/util/CMakeFiles/ccq_util.dir/log2_real.cpp.o" "gcc" "src/util/CMakeFiles/ccq_util.dir/log2_real.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/ccq_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/ccq_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/ccq_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/ccq_util.dir/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/ccq_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/ccq_util.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccq_util.dir/big_uint.cpp.o"
+  "CMakeFiles/ccq_util.dir/big_uint.cpp.o.d"
+  "CMakeFiles/ccq_util.dir/bit_vector.cpp.o"
+  "CMakeFiles/ccq_util.dir/bit_vector.cpp.o.d"
+  "CMakeFiles/ccq_util.dir/log2_real.cpp.o"
+  "CMakeFiles/ccq_util.dir/log2_real.cpp.o.d"
+  "CMakeFiles/ccq_util.dir/stats.cpp.o"
+  "CMakeFiles/ccq_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ccq_util.dir/table.cpp.o"
+  "CMakeFiles/ccq_util.dir/table.cpp.o.d"
+  "CMakeFiles/ccq_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ccq_util.dir/thread_pool.cpp.o.d"
+  "libccq_util.a"
+  "libccq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

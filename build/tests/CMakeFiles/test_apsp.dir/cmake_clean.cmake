@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apsp.dir/graphalg/apsp_test.cpp.o"
+  "CMakeFiles/test_apsp.dir/graphalg/apsp_test.cpp.o.d"
+  "test_apsp"
+  "test_apsp.pdb"
+  "test_apsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_big_uint.dir/util/big_uint_test.cpp.o"
+  "CMakeFiles/test_big_uint.dir/util/big_uint_test.cpp.o.d"
+  "test_big_uint"
+  "test_big_uint.pdb"
+  "test_big_uint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_big_uint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bit_vector.dir/util/bit_vector_test.cpp.o"
+  "CMakeFiles/test_bit_vector.dir/util/bit_vector_test.cpp.o.d"
+  "test_bit_vector"
+  "test_bit_vector.pdb"
+  "test_bit_vector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bit_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

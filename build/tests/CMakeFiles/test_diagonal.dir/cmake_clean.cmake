@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diagonal.dir/hierarchy/diagonal_test.cpp.o"
+  "CMakeFiles/test_diagonal.dir/hierarchy/diagonal_test.cpp.o.d"
+  "test_diagonal"
+  "test_diagonal.pdb"
+  "test_diagonal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diagonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

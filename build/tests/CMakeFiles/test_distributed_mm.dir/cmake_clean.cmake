@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed_mm.dir/algebra/distributed_mm_test.cpp.o"
+  "CMakeFiles/test_distributed_mm.dir/algebra/distributed_mm_test.cpp.o.d"
+  "test_distributed_mm"
+  "test_distributed_mm.pdb"
+  "test_distributed_mm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

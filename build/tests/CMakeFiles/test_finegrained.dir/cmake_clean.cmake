@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_finegrained.dir/finegrained/finegrained_test.cpp.o"
+  "CMakeFiles/test_finegrained.dir/finegrained/finegrained_test.cpp.o.d"
+  "test_finegrained"
+  "test_finegrained.pdb"
+  "test_finegrained[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_finegrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpt.dir/graphalg/fpt_test.cpp.o"
+  "CMakeFiles/test_fpt.dir/graphalg/fpt_test.cpp.o.d"
+  "test_fpt"
+  "test_fpt.pdb"
+  "test_fpt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

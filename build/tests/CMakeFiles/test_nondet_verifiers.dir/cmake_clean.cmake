@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nondet_verifiers.dir/nondet/verifier_test.cpp.o"
+  "CMakeFiles/test_nondet_verifiers.dir/nondet/verifier_test.cpp.o.d"
+  "test_nondet_verifiers"
+  "test_nondet_verifiers.pdb"
+  "test_nondet_verifiers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nondet_verifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_fuzz.dir/clique/routing_fuzz_test.cpp.o"
+  "CMakeFiles/test_routing_fuzz.dir/clique/routing_fuzz_test.cpp.o.d"
+  "test_routing_fuzz"
+  "test_routing_fuzz.pdb"
+  "test_routing_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

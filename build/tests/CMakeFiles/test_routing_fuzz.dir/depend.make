@@ -1,0 +1,2 @@
+# Empty dependencies file for test_routing_fuzz.
+# This may be replaced when dependencies are built.

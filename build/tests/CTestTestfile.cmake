@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bit_vector[1]_include.cmake")
+include("/root/repo/build/tests/test_big_uint[1]_include.cmake")
+include("/root/repo/build/tests/test_util_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_oracles[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_distributed_mm[1]_include.cmake")
+include("/root/repo/build/tests/test_sssp[1]_include.cmake")
+include("/root/repo/build/tests/test_apsp[1]_include.cmake")
+include("/root/repo/build/tests/test_subgraph[1]_include.cmake")
+include("/root/repo/build/tests/test_fpt[1]_include.cmake")
+include("/root/repo/build/tests/test_global[1]_include.cmake")
+include("/root/repo/build/tests/test_reductions[1]_include.cmake")
+include("/root/repo/build/tests/test_nondet_verifiers[1]_include.cmake")
+include("/root/repo/build/tests/test_transcript[1]_include.cmake")
+include("/root/repo/build/tests/test_protocols[1]_include.cmake")
+include("/root/repo/build/tests/test_diagonal[1]_include.cmake")
+include("/root/repo/build/tests/test_finegrained[1]_include.cmake")
+include("/root/repo/build/tests/test_mst[1]_include.cmake")
+include("/root/repo/build/tests/test_monte_carlo[1]_include.cmake")
+include("/root/repo/build/tests/test_broadcast[1]_include.cmake")
+include("/root/repo/build/tests/test_congest[1]_include.cmake")
+include("/root/repo/build/tests/test_search[1]_include.cmake")
+include("/root/repo/build/tests/test_routing_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_word[1]_include.cmake")
