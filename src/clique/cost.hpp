@@ -7,6 +7,7 @@
 // an analytic formula. Messages and bits are tracked as secondary statistics
 // (they drive e.g. the Theorem 3 certificate-size experiment).
 
+#include <algorithm>
 #include <cstdint>
 
 namespace ccq {
@@ -22,13 +23,16 @@ struct CostMeter {
   std::uint64_t max_node_sent = 0;
   std::uint64_t max_node_received = 0;
 
+  /// Compose two phases run back to back. Totals accumulate; the per-node
+  /// maxima are run-wide maxima, so composition takes the larger of the two
+  /// phases — summing them would overstate the Lenzen-routing statistic.
   void add(const CostMeter& o) {
     rounds += o.rounds;
     messages += o.messages;
     bits += o.bits;
     collectives += o.collectives;
-    max_node_sent += o.max_node_sent;
-    max_node_received += o.max_node_received;
+    max_node_sent = std::max(max_node_sent, o.max_node_sent);
+    max_node_received = std::max(max_node_received, o.max_node_received);
   }
 };
 

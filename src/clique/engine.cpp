@@ -1,26 +1,14 @@
 #include "clique/engine.hpp"
 
 #include <algorithm>
-#include <condition_variable>
+#include <atomic>
 #include <exception>
-#include <mutex>
-#include <thread>
+
+#include "clique/scheduler.hpp"
 
 namespace ccq {
 
 namespace detail {
-
-// Thrown into node threads to unwind them after another node failed (or a
-// model rule was violated); never escapes Engine::run.
-struct Aborted {};
-
-struct OpTag {
-  int opcode = 0;
-  std::uint64_t param = 0;
-  bool operator==(const OpTag& o) const {
-    return opcode == o.opcode && param == o.param;
-  }
-};
 
 enum OpCode : int {
   kOpRound = 1,
@@ -38,97 +26,24 @@ struct SharedState {
   std::vector<BitVector> in_rows;       // transposed adjacency (directed)
   std::vector<BitVector> private_bits;  // resolved §3 encoding
 
-  // Rendezvous state (all guarded by mu).
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t arrived = 0;
-  std::uint64_t generation = 0;
-  std::size_t finished = 0;
-  bool aborted = false;
-  std::exception_ptr error;
+  // Rendezvous backend; provides the ordering guarantees for the slots and
+  // accounting below (deposits write only node-owned slots; the serial
+  // leader step reads and writes everything).
+  Scheduler* sched = nullptr;
 
-  // Collective payload slots (written under mu before arrival; read by the
-  // leader; results read by each node after release, still under mu).
-  std::vector<OpTag> tags;
+  // Collective payload slots.
   std::vector<const WordQueues*> out_slots;
   std::vector<WordQueues> in_slots;
 
-  // Results.
+  // Results. `cost` and the per-node totals are mutated only by the serial
+  // leader; `rounds_committed` mirrors cost.rounds for mid-run reads
+  // (NodeCtx::rounds_so_far) without racing the leader.
   CostMeter cost;
-  std::vector<std::uint64_t> sent_words;      // per-node totals (run-wide)
+  std::atomic<std::uint64_t> rounds_committed{0};
+  std::vector<std::uint64_t> sent_words;  // per-node totals (run-wide)
   std::vector<std::uint64_t> received_words;
   std::vector<std::uint64_t> outputs;
   std::vector<std::uint8_t> has_output;
-
-  void abort_locked(std::exception_ptr e) {
-    if (!aborted) {
-      aborted = true;
-      error = std::move(e);
-    }
-    cv.notify_all();
-  }
-
-  void abort(std::exception_ptr e) {
-    std::lock_guard<std::mutex> lk(mu);
-    abort_locked(std::move(e));
-  }
-
-  [[noreturn]] void fail_locked(const std::string& msg) {
-    abort_locked(std::make_exception_ptr(ModelViolation(msg)));
-    throw Aborted{};
-  }
-
-  // Rendezvous: deposit this node's payload, wait for everyone, have the
-  // last arrival validate the op tags and run `leader` (delivery +
-  // accounting), then release all nodes.
-  template <typename Deposit, typename Leader>
-  void collective(NodeId id, OpTag tag, Deposit&& deposit, Leader&& leader) {
-    std::unique_lock<std::mutex> lk(mu);
-    if (aborted) throw Aborted{};
-    if (finished > 0) {
-      fail_locked(
-          "divergent collectives: a node entered a collective after another "
-          "node finished its program");
-    }
-    tags[id] = tag;
-    deposit();
-    ++arrived;
-    if (arrived == n) {
-      arrived = 0;
-      ++generation;
-      for (NodeId v = 0; v < n; ++v) {
-        if (!(tags[v] == tag)) {
-          fail_locked(
-              "divergent collectives: nodes issued different operations");
-        }
-      }
-      try {
-        leader();
-      } catch (...) {
-        abort_locked(std::current_exception());
-        throw Aborted{};
-      }
-      if (cost.rounds > max_rounds) {
-        fail_locked("round limit exceeded (runaway algorithm?)");
-      }
-      cv.notify_all();
-    } else {
-      const std::uint64_t my_gen = generation;
-      cv.wait(lk, [&] { return generation != my_gen || aborted; });
-      if (aborted) throw Aborted{};
-    }
-  }
-
-  void node_finished() {
-    std::lock_guard<std::mutex> lk(mu);
-    if (aborted) return;
-    if (arrived > 0) {
-      abort_locked(std::make_exception_ptr(ModelViolation(
-          "divergent collectives: a node finished while others were inside "
-          "a collective")));
-    }
-    ++finished;
-  }
 };
 
 namespace {
@@ -150,7 +65,7 @@ void validate_words(const WordQueues& out, NodeId self, unsigned bandwidth,
 
 // Deliver all deposited queues; cost = max over ordered (u,v), u != v, of
 // the queue length (one word per ordered pair per synchronous round).
-// Returns the number of rounds charged.
+// Returns the number of rounds charged. Leader-only.
 std::uint64_t deliver(SharedState& st) {
   const NodeId n = st.n;
   std::uint64_t max_queue = 0, msgs = 0, bits = 0;
@@ -175,6 +90,16 @@ std::uint64_t deliver(SharedState& st) {
   st.cost.bits += bits;
   st.cost.collectives += 1;
   return max_queue;
+}
+
+// Leader-only: commit rounds and enforce the runaway guard (throwing from
+// the leader aborts the run through the scheduler).
+void charge_rounds(SharedState& st, std::uint64_t rounds) {
+  st.cost.rounds += rounds;
+  st.rounds_committed.store(st.cost.rounds, std::memory_order_release);
+  if (st.cost.rounds > st.max_rounds) {
+    throw ModelViolation("round limit exceeded (runaway algorithm?)");
+  }
 }
 
 }  // namespace
@@ -221,22 +146,16 @@ std::size_t NodeCtx::label_count() const {
 }
 
 std::uint64_t NodeCtx::rounds_so_far() const {
-  std::lock_guard<std::mutex> lk(st_->mu);
-  return st_->cost.rounds;
+  return st_->rounds_committed.load(std::memory_order_acquire);
 }
 
 WordQueues NodeCtx::exchange(const WordQueues& out) {
   detail::validate_words(out, id_, st_->bandwidth, st_->n);
-  WordQueues result;
-  st_->collective(
+  st_->sched->collective(
       id_, OpTag{detail::kOpExchange, 0},
       [&] { st_->out_slots[id_] = &out; },
-      [&] { st_->cost.rounds += detail::deliver(*st_); });
-  {
-    std::lock_guard<std::mutex> lk(st_->mu);
-    result = std::move(st_->in_slots[id_]);
-  }
-  return result;
+      [st = st_] { detail::charge_rounds(*st, detail::deliver(*st)); });
+  return std::move(st_->in_slots[id_]);
 }
 
 std::vector<std::optional<Word>> NodeCtx::round(
@@ -252,22 +171,19 @@ std::vector<std::optional<Word>> NodeCtx::round(
   }
   detail::validate_words(out, id_, st_->bandwidth, nn);
 
-  st_->collective(
+  st_->sched->collective(
       id_, OpTag{detail::kOpRound, 0},
       [&] { st_->out_slots[id_] = &out; },
-      [&] {
+      [st = st_] {
         // A round costs exactly 1 regardless of occupancy.
-        detail::deliver(*st_);
-        st_->cost.rounds += 1;
+        detail::deliver(*st);
+        detail::charge_rounds(*st, 1);
       });
 
   std::vector<std::optional<Word>> received(nn);
-  {
-    std::lock_guard<std::mutex> lk(st_->mu);
-    const WordQueues& in = st_->in_slots[id_];
-    for (NodeId src = 0; src < nn; ++src) {
-      if (!in[src].empty()) received[src] = in[src].front();
-    }
+  const WordQueues& in = st_->in_slots[id_];
+  for (NodeId src = 0; src < nn; ++src) {
+    if (!in[src].empty()) received[src] = in[src].front();
   }
   return received;
 }
@@ -281,27 +197,25 @@ std::vector<BitVector> NodeCtx::broadcast(const BitVector& mine) {
     if (v == id_) continue;
     out[v] = words;
   }
-  st_->collective(
-      id_, OpTag{detail::kOpBroadcast, mine.size()},
+  const std::size_t length = mine.size();
+  st_->sched->collective(
+      id_, OpTag{detail::kOpBroadcast, length},
       [&] { st_->out_slots[id_] = &out; },
-      [&] {
-        detail::deliver(*st_);
+      [st = st_, length, B] {
+        detail::deliver(*st);
         // ⌈L/B⌉ rounds (equals the max queue length by construction, but we
         // charge it explicitly so an all-empty broadcast of L bits still
         // costs its rounds).
-        st_->cost.rounds += ceil_div(mine.size(), B);
+        detail::charge_rounds(*st, ceil_div(length, B));
       });
 
   std::vector<BitVector> result(nn);
-  {
-    std::lock_guard<std::mutex> lk(st_->mu);
-    const WordQueues& in = st_->in_slots[id_];
-    for (NodeId src = 0; src < nn; ++src) {
-      if (src == id_) {
-        result[src] = mine;
-      } else {
-        result[src] = decode_words(in[src], mine.size());
-      }
+  const WordQueues& in = st_->in_slots[id_];
+  for (NodeId src = 0; src < nn; ++src) {
+    if (src == id_) {
+      result[src] = mine;
+    } else {
+      result[src] = decode_words(in[src], mine.size());
     }
   }
   return result;
@@ -340,7 +254,7 @@ bool NodeCtx::all(bool mine) {
 }
 
 void NodeCtx::output(std::uint64_t value) {
-  std::lock_guard<std::mutex> lk(st_->mu);
+  // Node-owned slots; no synchronisation needed under either backend.
   CCQ_CHECK_MSG(!st_->has_output[id_],
                 "node " << id_ << " called output() twice");
   st_->outputs[id_] = value;
@@ -367,10 +281,15 @@ RunResult Engine::run(const Instance& instance, const NodeProgram& program,
   const unsigned base = node_id_bits(n);
   const std::uint64_t wide =
       static_cast<std::uint64_t>(base) * config.bandwidth_multiplier;
-  st.bandwidth = static_cast<unsigned>(std::min<std::uint64_t>(wide, 64));
+  CCQ_CHECK_MSG(wide <= 64,
+                "bandwidth B = ⌈log₂n⌉·multiplier = "
+                    << base << "·" << config.bandwidth_multiplier << " = "
+                    << wide
+                    << " bits exceeds the 64-bit word limit; lower "
+                       "bandwidth_multiplier");
+  st.bandwidth = static_cast<unsigned>(wide);
   st.max_rounds = config.max_rounds;
   st.seed = config.seed;
-  st.tags.resize(n);
   st.out_slots.assign(n, nullptr);
   st.in_slots.resize(n);
   st.outputs.assign(n, 0);
@@ -392,24 +311,20 @@ RunResult Engine::run(const Instance& instance, const NodeProgram& program,
                         ? private_bit_encoding(instance.graph)
                         : instance.private_bits;
 
-  std::vector<std::thread> threads;
-  threads.reserve(n);
-  for (NodeId v = 0; v < n; ++v) {
-    threads.emplace_back([&st, &program, v] {
-      NodeCtx ctx(v, &st);
-      try {
-        program(ctx);
-        st.node_finished();
-      } catch (detail::Aborted&) {
-        // Another node already recorded the error.
-      } catch (...) {
-        st.abort(std::current_exception());
-      }
-    });
+  // A node program that itself calls Engine::run (nested simulation) must
+  // not re-enter the shared worker pool from one of its fibers.
+  ExecutionBackend backend = config.backend;
+  if (detail::on_scheduler_fiber()) {
+    backend = ExecutionBackend::kThreadPerNode;
   }
-  for (auto& t : threads) t.join();
+  auto sched = detail::make_scheduler(backend, config.workers,
+                                      config.fiber_stack_bytes);
+  st.sched = sched.get();
+  sched->run(n, [&st, &program](NodeId v) {
+    NodeCtx ctx(v, &st);
+    program(ctx);
+  });
 
-  if (st.error) std::rethrow_exception(st.error);
   for (NodeId v = 0; v < n; ++v) {
     CCQ_CHECK_MSG(st.has_output[v],
                   "node " << v << " terminated without calling output()");

@@ -11,11 +11,17 @@
 //
 // Programs are written MPI-style: a plain function `void(NodeCtx&)` that
 // calls *collectives* — round(), exchange(), broadcast(), share_bit(). Every
-// node must issue the identical collective sequence; the engine runs one
-// thread per node, rendezvouses them at each collective, verifies the
-// sequences agree (a divergent sequence is a ModelViolation), delivers
-// messages deterministically, and meters rounds from the actual per-pair
-// queue drain. Results are bit-for-bit independent of thread scheduling.
+// node must issue the identical collective sequence; the engine rendezvouses
+// all nodes at each collective, verifies the sequences agree (a divergent
+// sequence is a ModelViolation), delivers messages deterministically, and
+// meters rounds from the actual per-pair queue drain.
+//
+// Node programs execute on a pluggable scheduler backend
+// (Config::backend, see clique/scheduler.hpp): by default they run as
+// cooperatively yielding fibers over a fixed worker pool, one superstep
+// per collective; ExecutionBackend::kThreadPerNode keeps the historical
+// thread-per-node execution as a reference. Results are bit-for-bit
+// identical across backends, worker counts, and schedules.
 
 #include <cstdint>
 #include <functional>
@@ -26,6 +32,7 @@
 
 #include "clique/cost.hpp"
 #include "clique/instance.hpp"
+#include "clique/scheduler.hpp"
 #include "clique/word.hpp"
 #include "graph/graph.hpp"
 
@@ -132,11 +139,18 @@ class Engine {
     unsigned bandwidth_multiplier = 1;
     std::uint64_t max_rounds = 1u << 24;  ///< runaway-algorithm guard
     std::uint64_t seed = 0x9a7cc1e5u;     ///< common public randomness
+    /// Execution backend; results are bit-identical across backends.
+    ExecutionBackend backend = ExecutionBackend::kPooled;
+    /// Pooled backend: cap on concurrent workers (0 = hardware).
+    std::size_t workers = 0;
+    /// Pooled backend: per-node fiber stack size (0 = 256 KiB).
+    std::size_t fiber_stack_bytes = 0;
   };
 
   /// Execute `program` on `instance`. Throws ModelViolation on any model
-  /// rule violation (bandwidth overflow, divergent collectives, missing
-  /// output, round-limit overrun) and propagates program exceptions.
+  /// rule violation (bandwidth overflow, requested bandwidth beyond the
+  /// 64-bit word limit, divergent collectives, missing output, round-limit
+  /// overrun) and propagates program exceptions.
   static RunResult run(const Instance& instance, const NodeProgram& program,
                        const Config& config);
   static RunResult run(const Instance& instance, const NodeProgram& program) {

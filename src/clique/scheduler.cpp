@@ -1,0 +1,556 @@
+#include "clique/scheduler.hpp"
+
+#include <ucontext.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+// TSan has no visibility into ucontext stack switches; annotate them with
+// the fiber API so the -fsanitize=thread CI job can vet the scheduler.
+#if defined(__SANITIZE_THREAD__)
+#define CCQ_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CCQ_TSAN 1
+#endif
+#endif
+#ifdef CCQ_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+
+// glibc's swapcontext makes an rt_sigprocmask syscall per switch, which at
+// n = 512 nodes means ~1000 syscalls per superstep — it dominates the pooled
+// backend's cost. On x86-64 we switch stacks ourselves: save the System V
+// callee-saved registers (plus mxcsr / x87 control words) and flip rsp, no
+// syscall. TSan builds keep ucontext so the fiber annotations line up with
+// what the sanitizer expects; other architectures keep ucontext for
+// portability.
+#if defined(__x86_64__) && !defined(CCQ_TSAN)
+#define CCQ_FAST_FIBER 1
+#endif
+
+#ifdef CCQ_FAST_FIBER
+extern "C" {
+// Saves the current continuation at *save_sp and resumes the one at
+// target_sp. Returns when someone swaps back to *save_sp.
+void ccq_fiber_swap(void** save_sp, void* target_sp);
+// First-activation shim: the seeded stack "returns" here with the Fiber*
+// in r12 (see make_fiber); forwards it to ccq_fiber_main.
+void ccq_fiber_entry();
+// C++ side of the first activation; never returns.
+void ccq_fiber_main(void* fiber);
+}
+
+// Restore path must mirror the seeded layout in make_fiber:
+// sp → [fcw][mxcsr] [r15 r14 r13 r12 rbx rbp] [return address].
+asm(R"(
+.text
+.align 16
+.globl ccq_fiber_swap
+.hidden ccq_fiber_swap
+.type ccq_fiber_swap, @function
+ccq_fiber_swap:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    subq $16, %rsp
+    stmxcsr 8(%rsp)
+    fnstcw (%rsp)
+    movq %rsp, (%rdi)
+    movq %rsi, %rsp
+    ldmxcsr 8(%rsp)
+    fldcw (%rsp)
+    addq $16, %rsp
+    popq %r15
+    popq %r14
+    popq %r13
+    popq %r12
+    popq %rbx
+    popq %rbp
+    ret
+.size ccq_fiber_swap, .-ccq_fiber_swap
+
+.align 16
+.globl ccq_fiber_entry
+.hidden ccq_fiber_entry
+.type ccq_fiber_entry, @function
+ccq_fiber_entry:
+    movq %r12, %rdi
+    callq ccq_fiber_main
+    ud2
+.size ccq_fiber_entry, .-ccq_fiber_entry
+)");
+#endif  // CCQ_FAST_FIBER
+
+namespace ccq {
+namespace detail {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference backend: one OS thread per node, mutex/cv rendezvous.
+// ---------------------------------------------------------------------------
+
+class ThreadPerNodeScheduler final : public Scheduler {
+ public:
+  void run(NodeId n, const NodeBody& body) override {
+    n_ = n;
+    tags_.assign(n, OpTag{});
+    arrived_ = 0;
+    generation_ = 0;
+    finished_ = 0;
+    aborted_ = false;
+    error_ = nullptr;
+
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+      threads.emplace_back([this, &body, v] {
+        try {
+          body(v);
+          task_returned();
+        } catch (Aborted&) {
+          // Another node already recorded the error.
+        } catch (...) {
+          abort_run(std::current_exception());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (error_) std::rethrow_exception(error_);
+  }
+
+  // Rendezvous: deposit this node's payload, wait for everyone, have the
+  // last arrival validate the op tags and run `leader` (delivery +
+  // accounting), then release all nodes.
+  void collective(NodeId id, OpTag tag, const Thunk& deposit,
+                  const Thunk& leader) override {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (aborted_) throw Aborted{};
+    if (finished_ > 0) {
+      fail_locked(
+          "divergent collectives: a node entered a collective after another "
+          "node finished its program");
+    }
+    tags_[id] = tag;
+    deposit();
+    ++arrived_;
+    if (arrived_ == n_) {
+      arrived_ = 0;
+      ++generation_;
+      for (NodeId v = 0; v < n_; ++v) {
+        if (!(tags_[v] == tag)) {
+          fail_locked(
+              "divergent collectives: nodes issued different operations");
+        }
+      }
+      try {
+        leader();
+      } catch (...) {
+        abort_locked(std::current_exception());
+        throw Aborted{};
+      }
+      cv_.notify_all();
+    } else {
+      const std::uint64_t my_gen = generation_;
+      cv_.wait(lk, [&] { return generation_ != my_gen || aborted_; });
+      if (aborted_) throw Aborted{};
+    }
+  }
+
+ private:
+  void abort_locked(std::exception_ptr e) {
+    if (!aborted_) {
+      aborted_ = true;
+      error_ = std::move(e);
+    }
+    cv_.notify_all();
+  }
+
+  void abort_run(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lk(mu_);
+    abort_locked(std::move(e));
+  }
+
+  [[noreturn]] void fail_locked(const std::string& msg) {
+    abort_locked(std::make_exception_ptr(ModelViolation(msg)));
+    throw Aborted{};
+  }
+
+  void task_returned() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (aborted_) return;
+    if (arrived_ > 0) {
+      abort_locked(std::make_exception_ptr(ModelViolation(
+          "divergent collectives: a node finished while others were inside "
+          "a collective")));
+    }
+    ++finished_;
+  }
+
+  NodeId n_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::size_t finished_ = 0;
+  bool aborted_ = false;
+  std::exception_ptr error_;
+  std::vector<OpTag> tags_;
+};
+
+// ---------------------------------------------------------------------------
+// Pooled backend: node programs as ucontext fibers over the shared pool.
+// ---------------------------------------------------------------------------
+
+/// Workers the pooled backend draws from. One process-wide pool sized by
+/// hardware_concurrency: engine runs are frequent and short, so per-run
+/// thread creation would reintroduce exactly the overhead this backend
+/// removes.
+ThreadPool& shared_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+class PooledScheduler;
+
+struct Fiber {
+#ifdef CCQ_FAST_FIBER
+  void* sp = nullptr;         // fiber's saved stack pointer while parked
+  void* worker_sp = nullptr;  // resuming worker's saved stack pointer
+#else
+  ucontext_t ctx{};
+  ucontext_t* resumer = nullptr;  // the worker context to yield back to
+#endif
+  std::unique_ptr<char[]> stack;
+  PooledScheduler* sched = nullptr;
+  NodeId id = 0;
+  bool finished = false;
+  // Rendezvous payload while parked at a collective.
+  OpTag tag{};
+  const Scheduler::Thunk* leader = nullptr;
+#ifdef CCQ_TSAN
+  void* tsan_fiber = nullptr;
+  void* tsan_resumer = nullptr;
+#endif
+};
+
+// The fiber the calling worker thread is currently executing, if any.
+thread_local Fiber* tls_fiber = nullptr;
+
+void spin_pause(unsigned& spins) {
+  if (++spins < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+class PooledScheduler final : public Scheduler {
+ public:
+  PooledScheduler(std::size_t workers, std::size_t stack_bytes)
+      : workers_cap_(workers),
+        stack_bytes_(stack_bytes == 0 ? kDefaultStackBytes : stack_bytes) {}
+
+  void run(NodeId n, const NodeBody& body) override {
+    n_ = n;
+    body_ = &body;
+    aborted_.store(false, std::memory_order_relaxed);
+    any_returned_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    done_ = false;
+
+    fibers_.clear();
+    fibers_.reserve(n);
+    run_list_.clear();
+    run_list_.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+      fibers_.push_back(make_fiber(v));
+      run_list_.push_back(fibers_.back().get());
+    }
+    next_.store(0, std::memory_order_relaxed);
+
+    ThreadPool& pool = shared_pool();
+    std::size_t workers = std::min<std::size_t>(pool.size(), n);
+    if (workers_cap_ > 0) workers = std::min(workers, workers_cap_);
+    if (workers == 0) workers = 1;
+    participants_ = workers;
+    barrier_count_.store(0, std::memory_order_relaxed);
+    barrier_sense_.store(false, std::memory_order_relaxed);
+
+    pool.parallel_for(workers, [this](std::size_t) { worker_loop(); });
+
+    destroy_fibers();
+    if (error_) std::rethrow_exception(error_);
+  }
+
+  void collective(NodeId id, OpTag tag, const Thunk& deposit,
+                  const Thunk& leader) override {
+    Fiber* f = tls_fiber;
+    CCQ_CHECK_MSG(f != nullptr && f->sched == this && f->id == id,
+                  "collective() called off its scheduler fiber");
+    if (aborted_.load(std::memory_order_acquire)) throw Aborted{};
+    deposit();
+    f->tag = tag;
+    // `leader` lives in the caller's frame on this fiber's stack; it stays
+    // valid for exactly as long as the fiber is parked here.
+    f->leader = &leader;
+    yield_to_worker(*f);
+    f->leader = nullptr;
+    if (aborted_.load(std::memory_order_acquire)) throw Aborted{};
+  }
+
+ private:
+  static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+  std::unique_ptr<Fiber> make_fiber(NodeId v) {
+    auto f = std::make_unique<Fiber>();
+    f->sched = this;
+    f->id = v;
+    // Default-initialised (not value-initialised) so untouched stack pages
+    // stay lazily unmapped — 4096 fibers must not commit a gigabyte.
+    f->stack.reset(new char[stack_bytes_]);
+#ifdef CCQ_FAST_FIBER
+    // Seed the stack so the first ccq_fiber_swap "returns" into
+    // ccq_fiber_entry with the Fiber* in r12. The slot order matches the
+    // swap's restore path; the -56-byte offset leaves rsp ≡ 8 (mod 16) so
+    // the entry shim's call site sees a correctly aligned stack.
+    const auto top =
+        reinterpret_cast<std::uintptr_t>(f->stack.get() + stack_bytes_) &
+        ~std::uintptr_t(15);
+    auto* slots = reinterpret_cast<void**>(top);
+    slots[-1] = reinterpret_cast<void*>(&ccq_fiber_entry);  // ret target
+    slots[-2] = nullptr;                                    // rbp
+    slots[-3] = nullptr;                                    // rbx
+    slots[-4] = f.get();                                    // r12
+    slots[-5] = nullptr;                                    // r13
+    slots[-6] = nullptr;                                    // r14
+    slots[-7] = nullptr;                                    // r15
+    char* sp = reinterpret_cast<char*>(slots - 7) - 16;
+    std::uint32_t mxcsr;
+    asm("stmxcsr %0" : "=m"(mxcsr));
+    std::uint16_t fcw;
+    asm("fnstcw %0" : "=m"(fcw));
+    std::memcpy(sp + 8, &mxcsr, sizeof mxcsr);
+    std::memcpy(sp, &fcw, sizeof fcw);
+    f->sp = sp;
+#else
+    CCQ_CHECK(getcontext(&f->ctx) == 0);
+    f->ctx.uc_stack.ss_sp = f->stack.get();
+    f->ctx.uc_stack.ss_size = stack_bytes_;
+    f->ctx.uc_link = nullptr;
+    // makecontext only passes ints; smuggle the Fiber* through two halves.
+    const auto p = reinterpret_cast<std::uintptr_t>(f.get());
+    makecontext(&f->ctx, reinterpret_cast<void (*)()>(&trampoline), 2,
+                static_cast<unsigned>(p >> 32),
+                static_cast<unsigned>(p & 0xffffffffu));
+#endif
+#ifdef CCQ_TSAN
+    f->tsan_fiber = __tsan_create_fiber(0);
+#endif
+    return f;
+  }
+
+  void destroy_fibers() {
+#ifdef CCQ_TSAN
+    for (auto& f : fibers_) {
+      if (f->tsan_fiber) __tsan_destroy_fiber(f->tsan_fiber);
+    }
+#endif
+    fibers_.clear();
+    run_list_.clear();
+  }
+
+ public:
+  // Top of every fiber stack: run the node body, swallow Aborted (another
+  // node already recorded the error), record anything else, then yield for
+  // the last time. A finished fiber is never resumed, so control cannot
+  // fall off the end. Public so the fast-fiber first-activation shim
+  // (ccq_fiber_main) can reach it.
+  static void run_node(Fiber* f) {
+    PooledScheduler* sched = f->sched;
+    try {
+      (*sched->body_)(f->id);
+      sched->any_returned_.store(true, std::memory_order_relaxed);
+    } catch (Aborted&) {
+    } catch (...) {
+      sched->record_error(std::current_exception());
+    }
+    f->finished = true;
+    sched->yield_to_worker(*f);
+    std::abort();  // unreachable
+  }
+
+#ifndef CCQ_FAST_FIBER
+  static void trampoline(unsigned hi, unsigned lo) {
+    run_node(reinterpret_cast<Fiber*>((static_cast<std::uintptr_t>(hi) << 32) |
+                                      static_cast<std::uintptr_t>(lo)));
+  }
+#endif
+
+ private:
+  void resume(Fiber& f) {
+    CCQ_DCHECK(!f.finished);
+    Fiber* prev = tls_fiber;
+    tls_fiber = &f;
+#ifdef CCQ_FAST_FIBER
+    ccq_fiber_swap(&f.worker_sp, f.sp);
+#else
+    ucontext_t here;
+    f.resumer = &here;
+#ifdef CCQ_TSAN
+    f.tsan_resumer = __tsan_get_current_fiber();
+    __tsan_switch_to_fiber(f.tsan_fiber, 0);
+#endif
+    swapcontext(&here, &f.ctx);
+#endif
+    tls_fiber = prev;
+  }
+
+  void yield_to_worker(Fiber& f) {
+#ifdef CCQ_FAST_FIBER
+    ccq_fiber_swap(&f.sp, f.worker_sp);
+#else
+#ifdef CCQ_TSAN
+    __tsan_switch_to_fiber(f.tsan_resumer, 0);
+#endif
+    swapcontext(&f.ctx, f.resumer);
+#endif
+  }
+
+  void record_error(std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lk(error_mu_);
+      if (!error_) error_ = std::move(e);
+    }
+    aborted_.store(true, std::memory_order_release);
+  }
+
+  // One superstep: resume every unfinished fiber until it parks at a
+  // collective (or finishes), meet the other workers at the sense-reversing
+  // barrier, and let the last arrival run the serial leader step.
+  void worker_loop() {
+    bool sense = false;
+    while (true) {
+      std::size_t i;
+      while ((i = next_.fetch_add(1, std::memory_order_relaxed)) <
+             run_list_.size()) {
+        resume(*run_list_[i]);
+      }
+      sense = !sense;
+      if (barrier_count_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          participants_) {
+        superstep_end();
+        barrier_count_.store(0, std::memory_order_relaxed);
+        barrier_sense_.store(sense, std::memory_order_release);
+      } else {
+        unsigned spins = 0;
+        while (barrier_sense_.load(std::memory_order_acquire) != sense) {
+          spin_pause(spins);
+        }
+      }
+      if (done_) return;
+    }
+  }
+
+  // Serial phase: every fiber has yielded, so plain accesses are safe (the
+  // barrier orders them). Validates the rendezvous, runs the leader, and
+  // builds the next superstep's run list.
+  void superstep_end() {
+    std::size_t parked = 0;
+    for (const auto& f : fibers_) {
+      if (!f->finished) ++parked;
+    }
+    if (!aborted_.load(std::memory_order_relaxed) && parked > 0) {
+      if (any_returned_.load(std::memory_order_relaxed)) {
+        record_error(std::make_exception_ptr(ModelViolation(
+            "divergent collectives: a node finished while others were inside "
+            "a collective")));
+      } else {
+        // All n fibers are parked at a collective; validate and deliver.
+        Fiber* first = fibers_.front().get();
+        for (const auto& f : fibers_) {
+          if (!(f->tag == first->tag)) {
+            record_error(std::make_exception_ptr(ModelViolation(
+                "divergent collectives: nodes issued different operations")));
+            break;
+          }
+        }
+        if (!aborted_.load(std::memory_order_relaxed)) {
+          try {
+            (*first->leader)();
+          } catch (...) {
+            record_error(std::current_exception());
+          }
+        }
+      }
+    }
+    // Next superstep resumes every unfinished fiber — after an abort they
+    // observe aborted_ and unwind with Aborted, emptying the run list.
+    run_list_.clear();
+    for (const auto& f : fibers_) {
+      if (!f->finished) run_list_.push_back(f.get());
+    }
+    next_.store(0, std::memory_order_relaxed);
+    done_ = run_list_.empty();
+  }
+
+  const std::size_t workers_cap_;
+  const std::size_t stack_bytes_;
+
+  NodeId n_ = 0;
+  const NodeBody* body_ = nullptr;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<Fiber*> run_list_;  // mutated only in the serial phase
+  std::atomic<std::size_t> next_{0};
+  bool done_ = false;  // written in the serial phase, read after release
+
+  std::size_t participants_ = 0;
+  std::atomic<std::size_t> barrier_count_{0};
+  std::atomic<bool> barrier_sense_{false};
+
+  std::atomic<bool> aborted_{false};
+  std::atomic<bool> any_returned_{false};
+  std::mutex error_mu_;
+  std::exception_ptr error_;
+};
+
+}  // namespace
+
+#ifdef CCQ_FAST_FIBER
+extern "C" void ccq_fiber_main(void* fiber) {
+  PooledScheduler::run_node(static_cast<Fiber*>(fiber));
+}
+#endif
+
+bool on_scheduler_fiber() { return tls_fiber != nullptr; }
+
+std::unique_ptr<Scheduler> make_scheduler(ExecutionBackend backend,
+                                          std::size_t workers,
+                                          std::size_t stack_bytes) {
+  switch (backend) {
+    case ExecutionBackend::kThreadPerNode:
+      return std::make_unique<ThreadPerNodeScheduler>();
+    case ExecutionBackend::kPooled:
+      return std::make_unique<PooledScheduler>(workers, stack_bytes);
+  }
+  CCQ_CHECK_MSG(false, "unknown execution backend");
+  return nullptr;
+}
+
+}  // namespace detail
+}  // namespace ccq

@@ -1,0 +1,100 @@
+#pragma once
+
+// Execution backends for the clique engine.
+//
+// The engine's unit of execution is the *superstep*: all n node programs
+// run until they meet at the next collective, a single serial "leader"
+// step validates the rendezvous and delivers messages, and everyone
+// resumes. Two backends realise this contract:
+//
+//   * ExecutionBackend::kThreadPerNode — the reference backend: one OS
+//     thread per simulated node, rendezvoused through a mutex + condition
+//     variable. Simple, but thread-creation and wakeup-storm overhead
+//     dominates wall-clock once n reaches the hierarchy-bench sizes.
+//
+//   * ExecutionBackend::kPooled — the default: node programs run as
+//     cooperatively yielding fibers (ucontext stackful contexts)
+//     multiplexed over a fixed worker team hosted on the shared
+//     ccq::ThreadPool; workers meet at a sense-reversing spin barrier
+//     between the parallel (resume fibers) and serial (validate +
+//     deliver) phases of each superstep.
+//
+// Both backends produce bit-for-bit identical RunResults (outputs, rounds,
+// messages, bits, per-node maxima) for any program and any worker count —
+// asserted by tests/clique/scheduler_test.cpp. Message delivery and cost
+// accounting always happen in the serial leader step, iterating nodes in id
+// order, so scheduling order can never leak into results.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+/// Which execution backend Engine::run uses (Engine::Config::backend).
+enum class ExecutionBackend {
+  kThreadPerNode,  ///< reference: one OS thread per simulated node
+  kPooled,         ///< default: fibers over a fixed worker pool
+};
+
+namespace detail {
+
+// Thrown into node programs to unwind them after another node failed (or a
+// model rule was violated); never escapes Scheduler::run.
+struct Aborted {};
+
+// Identifies a collective operation for divergence checking.
+struct OpTag {
+  int opcode = 0;
+  std::uint64_t param = 0;
+  bool operator==(const OpTag& o) const {
+    return opcode == o.opcode && param == o.param;
+  }
+};
+
+// Runs n node bodies to completion, rendezvousing them at collectives.
+//
+// Contract (identical across backends; the determinism suite asserts it):
+//   * run(n, body) invokes body(v) exactly once for every v in [0, n) and
+//     returns once every body has unwound; the first captured error (a body
+//     exception, a leader exception, or a divergence ModelViolation) is
+//     rethrown.
+//   * collective(id, tag, deposit, leader) may only be called from inside
+//     body(id). deposit() runs immediately and may touch only node-owned
+//     slots. Once all n nodes have arrived with equal tags, leader() runs
+//     exactly once, serially, with every deposit visible; afterwards all
+//     nodes resume with the leader's writes visible. Unequal tags, or a
+//     body returning while others sit inside a collective, abort the run
+//     with a ModelViolation.
+//   * after an abort, nodes parked in collectives are resumed with Aborted
+//     so their stacks unwind; Aborted itself never escapes run().
+class Scheduler {
+ public:
+  using NodeBody = std::function<void(NodeId)>;
+  using Thunk = std::function<void()>;
+
+  virtual ~Scheduler() = default;
+
+  virtual void run(NodeId n, const NodeBody& body) = 0;
+  virtual void collective(NodeId id, OpTag tag, const Thunk& deposit,
+                          const Thunk& leader) = 0;
+};
+
+/// Backend factory. `workers` caps the pooled worker team (0 = one per
+/// shared-pool thread); `stack_bytes` sizes pooled fiber stacks (0 = 256
+/// KiB). Both are ignored by the thread-per-node backend.
+std::unique_ptr<Scheduler> make_scheduler(ExecutionBackend backend,
+                                          std::size_t workers,
+                                          std::size_t stack_bytes);
+
+/// True when the calling thread is currently executing a pooled-scheduler
+/// fiber. Engine::run uses this to route nested runs (a node program that
+/// itself simulates a clique) to the thread-per-node backend instead of
+/// deadlocking the shared worker pool.
+bool on_scheduler_fiber();
+
+}  // namespace detail
+}  // namespace ccq

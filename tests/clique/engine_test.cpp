@@ -50,6 +50,33 @@ TEST(Engine, BandwidthMultiplier) {
       cfg);
 }
 
+TEST(Engine, BandwidthBeyondWordLimitThrows) {
+  // ⌈log₂16⌉·17 = 68 bits cannot fit a 64-bit Word; the engine must refuse
+  // the configuration rather than silently clamp the cost semantics.
+  Graph g = gen::empty(16);
+  Engine::Config cfg;
+  cfg.bandwidth_multiplier = 17;
+  EXPECT_THROW(Engine::run(g, [](NodeCtx& ctx) { ctx.output(0); }, cfg),
+               ModelViolation);
+}
+
+TEST(Engine, BandwidthOfExactly64BitsIsAccepted) {
+  Graph g = gen::empty(16);  // base 4 bits
+  Engine::Config cfg;
+  cfg.bandwidth_multiplier = 16;  // B = 64, the widest legal channel
+  auto r = Engine::run(
+      g,
+      [](NodeCtx& ctx) {
+        EXPECT_EQ(ctx.bandwidth(), 64u);
+        std::vector<std::pair<NodeId, Word>> sends;
+        if (ctx.id() == 0) sends.emplace_back(1, Word(~0ull, 64));
+        auto in = ctx.round(sends);
+        ctx.output(ctx.id() == 1 && in[0] ? in[0]->value : 0);
+      },
+      cfg);
+  EXPECT_EQ(r.outputs[1], ~0ull);
+}
+
 TEST(Engine, RoundDeliversPointToPoint) {
   Graph g = gen::empty(5);
   auto r = Engine::run(g, [](NodeCtx& ctx) {
