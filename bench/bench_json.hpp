@@ -1,0 +1,73 @@
+#pragma once
+
+// Machine-readable benchmark output: a minimal JSON array writer so CI (and
+// EXPERIMENTS.md tooling) can diff benchmark runs without scraping the
+// printed tables. Keys and string values in this repo are plain
+// identifiers, so no escaping is needed; numbers are emitted verbatim.
+//
+// Usage:
+//   benchjson::Writer out;
+//   out.add({{"n", 512}, {"plane", "flat"}, {"wall_ms", 12.3}});
+//   out.write("BENCH_routing.json");
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ccq::benchjson {
+
+struct Field {
+  Field(const char* k, const char* v) : key(k), value(v) {}
+  Field(const char* k, const std::string& v) : key(k), value(v) {}
+  Field(const char* k, double v) : key(k), value(v) {}
+  Field(const char* k, std::uint64_t v) : key(k), value(v) {}
+  Field(const char* k, unsigned v) : key(k), value(std::uint64_t{v}) {}
+  Field(const char* k, int v)
+      : key(k), value(static_cast<std::uint64_t>(v)) {}
+
+  std::string key;
+  std::variant<std::string, double, std::uint64_t> value;
+};
+
+class Writer {
+ public:
+  void add(std::initializer_list<Field> fields) {
+    std::string rec = "{";
+    bool first = true;
+    for (const Field& f : fields) {
+      if (!first) rec += ", ";
+      first = false;
+      rec += "\"" + f.key + "\": ";
+      if (const auto* s = std::get_if<std::string>(&f.value)) {
+        rec += "\"" + *s + "\"";
+      } else if (const auto* d = std::get_if<double>(&f.value)) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.3f", *d);
+        rec += buf;
+      } else {
+        rec += std::to_string(std::get<std::uint64_t>(f.value));
+      }
+    }
+    records_.push_back(rec + "}");
+  }
+
+  bool write(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", records_[i].c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::string> records_;
+};
+
+}  // namespace ccq::benchjson

@@ -67,20 +67,20 @@ std::uint64_t clique_transfer_rounds(const Graph& g, unsigned L) {
     const unsigned B = ctx.bandwidth();
     const unsigned chunks = static_cast<unsigned>(ceil_div(L, B));
     SplitMix64 src(7);
-    WordQueues out(ctx.n());
+    std::vector<std::pair<NodeId, Word>> sends;
     if (ctx.id() == 0) {
       for (unsigned c = 0; c < chunks; ++c)
-        out[1 + (c % (ctx.n() - 1))].emplace_back(
-            src.next() & ((1ull << B) - 1), B);
+        sends.emplace_back(1 + (c % (ctx.n() - 1)),
+                           Word(src.next() & ((1ull << B) - 1), B));
     }
-    auto in = ctx.exchange(out);
-    WordQueues fwd(ctx.n());
+    const FlatInbox in = ctx.exchange_flat(sends);
+    std::vector<std::pair<NodeId, Word>> fwd;
     if (ctx.id() != 0)
-      for (const Word& w : in[0]) fwd[ctx.n() - 1].push_back(w);
-    auto fin = ctx.exchange(fwd);
+      for (const Word& w : in.from(0)) fwd.emplace_back(ctx.n() - 1, w);
+    const FlatInbox fin = ctx.exchange_flat(fwd);
     std::uint64_t got = 0;
     if (ctx.id() + 1 == ctx.n())
-      for (NodeId v = 0; v < ctx.n(); ++v) got += fin[v].size();
+      for (NodeId v = 0; v < ctx.n(); ++v) got += fin.from(v).size();
     ctx.output(got);
   });
   return run.cost.rounds;

@@ -1,0 +1,176 @@
+// Message-plane micro-benchmark: allocation-bound exchange loads.
+//
+// The workload is the plane's worst case for the legacy substrate: many
+// supersteps of skewed all-to-all exchange(), where the legacy delivery
+// rebuilds Θ(n²) vector queues per collective while the flat plane runs a
+// counting sort over persisted arenas (DESIGN.md "Message plane"). Cost
+// meters must be byte-identical between planes; only wall-clock may differ.
+//
+// Usage: bench_exchange [--n=N] [--check]
+//   --n=N     run a single clique size instead of the 128/256/512 sweep
+//   --check   CI smoke mode: exit non-zero if the flat plane is slower
+//             than legacy (uses more trials to shed scheduler noise)
+//
+// Writes BENCH_exchange.json ({n, backend, plane, wall_ms, rounds,
+// messages, bits} per row) into the current directory.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_json.hpp"
+#include "clique/engine.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+
+using namespace ccq;
+
+namespace {
+
+constexpr int kSupersteps = 16;
+
+struct Sample {
+  double millis = 0;
+  RunResult result;
+};
+
+// Skewed all-to-all through the queue-shaped exchange() API: per superstep
+// each node sends (id + dst + r) % 4 one-bit words to every destination.
+void exchange_program(NodeCtx& ctx) {
+  const NodeId n = ctx.n();
+  std::uint64_t acc = 0;
+  WordQueues out(n);
+  for (int r = 0; r < kSupersteps; ++r) {
+    for (NodeId v = 0; v < n; ++v) {
+      out[v].clear();
+      const NodeId reps = (ctx.id() + v + r) % 4;
+      for (NodeId i = 0; i < reps; ++i) out[v].emplace_back((i + r) % 2, 1);
+    }
+    const WordQueues in = ctx.exchange(out);
+    for (NodeId v = 0; v < n; ++v) acc += in[v].size();
+  }
+  ctx.output(acc);
+}
+
+// The same traffic through the span-shaped fast path (exchange_flat):
+// measures what a fully ported caller gains on top of the plane swap.
+void exchange_flat_program(NodeCtx& ctx) {
+  const NodeId n = ctx.n();
+  std::uint64_t acc = 0;
+  std::vector<std::pair<NodeId, Word>> sends;
+  for (int r = 0; r < kSupersteps; ++r) {
+    sends.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId reps = (ctx.id() + v + r) % 4;
+      for (NodeId i = 0; i < reps; ++i) sends.emplace_back(v, Word((i + r) % 2, 1));
+    }
+    const FlatInbox in = ctx.exchange_flat(sends);
+    for (NodeId v = 0; v < n; ++v) acc += in.from(v).size();
+  }
+  ctx.output(acc);
+}
+
+Sample run_config(NodeId n, MessagePlaneKind plane, bool flat_api,
+                  int trials) {
+  Engine::Config cfg;
+  cfg.plane = plane;
+  const NodeProgram program =
+      flat_api ? NodeProgram(exchange_flat_program)
+               : NodeProgram(exchange_program);
+  Sample s;
+  for (int t = 0; t < trials; ++t) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto res = Engine::run(gen::empty(n), program, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (t == 0 || ms < s.millis) s.millis = ms;
+    s.result = std::move(res);
+  }
+  return s;
+}
+
+bool same_meters(const RunResult& a, const RunResult& b) {
+  return a.outputs == b.outputs && a.cost.rounds == b.cost.rounds &&
+         a.cost.messages == b.cost.messages && a.cost.bits == b.cost.bits &&
+         a.cost.collectives == b.cost.collectives &&
+         a.cost.max_node_sent == b.cost.max_node_sent &&
+         a.cost.max_node_received == b.cost.max_node_received;
+}
+
+void add_record(benchjson::Writer& json, NodeId n, const char* plane,
+                const Sample& s) {
+  json.add({{"n", n},
+            {"backend", "pooled"},
+            {"plane", plane},
+            {"wall_ms", s.millis},
+            {"rounds", s.result.cost.rounds},
+            {"messages", s.result.cost.messages},
+            {"bits", s.result.cost.bits}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  NodeId only_n = 0;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--n=", 4) == 0) {
+      only_n = static_cast<NodeId>(std::atoi(argv[i] + 4));
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--n=N] [--check]\n", argv[0]);
+      return 2;
+    }
+  }
+  const int trials = check ? 5 : 3;
+
+  std::printf("Message planes (allocation-bound load: %d skewed all-to-all\n"
+              "exchange supersteps, best of %d trials, pooled backend):\n\n",
+              kSupersteps, trials);
+
+  std::vector<NodeId> sizes = {128, 256, 512};
+  if (only_n != 0) sizes = {only_n};
+
+  benchjson::Writer json;
+  Table t({"n", "legacy ms", "flat ms", "speedup", "flat-API ms",
+           "total speedup", "counts equal"});
+  bool check_failed = false;
+  for (NodeId n : sizes) {
+    const auto legacy =
+        run_config(n, MessagePlaneKind::kLegacy, false, trials);
+    const auto flat = run_config(n, MessagePlaneKind::kFlat, false, trials);
+    const auto flat_api =
+        run_config(n, MessagePlaneKind::kFlat, true, trials);
+    if (!same_meters(legacy.result, flat.result) ||
+        !same_meters(legacy.result, flat_api.result)) {
+      std::printf("FATAL: planes disagree on metered cost at n=%u\n", n);
+      return 1;
+    }
+    add_record(json, n, "legacy", legacy);
+    add_record(json, n, "flat", flat);
+    add_record(json, n, "flat_span", flat_api);
+    t.add_row({std::to_string(n), Table::fmt(legacy.millis, 1),
+               Table::fmt(flat.millis, 1),
+               Table::fmt(legacy.millis / flat.millis, 1),
+               Table::fmt(flat_api.millis, 1),
+               Table::fmt(legacy.millis / flat_api.millis, 1), "yes"});
+    if (check && flat.millis > legacy.millis) check_failed = true;
+  }
+  t.print();
+
+  if (json.write("BENCH_exchange.json")) {
+    std::printf("\nwrote BENCH_exchange.json\n");
+  }
+
+  if (check) {
+    if (check_failed) {
+      std::printf("CHECK FAILED: flat plane slower than legacy\n");
+      return 1;
+    }
+    std::printf("CHECK OK: flat plane at least as fast as legacy\n");
+  }
+  return 0;
+}

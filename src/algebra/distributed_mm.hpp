@@ -169,7 +169,7 @@ std::vector<typename S::Value> mm_distributed_3d(
   // ---- Step A: distribute input blocks.
   // Sender v: A_v[R_k] -> worker (range_of(v), j, k) for all j, k;
   //           B_v[R_j] -> worker (i, j, range_of(v)) for all i, j.
-  WordQueues phase_a(n);
+  std::vector<std::pair<NodeId, Word>> phase_a;
   {
     const NodeId iv = L.range_of(me);
     for (NodeId j = 0; j < L.d; ++j) {
@@ -182,7 +182,7 @@ std::vector<typename S::Value> mm_distributed_3d(
         // iterate (i, j) explicitly below instead.
         payload = pack_entries<S>(std::span<const V>(sa), entry_bits);
         for (const Word& w : encode_bits(payload, B))
-          phase_a[dst_a].push_back(w);
+          phase_a.emplace_back(dst_a, w);
       }
     }
     for (NodeId i = 0; i < L.d; ++i) {
@@ -192,11 +192,11 @@ std::vector<typename S::Value> mm_distributed_3d(
         BitVector payload =
             pack_entries<S>(std::span<const V>(sb), entry_bits);
         for (const Word& w : encode_bits(payload, B))
-          phase_a[dst_b].push_back(w);
+          phase_a.emplace_back(dst_b, w);
       }
     }
   }
-  WordQueues inbox_a = ctx.exchange(phase_a);
+  const FlatInbox inbox_a = ctx.exchange_flat(phase_a);
 
   // ---- Step B: workers assemble blocks and multiply locally.
   Matrix<V> partial;  // |R_i| x |R_j| block of partial products
@@ -211,7 +211,7 @@ std::vector<typename S::Value> mm_distributed_3d(
     // sends were queued by different loops, A-loop first for matching
     // destinations. Decode positionally.
     for (NodeId src = 0; src < n; ++src) {
-      const auto& q = inbox_a[src];
+      const auto q = inbox_a.from(src);
       if (q.empty()) continue;
       std::size_t pos_words = 0;
       const bool sends_a = L.range_of(src) == i;
@@ -219,22 +219,18 @@ std::vector<typename S::Value> mm_distributed_3d(
       if (sends_a) {
         const std::size_t bits = static_cast<std::size_t>(rk) * entry_bits;
         const std::size_t nw = ceil_div(bits, B);
-        std::vector<Word> ws(q.begin() + pos_words,
-                             q.begin() + pos_words + nw);
+        auto vals = unpack_entries<S>(
+            decode_words(q.subspan(pos_words, nw), bits), rk, entry_bits);
         pos_words += nw;
-        auto vals = unpack_entries<S>(decode_words(ws, bits), rk,
-                                      entry_bits);
         const NodeId r = src - L.range_begin(i);
         for (NodeId c = 0; c < rk; ++c) a_blk.at(r, c) = vals[c];
       }
       if (sends_b) {
         const std::size_t bits = static_cast<std::size_t>(rj) * entry_bits;
         const std::size_t nw = ceil_div(bits, B);
-        std::vector<Word> ws(q.begin() + pos_words,
-                             q.begin() + pos_words + nw);
+        auto vals = unpack_entries<S>(
+            decode_words(q.subspan(pos_words, nw), bits), rj, entry_bits);
         pos_words += nw;
-        auto vals = unpack_entries<S>(decode_words(ws, bits), rj,
-                                      entry_bits);
         const NodeId r = src - L.range_begin(k);
         for (NodeId c = 0; c < rj; ++c) b_blk.at(r, c) = vals[c];
       }
@@ -244,7 +240,7 @@ std::vector<typename S::Value> mm_distributed_3d(
   }
 
   // ---- Step C: return partial rows to their owners and reduce.
-  WordQueues phase_c(n);
+  std::vector<std::pair<NodeId, Word>> phase_c;
   if (L.is_worker(me)) {
     const NodeId i = L.wi(me);
     for (NodeId r = L.range_begin(i); r < L.range_end(i); ++r) {
@@ -254,16 +250,16 @@ std::vector<typename S::Value> mm_distributed_3d(
       BitVector payload =
           pack_entries<S>(std::span<const V>(vals), entry_bits);
       for (const Word& w : encode_bits(payload, B))
-        phase_c[r].push_back(w);
+        phase_c.emplace_back(r, w);
     }
   }
-  WordQueues inbox_c = ctx.exchange(phase_c);
+  const FlatInbox inbox_c = ctx.exchange_flat(phase_c);
 
   std::vector<V> row_c(n, S::zero());
   {
     const NodeId i = L.range_of(me);
     for (NodeId src = 0; src < n; ++src) {
-      const auto& q = inbox_c[src];
+      const auto q = inbox_c.from(src);
       if (q.empty()) continue;
       CCQ_CHECK_MSG(L.is_worker(src) && L.wi(src) == i,
                     "mm_3d: partial row from unexpected worker");

@@ -10,7 +10,15 @@ std::vector<std::optional<Word>> BcastCtx::round(std::optional<Word> mine) {
       if (v != id()) sends.emplace_back(v, *mine);
     }
   }
-  auto received = inner_.round(sends);
+  // round_flat keeps round()'s cost semantics (exactly 1 round even when
+  // everyone stays silent) but returns arena-backed spans, skipping the
+  // per-call queue allocations of the generic round().
+  const FlatInbox in = inner_.round_flat(sends);
+  std::vector<std::optional<Word>> received(n());
+  for (NodeId v = 0; v < n(); ++v) {
+    const auto got = in.from(v);
+    if (!got.empty()) received[v] = got.front();
+  }
   if (mine.has_value()) received[id()] = *mine;  // own word visible locally
   return received;
 }

@@ -2,15 +2,30 @@
 
 namespace ccq {
 
-std::vector<std::optional<Word>> CongestCtx::round(
-    std::span<const std::pair<NodeId, Word>> sends) {
+namespace {
+
+void check_edges(const NodeCtx& inner,
+                 std::span<const std::pair<NodeId, Word>> sends) {
   for (const auto& [dst, w] : sends) {
     (void)w;
-    CCQ_CHECK_MSG(dst < inner_.n() && inner_.adj_row().get(dst),
+    CCQ_CHECK_MSG(dst < inner.n() && inner.adj_row().get(dst),
                   "CONGEST violation: node "
-                      << inner_.id() << " sent along non-edge to " << dst);
+                      << inner.id() << " sent along non-edge to " << dst);
   }
+}
+
+}  // namespace
+
+std::vector<std::optional<Word>> CongestCtx::round(
+    std::span<const std::pair<NodeId, Word>> sends) {
+  check_edges(inner_, sends);
   return inner_.round(sends);
+}
+
+FlatInbox CongestCtx::round_flat(
+    std::span<const std::pair<NodeId, Word>> sends) {
+  check_edges(inner_, sends);
+  return inner_.round_flat(sends);
 }
 
 RunResult run_congest(const Graph& g, const CongestProgram& program) {

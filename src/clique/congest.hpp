@@ -37,6 +37,10 @@ class CongestCtx {
   std::vector<std::optional<Word>> round(
       std::span<const std::pair<NodeId, Word>> sends);
 
+  /// Allocation-free variant: same edge restriction and cost, arena-backed
+  /// return (see NodeCtx::round_flat for the view's lifetime).
+  FlatInbox round_flat(std::span<const std::pair<NodeId, Word>> sends);
+
   /// Flood one bit to the whole (connected) graph: rounds = eccentricity
   /// of the source; convenience built on round().
   void output(std::uint64_t v) { inner_.output(v); }

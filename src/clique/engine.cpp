@@ -26,14 +26,15 @@ struct SharedState {
   std::vector<BitVector> in_rows;       // transposed adjacency (directed)
   std::vector<BitVector> private_bits;  // resolved §3 encoding
 
-  // Rendezvous backend; provides the ordering guarantees for the slots and
+  // Rendezvous backend; provides the ordering guarantees for the plane and
   // accounting below (deposits write only node-owned slots; the serial
   // leader step reads and writes everything).
   Scheduler* sched = nullptr;
 
-  // Collective payload slots.
-  std::vector<const WordQueues*> out_slots;
-  std::vector<WordQueues> in_slots;
+  // Delivery substrate (Config::plane). Owns outbox slots, the inbox
+  // storage, and — for the flat plane — the persistent counting-sort
+  // arrays, so steady-state collectives allocate nothing.
+  std::unique_ptr<MessagePlane> plane;
 
   // Results. `cost` and the per-node totals are mutated only by the serial
   // leader; `rounds_committed` mirrors cost.rounds for mid-run reads
@@ -48,48 +49,19 @@ struct SharedState {
 
 namespace {
 
-void validate_words(const WordQueues& out, NodeId self, unsigned bandwidth,
-                    NodeId n) {
-  CCQ_CHECK_MSG(out.size() == n, "outbox must have one queue per node");
-  for (NodeId dst = 0; dst < n; ++dst) {
-    if (dst == self) continue;  // self-delivery is free local computation
-    for (const Word& w : out[dst]) {
-      CCQ_CHECK_MSG(
-          w.bits <= bandwidth,
-          "bandwidth violation: node " << self << " sent a " << w.bits
-                                       << "-bit word to node " << dst
-                                       << " but B = " << bandwidth);
-    }
-  }
-}
-
-// Deliver all deposited queues; cost = max over ordered (u,v), u != v, of
-// the queue length (one word per ordered pair per synchronous round).
-// Returns the number of rounds charged. Leader-only.
+// Deliver all deposits through the message plane; cost = max over ordered
+// (u,v), u != v, of the queue length (one word per ordered pair per
+// synchronous round). Returns the number of rounds charged. Leader-only:
+// the plane may fan the delivery passes out via sched->leader_parallel_for.
 std::uint64_t deliver(SharedState& st) {
-  const NodeId n = st.n;
-  std::uint64_t max_queue = 0, msgs = 0, bits = 0;
-  for (NodeId v = 0; v < n; ++v) {
-    st.in_slots[v].assign(n, {});
-  }
-  for (NodeId u = 0; u < n; ++u) {
-    const WordQueues& out = *st.out_slots[u];
-    for (NodeId v = 0; v < n; ++v) {
-      if (out[v].empty()) continue;
-      if (u != v) {
-        max_queue = std::max<std::uint64_t>(max_queue, out[v].size());
-        msgs += out[v].size();
-        for (const Word& w : out[v]) bits += w.bits;
-        st.sent_words[u] += out[v].size();
-        st.received_words[v] += out[v].size();
-      }
-      st.in_slots[v][u] = out[v];
-    }
-  }
-  st.cost.messages += msgs;
-  st.cost.bits += bits;
+  DeliveryAccounting acc;
+  acc.sent_words = st.sent_words.data();
+  acc.received_words = st.received_words.data();
+  st.plane->deliver(*st.sched, acc);
+  st.cost.messages += acc.messages;
+  st.cost.bits += acc.bits;
   st.cost.collectives += 1;
-  return max_queue;
+  return acc.max_queue;
 }
 
 // Leader-only: commit rounds and enforce the runaway guard (throwing from
@@ -150,40 +122,55 @@ std::uint64_t NodeCtx::rounds_so_far() const {
 }
 
 WordQueues NodeCtx::exchange(const WordQueues& out) {
-  detail::validate_words(out, id_, st_->bandwidth, st_->n);
+  // Validation (bandwidth, outbox shape) happens inside the deposit scan.
   st_->sched->collective(
       id_, OpTag{detail::kOpExchange, 0},
-      [&] { st_->out_slots[id_] = &out; },
+      [&] { st_->plane->deposit_queues(id_, &out, /*movable=*/false); },
       [st = st_] { detail::charge_rounds(*st, detail::deliver(*st)); });
-  return std::move(st_->in_slots[id_]);
+  return st_->plane->take_queues(id_);
 }
 
-std::vector<std::optional<Word>> NodeCtx::round(
-    std::span<const std::pair<NodeId, Word>> sends) {
-  const NodeId nn = st_->n;
-  WordQueues out(nn);
-  for (const auto& [dst, w] : sends) {
-    CCQ_CHECK_MSG(dst < nn, "round(): destination out of range");
-    CCQ_CHECK_MSG(dst != id_, "round(): no self-messages in round()");
-    CCQ_CHECK_MSG(out[dst].empty(),
-                  "round(): at most one word per destination per round");
-    out[dst].push_back(w);
-  }
-  detail::validate_words(out, id_, st_->bandwidth, nn);
+WordQueues NodeCtx::exchange(WordQueues&& out) {
+  // The caller relinquished `out`: the plane may move the self queue into
+  // the inbox instead of copying it. `out` lives in this frame until the
+  // collective completes, so the deposited pointer stays valid.
+  st_->sched->collective(
+      id_, OpTag{detail::kOpExchange, 0},
+      [&] { st_->plane->deposit_queues(id_, &out, /*movable=*/true); },
+      [st = st_] { detail::charge_rounds(*st, detail::deliver(*st)); });
+  return st_->plane->take_queues(id_);
+}
 
+FlatInbox NodeCtx::exchange_flat(
+    std::span<const std::pair<NodeId, Word>> sends) {
+  st_->sched->collective(
+      id_, OpTag{detail::kOpExchange, 0},
+      [&] { st_->plane->deposit_pairs(id_, sends, /*unique_dst=*/false); },
+      [st = st_] { detail::charge_rounds(*st, detail::deliver(*st)); });
+  return st_->plane->inbox(id_);
+}
+
+FlatInbox NodeCtx::round_flat(
+    std::span<const std::pair<NodeId, Word>> sends) {
   st_->sched->collective(
       id_, OpTag{detail::kOpRound, 0},
-      [&] { st_->out_slots[id_] = &out; },
+      [&] { st_->plane->deposit_pairs(id_, sends, /*unique_dst=*/true); },
       [st = st_] {
         // A round costs exactly 1 regardless of occupancy.
         detail::deliver(*st);
         detail::charge_rounds(*st, 1);
       });
+  return st_->plane->inbox(id_);
+}
 
+std::vector<std::optional<Word>> NodeCtx::round(
+    std::span<const std::pair<NodeId, Word>> sends) {
+  const NodeId nn = st_->n;
+  const FlatInbox in = round_flat(sends);
   std::vector<std::optional<Word>> received(nn);
-  const WordQueues& in = st_->in_slots[id_];
   for (NodeId src = 0; src < nn; ++src) {
-    if (!in[src].empty()) received[src] = in[src].front();
+    const auto got = in.from(src);
+    if (!got.empty()) received[src] = got.front();
   }
   return received;
 }
@@ -192,15 +179,10 @@ std::vector<BitVector> NodeCtx::broadcast(const BitVector& mine) {
   const NodeId nn = st_->n;
   const unsigned B = st_->bandwidth;
   const std::vector<Word> words = encode_bits(mine, B);
-  WordQueues out(nn);
-  for (NodeId v = 0; v < nn; ++v) {
-    if (v == id_) continue;
-    out[v] = words;
-  }
   const std::size_t length = mine.size();
   st_->sched->collective(
       id_, OpTag{detail::kOpBroadcast, length},
-      [&] { st_->out_slots[id_] = &out; },
+      [&] { st_->plane->deposit_broadcast(id_, words); },
       [st = st_, length, B] {
         detail::deliver(*st);
         // ⌈L/B⌉ rounds (equals the max queue length by construction, but we
@@ -209,13 +191,13 @@ std::vector<BitVector> NodeCtx::broadcast(const BitVector& mine) {
         detail::charge_rounds(*st, ceil_div(length, B));
       });
 
+  const FlatInbox in = st_->plane->inbox(id_);
   std::vector<BitVector> result(nn);
-  const WordQueues& in = st_->in_slots[id_];
   for (NodeId src = 0; src < nn; ++src) {
     if (src == id_) {
       result[src] = mine;
     } else {
-      result[src] = decode_words(in[src], mine.size());
+      result[src] = decode_words(in.from(src), mine.size());
     }
   }
   return result;
@@ -290,8 +272,8 @@ RunResult Engine::run(const Instance& instance, const NodeProgram& program,
   st.bandwidth = static_cast<unsigned>(wide);
   st.max_rounds = config.max_rounds;
   st.seed = config.seed;
-  st.out_slots.assign(n, nullptr);
-  st.in_slots.resize(n);
+  st.plane = detail::make_message_plane(config.plane);
+  st.plane->init(n, st.bandwidth);
   st.outputs.assign(n, 0);
   st.has_output.assign(n, 0);
   st.sent_words.assign(n, 0);

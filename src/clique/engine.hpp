@@ -32,14 +32,12 @@
 
 #include "clique/cost.hpp"
 #include "clique/instance.hpp"
+#include "clique/msgplane.hpp"
 #include "clique/scheduler.hpp"
 #include "clique/word.hpp"
 #include "graph/graph.hpp"
 
 namespace ccq {
-
-/// Per-destination (or per-source) word queues; index = peer node id.
-using WordQueues = std::vector<std::vector<Word>>;
 
 namespace detail {
 struct SharedState;
@@ -81,8 +79,22 @@ class NodeCtx {
   /// drains all queues one word per ordered pair per round, so the cost is
   /// max over ordered pairs of the queue length. Returns per-source inboxes
   /// in FIFO order. Words queued to self are delivered free of charge
-  /// (local computation is unlimited).
+  /// (local computation is unlimited). The rvalue overload lets the plane
+  /// move (not copy) the self queue into the inbox.
   WordQueues exchange(const WordQueues& out);
+  WordQueues exchange(WordQueues&& out);
+
+  /// Allocation-free exchange fast path: sends are (dst, word) pairs in
+  /// send order (any number per destination, self allowed); cost semantics
+  /// are identical to exchange(). The returned view aliases the message
+  /// plane's arena and is valid until this node's next collective — decode
+  /// or copy out before communicating again.
+  FlatInbox exchange_flat(std::span<const std::pair<NodeId, Word>> sends);
+
+  /// Allocation-free round fast path: round() semantics (at most one word
+  /// per destination, no self-sends, costs exactly 1 round) with the same
+  /// arena-backed return as exchange_flat().
+  FlatInbox round_flat(std::span<const std::pair<NodeId, Word>> sends);
 
   /// Every node broadcasts `mine` to everyone; all broadcasts run in
   /// parallel. All nodes must pass bit vectors of the same length L
@@ -141,6 +153,10 @@ class Engine {
     std::uint64_t seed = 0x9a7cc1e5u;     ///< common public randomness
     /// Execution backend; results are bit-identical across backends.
     ExecutionBackend backend = ExecutionBackend::kPooled;
+    /// Message plane (delivery substrate); results are bit-identical across
+    /// planes — kLegacy keeps the original per-pair vector queues as the
+    /// auditable baseline, kFlat is the arena-backed counting-sort plane.
+    MessagePlaneKind plane = MessagePlaneKind::kFlat;
     /// Pooled backend: cap on concurrent workers (0 = hardware).
     std::size_t workers = 0;
     /// Pooled backend: per-node fiber stack size (0 = 256 KiB).

@@ -1,0 +1,495 @@
+#include "clique/msgplane.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ccq {
+
+// Sole builder of FlatInbox views (friend of FlatInbox): keeps the view's
+// raw pointers constructible only by the planes in this translation unit.
+class FlatInboxAccess {
+ public:
+  static FlatInbox flat(const Word* words, const std::uint32_t* cursor,
+                        const std::uint32_t* counts, NodeId self, NodeId n) {
+    FlatInbox ib;
+    ib.words_ = words;
+    ib.cursor_ = cursor;
+    ib.counts_ = counts;
+    ib.self_ = self;
+    ib.n_ = n;
+    return ib;
+  }
+  static FlatInbox legacy(const Word* words, const std::uint64_t* starts,
+                          NodeId self, NodeId n) {
+    FlatInbox ib;
+    ib.words_ = words;
+    ib.starts_ = starts;
+    ib.self_ = self;
+    ib.n_ = n;
+    return ib;
+  }
+};
+
+namespace detail {
+namespace {
+
+// Per-source totals computed during the deposit scan; the leader folds them
+// in node-id order, so the meter never depends on scheduling.
+struct NodeStats {
+  std::uint64_t msgs = 0;     // words to other nodes (self excluded)
+  std::uint64_t bits = 0;     // their total bit width
+  std::uint64_t row_max = 0;  // longest non-self queue (rounds to drain)
+};
+
+#define CCQ_BANDWIDTH_CHECK(self, dst, w, bandwidth)                       \
+  CCQ_CHECK_MSG((w).bits <= (bandwidth),                                   \
+                "bandwidth violation: node " << (self) << " sent a "       \
+                                             << (w).bits                   \
+                                             << "-bit word to node "       \
+                                             << (dst) << " but B = "       \
+                                             << (bandwidth))
+
+// ---------------------------------------------------------------------------
+// LegacyPlane: the original per-ordered-pair vector queues, kept as the
+// auditable baseline. Deposits validate + meter in one scan (instead of the
+// old separate validate_words pass); delivery reuses inbox queue capacity
+// (clear(), not assign(n, {})) and moves the self queue when the caller
+// handed its outbox over by rvalue.
+// ---------------------------------------------------------------------------
+class LegacyPlane final : public MessagePlane {
+ public:
+  MessagePlaneKind kind() const override { return MessagePlaneKind::kLegacy; }
+
+  void init(NodeId n, unsigned bandwidth) override {
+    n_ = n;
+    bandwidth_ = bandwidth;
+    out_slots_.assign(n, nullptr);
+    movable_.assign(n, 0);
+    own_out_.resize(n);
+    in_slots_.resize(n);
+    stats_.assign(n, {});
+    inbox_built_.assign(n, 0);
+    inbox_words_.resize(n);
+    inbox_starts_.resize(n);
+  }
+
+  void deposit_queues(NodeId self, const WordQueues* out,
+                      bool movable) override {
+    CCQ_CHECK_MSG(out->size() == n_, "outbox must have one queue per node");
+    NodeStats s;
+    for (NodeId dst = 0; dst < n_; ++dst) {
+      const auto& q = (*out)[dst];
+      if (dst == self || q.empty()) continue;  // self-delivery is free
+      for (const Word& w : q) {
+        CCQ_BANDWIDTH_CHECK(self, dst, w, bandwidth_);
+        s.bits += w.bits;
+      }
+      s.msgs += q.size();
+      s.row_max = std::max<std::uint64_t>(s.row_max, q.size());
+    }
+    stats_[self] = s;
+    out_slots_[self] = out;
+    movable_[self] = movable ? 1 : 0;
+  }
+
+  void deposit_pairs(NodeId self,
+                     std::span<const std::pair<NodeId, Word>> out,
+                     bool unique_dst) override {
+    WordQueues& qs = own_out_[self];
+    qs.resize(n_);
+    for (auto& q : qs) q.clear();
+    NodeStats s;
+    for (const auto& [dst, w] : out) {
+      if (unique_dst) {
+        CCQ_CHECK_MSG(dst < n_, "round(): destination out of range");
+        CCQ_CHECK_MSG(dst != self, "round(): no self-messages in round()");
+        CCQ_CHECK_MSG(qs[dst].empty(),
+                      "round(): at most one word per destination per round");
+      } else {
+        CCQ_CHECK_MSG(dst < n_, "exchange_flat: destination out of range");
+      }
+      qs[dst].push_back(w);
+      if (dst != self) {
+        CCQ_BANDWIDTH_CHECK(self, dst, w, bandwidth_);
+        s.bits += w.bits;
+        s.msgs += 1;
+        s.row_max = std::max<std::uint64_t>(s.row_max, qs[dst].size());
+      }
+    }
+    stats_[self] = s;
+    out_slots_[self] = &qs;
+    movable_[self] = 1;  // plane-owned outbox: moving the self queue is fine
+  }
+
+  void deposit_broadcast(NodeId self, std::span<const Word> words) override {
+    std::uint64_t wbits = 0;
+    for (const Word& w : words) {
+      CCQ_CHECK_MSG(w.bits <= bandwidth_,
+                    "bandwidth violation: node "
+                        << self << " broadcast a " << w.bits
+                        << "-bit word but B = " << bandwidth_);
+      wbits += w.bits;
+    }
+    WordQueues& qs = own_out_[self];
+    qs.resize(n_);
+    for (auto& q : qs) q.clear();
+    for (NodeId v = 0; v < n_; ++v) {
+      if (v == self) continue;
+      qs[v].assign(words.begin(), words.end());
+    }
+    NodeStats s;
+    if (n_ > 1 && !words.empty()) {
+      s.msgs = static_cast<std::uint64_t>(n_ - 1) * words.size();
+      s.bits = static_cast<std::uint64_t>(n_ - 1) * wbits;
+      s.row_max = words.size();
+    }
+    stats_[self] = s;
+    out_slots_[self] = &qs;
+    movable_[self] = 1;
+  }
+
+  void deliver(Scheduler& /*sched*/, DeliveryAccounting& acc) override {
+    for (NodeId u = 0; u < n_; ++u) {
+      const NodeStats& s = stats_[u];
+      acc.max_queue = std::max(acc.max_queue, s.row_max);
+      acc.messages += s.msgs;
+      acc.bits += s.bits;
+      acc.sent_words[u] += s.msgs;
+    }
+    for (NodeId v = 0; v < n_; ++v) {
+      in_slots_[v].resize(n_);
+      for (auto& q : in_slots_[v]) q.clear();
+      inbox_built_[v] = 0;
+    }
+    for (NodeId u = 0; u < n_; ++u) {
+      const WordQueues& out = *out_slots_[u];
+      for (NodeId v = 0; v < n_; ++v) {
+        if (out[v].empty()) continue;
+        if (u != v) {
+          acc.received_words[v] += out[v].size();
+          in_slots_[v][u] = out[v];
+        } else if (movable_[u]) {
+          // Caller relinquished the outbox (rvalue / plane-owned): the self
+          // queue need not survive delivery, so steal it instead of copying.
+          in_slots_[u][u] = std::move(const_cast<WordQueues&>(out)[u]);
+        } else {
+          in_slots_[u][u] = out[u];
+        }
+      }
+    }
+  }
+
+  FlatInbox inbox(NodeId self) override {
+    if (!inbox_built_[self]) {
+      const WordQueues& in = in_slots_[self];
+      auto& starts = inbox_starts_[self];
+      auto& words = inbox_words_[self];
+      starts.resize(static_cast<std::size_t>(n_) + 1);
+      starts[0] = 0;
+      const bool have = in.size() == n_;
+      for (NodeId u = 0; u < n_; ++u) {
+        starts[u + 1] = starts[u] + (have ? in[u].size() : 0);
+      }
+      words.resize(starts[n_]);
+      for (NodeId u = 0; u < n_; ++u) {
+        if (have && !in[u].empty()) {
+          std::copy(in[u].begin(), in[u].end(), words.begin() + starts[u]);
+        }
+      }
+      inbox_built_[self] = 1;
+    }
+    return FlatInboxAccess::legacy(inbox_words_[self].data(),
+                                   inbox_starts_[self].data(), self, n_);
+  }
+
+  WordQueues take_queues(NodeId self) override {
+    return std::move(in_slots_[self]);
+  }
+
+ private:
+  NodeId n_ = 0;
+  unsigned bandwidth_ = 0;
+  std::vector<const WordQueues*> out_slots_;
+  std::vector<std::uint8_t> movable_;
+  std::vector<WordQueues> own_out_;  // backing for pair/broadcast deposits
+  std::vector<WordQueues> in_slots_;
+  std::vector<NodeStats> stats_;
+  // Lazy flat views for exchange_flat()/round_flat() callers.
+  std::vector<std::uint8_t> inbox_built_;
+  std::vector<std::vector<Word>> inbox_words_;
+  std::vector<std::vector<std::uint64_t>> inbox_starts_;
+};
+
+// ---------------------------------------------------------------------------
+// FlatPlane: arena-backed counting-sort delivery.
+//
+// Deposits record a pointer to the node's outbox and fill the node's row of
+// a [src][dst] histogram (validating bandwidth in the same scan). Delivery
+// runs entirely over persisted arrays:
+//
+//   1. fold per-source stats into the meter, in id order (serial, O(n));
+//   2. column sums → words per destination, and received_words (parallel
+//      over destination chunks);
+//   3. exclusive prefix over destinations → each destination's base offset
+//      in the shared arena (serial, O(n));
+//   4. per-pair cursors: cursor[u][v] = base[v] + Σ_{u'<u} counts[u'][v],
+//      i.e. where source u's run for destination v starts (parallel over
+//      destination chunks — each chunk walks its columns top-down);
+//   5. scatter: each source copies its words through its cursor row, leaving
+//      every cursor one past the end of its run (parallel over source
+//      chunks). FlatInbox recovers a run as [cursor - count, cursor).
+//
+// Every parallel pass writes data partitioned by node id, and every serial
+// reduction iterates in id order, so results are bit-identical for any
+// worker count and either backend.
+//
+// The histogram is double-buffered: a node may deposit for collective k+1
+// while a straggler still reads its collective-k inbox (whose FlatInbox
+// dereferences the *delivered* histogram), so deposits must not scribble on
+// the buffer backing live inboxes. The arena and cursors need no buffering:
+// they are rewritten only inside deliver(), which runs after every node has
+// parked — no inbox from the previous collective can still be read.
+// ---------------------------------------------------------------------------
+class FlatPlane final : public MessagePlane {
+ public:
+  MessagePlaneKind kind() const override { return MessagePlaneKind::kFlat; }
+
+  void init(NodeId n, unsigned bandwidth) override {
+    n_ = n;
+    bandwidth_ = bandwidth;
+    parity_ = 0;
+    read_parity_ = 0;
+    const std::size_t nn = static_cast<std::size_t>(n) * n;
+    counts_[0].assign(nn, 0);
+    counts_[1].assign(nn, 0);
+    cursor_.assign(nn, 0);
+    col_base_.assign(static_cast<std::size_t>(n) + 1, 0);
+    stats_.assign(n, {});
+    deposits_.assign(n, {});
+  }
+
+  void deposit_queues(NodeId self, const WordQueues* out,
+                      bool /*movable*/) override {
+    CCQ_CHECK_MSG(out->size() == n_, "outbox must have one queue per node");
+    std::uint32_t* cnt = row(self);
+    NodeStats s;
+    for (NodeId dst = 0; dst < n_; ++dst) {
+      const auto& q = (*out)[dst];
+      cnt[dst] = static_cast<std::uint32_t>(q.size());
+      if (dst == self || q.empty()) continue;  // self-delivery is free
+      for (const Word& w : q) {
+        CCQ_BANDWIDTH_CHECK(self, dst, w, bandwidth_);
+        s.bits += w.bits;
+      }
+      s.msgs += q.size();
+      s.row_max = std::max<std::uint64_t>(s.row_max, q.size());
+    }
+    stats_[self] = s;
+    deposits_[self] = Deposit{Deposit::kQueues, out, nullptr, nullptr, 0};
+  }
+
+  void deposit_pairs(NodeId self,
+                     std::span<const std::pair<NodeId, Word>> out,
+                     bool unique_dst) override {
+    std::uint32_t* cnt = row(self);
+    std::fill_n(cnt, n_, 0u);
+    NodeStats s;
+    for (const auto& [dst, w] : out) {
+      if (unique_dst) {
+        CCQ_CHECK_MSG(dst < n_, "round(): destination out of range");
+        CCQ_CHECK_MSG(dst != self, "round(): no self-messages in round()");
+        CCQ_CHECK_MSG(cnt[dst] == 0,
+                      "round(): at most one word per destination per round");
+      } else {
+        CCQ_CHECK_MSG(dst < n_, "exchange_flat: destination out of range");
+      }
+      ++cnt[dst];
+      if (dst != self) {
+        CCQ_BANDWIDTH_CHECK(self, dst, w, bandwidth_);
+        s.bits += w.bits;
+        s.msgs += 1;
+        s.row_max = std::max<std::uint64_t>(s.row_max, cnt[dst]);
+      }
+    }
+    stats_[self] = s;
+    deposits_[self] =
+        Deposit{Deposit::kPairs, nullptr, out.data(), nullptr, out.size()};
+  }
+
+  void deposit_broadcast(NodeId self, std::span<const Word> words) override {
+    std::uint64_t wbits = 0;
+    for (const Word& w : words) {
+      CCQ_CHECK_MSG(w.bits <= bandwidth_,
+                    "bandwidth violation: node "
+                        << self << " broadcast a " << w.bits
+                        << "-bit word but B = " << bandwidth_);
+      wbits += w.bits;
+    }
+    std::uint32_t* cnt = row(self);
+    const std::uint32_t k = static_cast<std::uint32_t>(words.size());
+    std::fill_n(cnt, n_, k);
+    cnt[self] = 0;
+    NodeStats s;
+    if (n_ > 1 && k > 0) {
+      s.msgs = static_cast<std::uint64_t>(n_ - 1) * k;
+      s.bits = static_cast<std::uint64_t>(n_ - 1) * wbits;
+      s.row_max = k;
+    }
+    stats_[self] = s;
+    deposits_[self] =
+        Deposit{Deposit::kBcast, nullptr, nullptr, words.data(), words.size()};
+  }
+
+  void deliver(Scheduler& sched, DeliveryAccounting& acc) override {
+    const std::uint32_t* cnt = counts_[parity_].data();
+    for (NodeId u = 0; u < n_; ++u) {
+      const NodeStats& s = stats_[u];
+      acc.max_queue = std::max(acc.max_queue, s.row_max);
+      acc.messages += s.msgs;
+      acc.bits += s.bits;
+      acc.sent_words[u] += s.msgs;
+    }
+
+    const std::size_t chunks = num_chunks();
+    // Pass 2: column sums + received_words, chunked by destination.
+    sched.leader_parallel_for(chunks, [&](std::size_t c) {
+      const NodeId v0 = chunk_begin(c), v1 = chunk_end(c);
+      std::fill(col_base_.begin() + v0 + 1, col_base_.begin() + v1 + 1,
+                std::uint64_t{0});
+      for (NodeId u = 0; u < n_; ++u) {
+        const std::uint32_t* r = cnt + static_cast<std::size_t>(u) * n_;
+        for (NodeId v = v0; v < v1; ++v) col_base_[v + 1] += r[v];
+      }
+      for (NodeId v = v0; v < v1; ++v) {
+        acc.received_words[v] +=
+            col_base_[v + 1] - cnt[static_cast<std::size_t>(v) * n_ + v];
+      }
+    });
+
+    // Pass 3: exclusive prefix → per-destination arena base.
+    col_base_[0] = 0;
+    for (NodeId v = 0; v < n_; ++v) col_base_[v + 1] += col_base_[v];
+    const std::uint64_t total = col_base_[n_];
+    CCQ_CHECK_MSG(total <= 0xffffffffull,
+                  "collective exceeds 2^32 words in flight");
+    if (arena_.size() < total) arena_.resize(total);
+
+    // Pass 4: per-pair start cursors, chunked by destination (top-down walk
+    // of each column).
+    sched.leader_parallel_for(chunks, [&](std::size_t c) {
+      const NodeId v0 = chunk_begin(c), v1 = chunk_end(c);
+      for (NodeId v = v0; v < v1; ++v) {
+        cursor_[v] = static_cast<std::uint32_t>(col_base_[v]);
+      }
+      for (NodeId u = 1; u < n_; ++u) {
+        const std::size_t prev = static_cast<std::size_t>(u - 1) * n_;
+        for (NodeId v = v0; v < v1; ++v) {
+          cursor_[prev + n_ + v] = cursor_[prev + v] + cnt[prev + v];
+        }
+      }
+    });
+
+    // Pass 5: scatter, chunked by source; cursors finish one past the end
+    // of each run.
+    sched.leader_parallel_for(chunks, [&](std::size_t c) {
+      const NodeId u0 = chunk_begin(c), u1 = chunk_end(c);
+      for (NodeId u = u0; u < u1; ++u) scatter(u);
+    });
+
+    read_parity_ = parity_;
+    parity_ ^= 1;
+  }
+
+  FlatInbox inbox(NodeId self) override {
+    return FlatInboxAccess::flat(arena_.data(), cursor_.data(),
+                                 counts_[read_parity_].data(), self, n_);
+  }
+
+  WordQueues take_queues(NodeId self) override {
+    WordQueues qs(n_);
+    const std::uint32_t* cnts = counts_[read_parity_].data();
+    for (NodeId u = 0; u < n_; ++u) {
+      const std::size_t i = static_cast<std::size_t>(u) * n_ + self;
+      const std::uint32_t c = cnts[i];
+      if (c == 0) continue;
+      const Word* end = arena_.data() + cursor_[i];
+      qs[u].assign(end - c, end);  // exact-size allocation per inbox queue
+    }
+    return qs;
+  }
+
+ private:
+  struct Deposit {
+    enum Kind : std::uint8_t { kQueues, kPairs, kBcast } kind = kQueues;
+    const WordQueues* queues = nullptr;
+    const std::pair<NodeId, Word>* pairs = nullptr;
+    const Word* bcast = nullptr;
+    std::size_t count = 0;  // pairs / broadcast words
+  };
+
+  static constexpr NodeId kChunk = 32;  // nodes per parallel chunk
+  std::size_t num_chunks() const { return (n_ + kChunk - 1) / kChunk; }
+  NodeId chunk_begin(std::size_t c) const {
+    return static_cast<NodeId>(c * kChunk);
+  }
+  NodeId chunk_end(std::size_t c) const {
+    return static_cast<NodeId>(
+        std::min<std::size_t>(n_, (c + 1) * kChunk));
+  }
+  std::uint32_t* row(NodeId u) {
+    return counts_[parity_].data() + static_cast<std::size_t>(u) * n_;
+  }
+
+  void scatter(NodeId u) {
+    std::uint32_t* cur = cursor_.data() + static_cast<std::size_t>(u) * n_;
+    Word* arena = arena_.data();
+    const Deposit& d = deposits_[u];
+    switch (d.kind) {
+      case Deposit::kQueues:
+        for (NodeId v = 0; v < n_; ++v) {
+          const auto& q = (*d.queues)[v];
+          if (q.empty()) continue;
+          std::copy(q.begin(), q.end(), arena + cur[v]);
+          cur[v] += static_cast<std::uint32_t>(q.size());
+        }
+        break;
+      case Deposit::kPairs:
+        for (std::size_t i = 0; i < d.count; ++i) {
+          arena[cur[d.pairs[i].first]++] = d.pairs[i].second;
+        }
+        break;
+      case Deposit::kBcast:
+        for (NodeId v = 0; v < n_; ++v) {
+          if (v == u) continue;
+          std::copy(d.bcast, d.bcast + d.count, arena + cur[v]);
+          cur[v] += static_cast<std::uint32_t>(d.count);
+        }
+        break;
+    }
+  }
+
+  NodeId n_ = 0;
+  unsigned bandwidth_ = 0;
+  int parity_ = 0;       // histogram buffer receiving deposits
+  int read_parity_ = 0;  // histogram buffer backing delivered inboxes
+  std::vector<Deposit> deposits_;
+  std::vector<NodeStats> stats_;
+  std::vector<std::uint32_t> counts_[2];  // [src * n + dst], double-buffered
+  std::vector<std::uint32_t> cursor_;     // [src * n + dst]
+  std::vector<std::uint64_t> col_base_;   // [n + 1] arena base per dst
+  std::vector<Word> arena_;               // shared flat inbox storage
+};
+
+#undef CCQ_BANDWIDTH_CHECK
+
+}  // namespace
+
+std::unique_ptr<MessagePlane> make_message_plane(MessagePlaneKind kind) {
+  if (kind == MessagePlaneKind::kLegacy) {
+    return std::make_unique<LegacyPlane>();
+  }
+  return std::make_unique<FlatPlane>();
+}
+
+}  // namespace detail
+}  // namespace ccq

@@ -1,0 +1,138 @@
+#pragma once
+
+// Message planes: the engine's delivery substrate.
+//
+// Every collective funnels through the same superstep shape — each node
+// deposits an outbox, a leader step delivers all deposits and meters the
+// cost, and each node reads its inbox. A MessagePlane owns that data path.
+// Two implementations exist:
+//
+//   * MessagePlaneKind::kLegacy — per-ordered-pair vector queues
+//     (`WordQueues`), the original delivery loop. Θ(n²) vector objects per
+//     collective regardless of traffic; kept as the auditable semantic
+//     baseline.
+//
+//   * MessagePlaneKind::kFlat (default) — a reusable CSR-style arena.
+//     Deposits are recorded as pointers into node-owned buffers plus a
+//     per-source histogram row (one scan validates bandwidth and counts at
+//     the same time). Delivery is a two-pass counting sort: column sums →
+//     exclusive prefix (inbox base per destination) → per-pair cursors →
+//     scatter into one shared flat Word arena. The column, cursor and
+//     scatter passes run on the scheduler's worker team
+//     (Scheduler::leader_parallel_for) over disjoint node ranges, and all
+//     arrays persist across collectives, so steady-state collectives
+//     perform zero heap allocations and the delivery step scales with
+//     cores.
+//
+// Both planes deliver bit-for-bit identical inboxes and meter identical
+// costs (asserted by tests/clique/msgplane_test.cpp across backends,
+// worker counts and traffic patterns); determinism is structural — chunk
+// outputs are partitioned by node id, and every reduction the leader
+// performs iterates nodes in id order.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "clique/scheduler.hpp"
+#include "clique/word.hpp"
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+/// Per-destination (or per-source) word queues; index = peer node id.
+using WordQueues = std::vector<std::vector<Word>>;
+
+/// Which delivery substrate Engine::run uses (Engine::Config::plane).
+enum class MessagePlaneKind {
+  kLegacy,  ///< per-pair vector queues (reference)
+  kFlat,    ///< default: arena-backed counting-sort delivery
+};
+
+/// Read-only view of one node's delivered inbox: the words received from
+/// each source, FIFO per source, as spans into the plane's storage. Valid
+/// until this node's next collective (the next delivery reuses the arena).
+class FlatInbox {
+ public:
+  std::span<const Word> from(NodeId src) const {
+    if (cursor_ != nullptr) {
+      // Flat plane: cursors sit one past the end of each (src → self) run
+      // after the scatter; the run length is the histogram entry.
+      const std::size_t i = static_cast<std::size_t>(src) * n_ + self_;
+      const std::uint32_t count = counts_[i];
+      return {words_ + (cursor_[i] - count), count};
+    }
+    return {words_ + starts_[src],
+            static_cast<std::size_t>(starts_[src + 1] - starts_[src])};
+  }
+  NodeId n() const { return n_; }
+
+ private:
+  friend class FlatInboxAccess;
+  const Word* words_ = nullptr;
+  // Flat-plane layout: row-major [src * n + dst] cursor/count arrays
+  // (32-bit: a collective's arena cannot reach 2³² words on any host this
+  // simulator fits on, and the engine checks).
+  const std::uint32_t* cursor_ = nullptr;
+  const std::uint32_t* counts_ = nullptr;
+  // Legacy layout: per-source exclusive prefix (n + 1 entries).
+  const std::uint64_t* starts_ = nullptr;
+  NodeId self_ = 0;
+  NodeId n_ = 0;
+};
+
+namespace detail {
+
+/// Accounting the leader folds into the CostMeter after each delivery.
+struct DeliveryAccounting {
+  std::uint64_t max_queue = 0;  ///< rounds to drain (self pairs excluded)
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t* sent_words = nullptr;      ///< [n] run-wide accumulators
+  std::uint64_t* received_words = nullptr;  ///< [n]
+};
+
+// The delivery substrate. Deposit methods run on node fibers and may touch
+// only slots owned by `self`; they validate the outbox (bandwidth bound,
+// destination range, round() uniqueness) during their single scan, so the
+// engine never re-walks an outbox just to check it. deliver() runs in the
+// serial leader step and may fan work out via sched.leader_parallel_for.
+// inbox()/take_queues() run on node fibers after delivery.
+class MessagePlane {
+ public:
+  virtual ~MessagePlane() = default;
+  virtual MessagePlaneKind kind() const = 0;
+
+  /// Reset for a run with n nodes and B-bit words.
+  virtual void init(NodeId n, unsigned bandwidth) = 0;
+
+  /// Outbox = one queue per destination. `movable` permits the plane to
+  /// move (not copy) the self queue into the inbox — legal only when the
+  /// caller passed its outbox by rvalue.
+  virtual void deposit_queues(NodeId self, const WordQueues* out,
+                              bool movable) = 0;
+  /// Outbox = (dst, word) pairs in send order. `unique_dst` enforces
+  /// round()'s one-word-per-destination, no-self rule.
+  virtual void deposit_pairs(NodeId self,
+                             std::span<const std::pair<NodeId, Word>> out,
+                             bool unique_dst) = 0;
+  /// Outbox = the same word sequence to every other node (broadcast).
+  virtual void deposit_broadcast(NodeId self,
+                                 std::span<const Word> words) = 0;
+
+  /// Deliver every deposit and fill `acc`. Leader-only.
+  virtual void deliver(Scheduler& sched, DeliveryAccounting& acc) = 0;
+
+  /// This node's inbox as per-source spans (see FlatInbox lifetime).
+  virtual FlatInbox inbox(NodeId self) = 0;
+  /// This node's inbox as per-source queues (exchange() compatibility);
+  /// consumes the inbox.
+  virtual WordQueues take_queues(NodeId self) = 0;
+};
+
+std::unique_ptr<MessagePlane> make_message_plane(MessagePlaneKind kind);
+
+}  // namespace detail
+}  // namespace ccq

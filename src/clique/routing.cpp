@@ -6,18 +6,27 @@
 
 namespace ccq {
 
+namespace {
+
+/// Send list in (dst, word) form for NodeCtx::exchange_flat — the
+/// allocation-free outbox representation (no per-destination vectors).
+using SendList = std::vector<std::pair<NodeId, Word>>;
+
+}  // namespace
+
 std::vector<std::pair<NodeId, Word>> route_direct(
     NodeCtx& ctx, const std::vector<RoutedMessage>& messages) {
   const NodeId n = ctx.n();
-  WordQueues out(n);
+  SendList sends;
+  sends.reserve(messages.size());
   for (const RoutedMessage& m : messages) {
     CCQ_CHECK_MSG(m.dst < n, "route_direct: destination out of range");
-    out[m.dst].push_back(m.payload);
+    sends.emplace_back(m.dst, m.payload);
   }
-  WordQueues in = ctx.exchange(out);
+  const FlatInbox in = ctx.exchange_flat(sends);
   std::vector<std::pair<NodeId, Word>> received;
   for (NodeId src = 0; src < n; ++src) {
-    for (const Word& w : in[src]) received.emplace_back(src, w);
+    for (const Word& w : in.from(src)) received.emplace_back(src, w);
   }
   return received;
 }
@@ -40,33 +49,36 @@ std::vector<std::pair<NodeId, Word>> route_balanced(
       mix64(ctx.common_seed() ^ (static_cast<std::uint64_t>(ctx.id()) + 1)) %
       n);
 
-  WordQueues phase1(n);
+  SendList phase1;
+  phase1.reserve(2 * sorted.size());
   for (std::size_t j = 0; j < sorted.size(); ++j) {
     CCQ_CHECK_MSG(sorted[j].dst < n, "route_balanced: destination range");
     const NodeId mid = static_cast<NodeId>(
         (offset + j) % static_cast<std::size_t>(n));
-    phase1[mid].emplace_back(sorted[j].dst, idb);
-    phase1[mid].push_back(sorted[j].payload);
+    phase1.emplace_back(mid, Word(sorted[j].dst, idb));
+    phase1.emplace_back(mid, sorted[j].payload);
   }
-  WordQueues relay_in = ctx.exchange(phase1);
+  const FlatInbox relay_in = ctx.exchange_flat(phase1);
 
-  // Phase 2: forward to the true destinations with an origin header.
-  WordQueues phase2(n);
+  // Phase 2: forward to the true destinations with an origin header. The
+  // relay inbox spans stay valid until this node's next collective, so they
+  // are fully consumed before the second exchange below.
+  SendList phase2;
   for (NodeId src = 0; src < n; ++src) {
-    const auto& q = relay_in[src];
+    const auto q = relay_in.from(src);
     CCQ_CHECK_MSG(q.size() % 2 == 0, "route_balanced: torn relay pair");
     for (std::size_t i = 0; i < q.size(); i += 2) {
       const NodeId dst = static_cast<NodeId>(q[i].value);
       CCQ_CHECK_MSG(dst < n, "route_balanced: relayed destination range");
-      phase2[dst].emplace_back(src, idb);
-      phase2[dst].push_back(q[i + 1]);
+      phase2.emplace_back(dst, Word(src, idb));
+      phase2.emplace_back(dst, q[i + 1]);
     }
   }
-  WordQueues final_in = ctx.exchange(phase2);
+  const FlatInbox final_in = ctx.exchange_flat(phase2);
 
   std::vector<std::pair<NodeId, Word>> received;
   for (NodeId mid = 0; mid < n; ++mid) {
-    const auto& q = final_in[mid];
+    const auto q = final_in.from(mid);
     CCQ_CHECK_MSG(q.size() % 2 == 0, "route_balanced: torn delivery pair");
     for (std::size_t i = 0; i < q.size(); i += 2) {
       received.emplace_back(static_cast<NodeId>(q[i].value), q[i + 1]);
@@ -122,27 +134,27 @@ std::vector<std::pair<NodeId, BitVector>> route_blocks(
       mix64(ctx.common_seed() ^ (static_cast<std::uint64_t>(ctx.id()) + 7)) %
       n);
 
-  auto frame = [&](std::vector<Word>& q, NodeId head, const Item& it) {
-    q.emplace_back(head, idb);
-    q.emplace_back(it.seq, idb);
+  auto frame = [&](SendList& out, NodeId to, NodeId head, const Item& it) {
+    out.emplace_back(to, Word(head, idb));
+    out.emplace_back(to, Word(it.seq, idb));
     const std::uint64_t len = it.payload->size();
-    q.emplace_back(len & ((std::uint64_t{1} << idb) - 1), idb);
-    q.emplace_back(len >> idb, idb);
-    for (const Word& w : encode_bits(*it.payload, B)) q.push_back(w);
+    out.emplace_back(to, Word(len & ((std::uint64_t{1} << idb) - 1), idb));
+    out.emplace_back(to, Word(len >> idb, idb));
+    for (const Word& w : encode_bits(*it.payload, B)) out.emplace_back(to, w);
   };
 
-  WordQueues phase1(n);
+  SendList phase1;
   for (std::size_t j = 0; j < items.size(); ++j) {
     const NodeId mid = static_cast<NodeId>(
         (offset + j) % static_cast<std::size_t>(n));
-    frame(phase1[mid], items[j].dst, items[j]);
+    frame(phase1, mid, items[j].dst, items[j]);
   }
-  WordQueues relay_in = ctx.exchange(phase1);
+  const FlatInbox relay_in = ctx.exchange_flat(phase1);
 
   // Relay: reframe with the origin in the header.
-  WordQueues phase2(n);
+  SendList phase2;
   for (NodeId src = 0; src < n; ++src) {
-    const auto& q = relay_in[src];
+    const auto q = relay_in.from(src);
     std::size_t pos = 0;
     while (pos < q.size()) {
       CCQ_CHECK_MSG(pos + 4 <= q.size(), "route_blocks: torn frame header");
@@ -153,17 +165,17 @@ std::vector<std::pair<NodeId, BitVector>> route_blocks(
       CCQ_CHECK_MSG(pos + 4 + nwords <= q.size(),
                     "route_blocks: torn frame payload");
       CCQ_CHECK_MSG(dst < n, "route_blocks: relayed destination range");
-      auto& oq = phase2[dst];
-      oq.emplace_back(src, idb);
-      oq.emplace_back(seq, idb);
-      oq.emplace_back(len & ((std::uint64_t{1} << idb) - 1), idb);
-      oq.emplace_back(len >> idb, idb);
+      phase2.emplace_back(dst, Word(src, idb));
+      phase2.emplace_back(dst, Word(seq, idb));
+      phase2.emplace_back(dst,
+                          Word(len & ((std::uint64_t{1} << idb) - 1), idb));
+      phase2.emplace_back(dst, Word(len >> idb, idb));
       for (std::size_t i = 0; i < nwords; ++i)
-        oq.push_back(q[pos + 4 + i]);
+        phase2.emplace_back(dst, q[pos + 4 + i]);
       pos += 4 + nwords;
     }
   }
-  WordQueues final_in = ctx.exchange(phase2);
+  const FlatInbox final_in = ctx.exchange_flat(phase2);
 
   struct Received {
     NodeId src;
@@ -172,7 +184,7 @@ std::vector<std::pair<NodeId, BitVector>> route_blocks(
   };
   std::vector<Received> got;
   for (NodeId mid = 0; mid < n; ++mid) {
-    const auto& q = final_in[mid];
+    const auto q = final_in.from(mid);
     std::size_t pos = 0;
     while (pos < q.size()) {
       CCQ_CHECK_MSG(pos + 4 <= q.size(), "route_blocks: torn delivery");
@@ -182,9 +194,7 @@ std::vector<std::pair<NodeId, BitVector>> route_blocks(
       const std::size_t nwords = ceil_div(len, B);
       CCQ_CHECK_MSG(pos + 4 + nwords <= q.size(),
                     "route_blocks: torn delivery payload");
-      std::vector<Word> ws(q.begin() + pos + 4,
-                           q.begin() + pos + 4 + nwords);
-      got.push_back({src, seq, decode_words(ws, len)});
+      got.push_back({src, seq, decode_words(q.subspan(pos + 4, nwords), len)});
       pos += 4 + nwords;
     }
   }

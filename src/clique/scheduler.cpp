@@ -298,6 +298,32 @@ class PooledScheduler final : public Scheduler {
     if (error_) std::rethrow_exception(error_);
   }
 
+  // Leader-issued parallel work. The other workers are guaranteed to be
+  // spinning at the superstep barrier while a leader thunk runs, so they
+  // double as the worker team: publish the chunk function, let everyone
+  // (leader included) claim chunk indices, and wait until all chunks have
+  // executed. Chunks write disjoint data (the caller's contract), so the
+  // claim order cannot reach results.
+  void leader_parallel_for(std::size_t chunks, const ChunkFn& fn) override {
+    if (chunks <= 1 || participants_ <= 1) {
+      for (std::size_t i = 0; i < chunks; ++i) fn(i);
+      return;
+    }
+    job_chunks_ = chunks;
+    job_next_.store(0, std::memory_order_relaxed);
+    job_done_.store(0, std::memory_order_relaxed);
+    job_fn_.store(&fn, std::memory_order_release);  // publishes the above
+    help_with_job();
+    unsigned spins = 0;
+    while (job_done_.load(std::memory_order_acquire) < chunks) {
+      spin_pause(spins);
+    }
+    job_fn_.store(nullptr, std::memory_order_release);
+    // A chunk that threw recorded the error; the delivery state is garbage
+    // but the run is aborting, so unwind the leader thunk too.
+    if (aborted_.load(std::memory_order_relaxed)) throw Aborted{};
+  }
+
   void collective(NodeId id, OpTag tag, const Thunk& deposit,
                   const Thunk& leader) override {
     Fiber* f = tls_fiber;
@@ -432,6 +458,25 @@ class PooledScheduler final : public Scheduler {
 #endif
   }
 
+  // Claim and run chunks of the currently published leader job, if any.
+  // Safe against stale reads: once every chunk index is claimed the
+  // fetch_add returns >= job_chunks_ and the loop is a no-op, and no new
+  // job can be published until this worker has re-passed the barrier.
+  void help_with_job() {
+    const ChunkFn* fn = job_fn_.load(std::memory_order_acquire);
+    if (fn == nullptr) return;
+    std::size_t i;
+    while ((i = job_next_.fetch_add(1, std::memory_order_relaxed)) <
+           job_chunks_) {
+      try {
+        (*fn)(i);
+      } catch (...) {
+        record_error(std::current_exception());
+      }
+      job_done_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
   void record_error(std::exception_ptr e) {
     {
       std::lock_guard<std::mutex> lk(error_mu_);
@@ -460,7 +505,12 @@ class PooledScheduler final : public Scheduler {
       } else {
         unsigned spins = 0;
         while (barrier_sense_.load(std::memory_order_acquire) != sense) {
-          spin_pause(spins);
+          if (job_fn_.load(std::memory_order_acquire) != nullptr) {
+            help_with_job();
+            spins = 0;
+          } else {
+            spin_pause(spins);
+          }
         }
       }
       if (done_) return;
@@ -522,6 +572,14 @@ class PooledScheduler final : public Scheduler {
   std::size_t participants_ = 0;
   std::atomic<std::size_t> barrier_count_{0};
   std::atomic<bool> barrier_sense_{false};
+
+  // Leader-issued parallel job (leader_parallel_for). job_chunks_ is
+  // published by the release store to job_fn_ and read only after the
+  // acquire load of it.
+  std::atomic<const ChunkFn*> job_fn_{nullptr};
+  std::size_t job_chunks_ = 0;
+  std::atomic<std::size_t> job_next_{0};
+  std::atomic<std::size_t> job_done_{0};
 
   std::atomic<bool> aborted_{false};
   std::atomic<bool> any_returned_{false};

@@ -75,12 +75,25 @@ class Scheduler {
  public:
   using NodeBody = std::function<void(NodeId)>;
   using Thunk = std::function<void()>;
+  using ChunkFn = std::function<void(std::size_t)>;
 
   virtual ~Scheduler() = default;
 
   virtual void run(NodeId n, const NodeBody& body) = 0;
   virtual void collective(NodeId id, OpTag tag, const Thunk& deposit,
                           const Thunk& leader) = 0;
+
+  // Run fn(chunk) for every chunk in [0, chunks), possibly in parallel.
+  // May only be called from inside a leader() thunk: the pooled backend
+  // hands chunks to the workers spinning at the superstep barrier, so the
+  // serial phase scales with cores instead of running leader-only. Each
+  // chunk must write only chunk-owned data (the message plane partitions
+  // by node id), which makes the result schedule-independent by
+  // construction. The default implementation runs chunks serially in
+  // index order — the reference semantics every backend must match.
+  virtual void leader_parallel_for(std::size_t chunks, const ChunkFn& fn) {
+    for (std::size_t i = 0; i < chunks; ++i) fn(i);
+  }
 };
 
 /// Backend factory. `workers` caps the pooled worker team (0 = one per

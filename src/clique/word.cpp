@@ -14,8 +14,7 @@ std::vector<Word> encode_bits(const BitVector& bv, unsigned word_bits) {
   return out;
 }
 
-BitVector decode_words(const std::vector<Word>& words,
-                       std::size_t total_bits) {
+BitVector decode_words(std::span<const Word> words, std::size_t total_bits) {
   BitVector bv;
   for (const Word& w : words) bv.append_bits(w.value, w.bits);
   CCQ_CHECK_MSG(bv.size() == total_bits,

@@ -10,6 +10,7 @@
 // wider than the per-run bandwidth — this check is the model's integrity.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/bit_vector.hpp"
@@ -44,8 +45,13 @@ inline unsigned node_id_bits(std::uint32_t n) {
 /// Split a bit vector into words of at most `word_bits` bits (LSB-first).
 std::vector<Word> encode_bits(const BitVector& bv, unsigned word_bits);
 
-/// Reassemble; `total_bits` is the original length.
-BitVector decode_words(const std::vector<Word>& words,
-                       std::size_t total_bits);
+/// Reassemble; `total_bits` is the original length. The span form accepts
+/// views straight into a message-plane inbox arena (NodeCtx::exchange_flat)
+/// without materialising a vector.
+BitVector decode_words(std::span<const Word> words, std::size_t total_bits);
+inline BitVector decode_words(const std::vector<Word>& words,
+                              std::size_t total_bits) {
+  return decode_words(std::span<const Word>(words), total_bits);
+}
 
 }  // namespace ccq

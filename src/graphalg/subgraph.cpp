@@ -75,7 +75,7 @@ DetectionResult detect_structure_clique(const Graph& g, unsigned k,
 
     // ---- send my incident edges (to higher-id partners) to every tuple
     // node whose union contains my part.
-    WordQueues out(ctx.n());
+    std::vector<std::pair<NodeId, Word>> sends;
     const NodeId my_part = L.part_of(me);
     for (std::uint64_t t = 0; t < tuples; ++t) {
       if (!L.tuple_contains_part(t, k, my_part)) continue;
@@ -85,9 +85,9 @@ DetectionResult detect_structure_clique(const Graph& g, unsigned k,
         if (u > me) payload.push_back(ctx.adj_row().get(u));
       }
       for (const Word& w : encode_bits(payload, B))
-        out[static_cast<NodeId>(t)].push_back(w);
+        sends.emplace_back(static_cast<NodeId>(t), w);
     }
-    WordQueues in = ctx.exchange(out);
+    const FlatInbox in = ctx.exchange_flat(sends);
 
     // ---- tuple nodes reconstruct the induced subgraph on U and check.
     std::optional<std::vector<NodeId>> witness;
@@ -107,7 +107,7 @@ DetectionResult detect_structure_clique(const Graph& g, unsigned k,
           for (NodeId u : u_nodes)
             if (u > me) payload.push_back(ctx.adj_row().get(u));
         } else {
-          payload = decode_words(in[v], expect);
+          payload = decode_words(in.from(v), expect);
         }
         std::size_t idx = 0;
         for (NodeId u : u_nodes) {
