@@ -9,7 +9,9 @@
 // Usage: bench_exchange [--n=N] [--check]
 //   --n=N     run a single clique size instead of the 128/256/512 sweep
 //   --check   CI smoke mode: exit non-zero if the flat plane is slower
-//             than legacy (uses more trials to shed scheduler noise)
+//             than legacy beyond a noise tolerance (see kCheckTolerance;
+//             shared CI runners jitter best-of-5 timings by ~10%, so an
+//             exact comparison would flake on timer noise alone)
 //
 // Writes BENCH_exchange.json ({n, backend, plane, wall_ms, rounds,
 // messages, bits} per row) into the current directory.
@@ -29,6 +31,11 @@ using namespace ccq;
 namespace {
 
 constexpr int kSupersteps = 16;
+
+// --check fails only when flat exceeds legacy by this factor: the gate is
+// meant to catch real regressions (the steady-state win is >=2x), not the
+// ~10% wall-clock jitter of a shared CI runner.
+constexpr double kCheckTolerance = 1.15;
 
 struct Sample {
   double millis = 0;
@@ -157,7 +164,9 @@ int main(int argc, char** argv) {
                Table::fmt(legacy.millis / flat.millis, 1),
                Table::fmt(flat_api.millis, 1),
                Table::fmt(legacy.millis / flat_api.millis, 1), "yes"});
-    if (check && flat.millis > legacy.millis) check_failed = true;
+    if (check && flat.millis > kCheckTolerance * legacy.millis) {
+      check_failed = true;
+    }
   }
   t.print();
 
@@ -167,10 +176,12 @@ int main(int argc, char** argv) {
 
   if (check) {
     if (check_failed) {
-      std::printf("CHECK FAILED: flat plane slower than legacy\n");
+      std::printf("CHECK FAILED: flat plane >%.0f%% slower than legacy\n",
+                  (kCheckTolerance - 1.0) * 100.0);
       return 1;
     }
-    std::printf("CHECK OK: flat plane at least as fast as legacy\n");
+    std::printf("CHECK OK: flat plane within %.0f%% of legacy or faster\n",
+                (kCheckTolerance - 1.0) * 100.0);
   }
   return 0;
 }

@@ -275,6 +275,10 @@ class FlatPlane final : public MessagePlane {
     NodeStats s;
     for (NodeId dst = 0; dst < n_; ++dst) {
       const auto& q = (*out)[dst];
+      // Guard before the narrowing cast: a >= 2^32-word queue would wrap the
+      // histogram entry and slip past deliver()'s total-words check.
+      CCQ_CHECK_MSG(q.size() <= 0xffffffffull,
+                    "queue to node " << dst << " exceeds 2^32 words");
       cnt[dst] = static_cast<std::uint32_t>(q.size());
       if (dst == self || q.empty()) continue;  // self-delivery is free
       for (const Word& w : q) {
@@ -291,6 +295,10 @@ class FlatPlane final : public MessagePlane {
   void deposit_pairs(NodeId self,
                      std::span<const std::pair<NodeId, Word>> out,
                      bool unique_dst) override {
+    // Per-destination counts are bounded by the deposit size, so one check
+    // keeps every histogram increment below the uint32 wrap.
+    CCQ_CHECK_MSG(out.size() <= 0xffffffffull,
+                  "deposit exceeds 2^32 words");
     std::uint32_t* cnt = row(self);
     std::fill_n(cnt, n_, 0u);
     NodeStats s;
@@ -326,6 +334,8 @@ class FlatPlane final : public MessagePlane {
       wbits += w.bits;
     }
     std::uint32_t* cnt = row(self);
+    CCQ_CHECK_MSG(words.size() <= 0xffffffffull,
+                  "broadcast exceeds 2^32 words");
     const std::uint32_t k = static_cast<std::uint32_t>(words.size());
     std::fill_n(cnt, n_, k);
     cnt[self] = 0;

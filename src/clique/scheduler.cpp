@@ -304,15 +304,27 @@ class PooledScheduler final : public Scheduler {
   // (leader included) claim chunk indices, and wait until all chunks have
   // executed. Chunks write disjoint data (the caller's contract), so the
   // claim order cannot reach results.
+  //
+  // A leader thunk may issue several jobs back to back (FlatPlane::deliver
+  // runs three), so a helper parked at the barrier can hold a stale view of
+  // one job while the next is being published. Each publish therefore bumps
+  // an epoch, and the whole claim state lives in one 64-bit ticket
+  // ([epoch | chunks | next], see kTicket* below) that helpers advance with
+  // a CAS: a claim taken against a superseded epoch fails the CAS instead
+  // of consuming an index — a stale helper can neither run a retired
+  // ChunkFn nor steal a chunk from (or credit job_done_ of) the new job.
   void leader_parallel_for(std::size_t chunks, const ChunkFn& fn) override {
-    if (chunks <= 1 || participants_ <= 1) {
+    if (chunks <= 1 || participants_ <= 1 || chunks > kTicketFieldMask) {
       for (std::size_t i = 0; i < chunks; ++i) fn(i);
       return;
     }
-    job_chunks_ = chunks;
-    job_next_.store(0, std::memory_order_relaxed);
     job_done_.store(0, std::memory_order_relaxed);
-    job_fn_.store(&fn, std::memory_order_release);  // publishes the above
+    job_fn_.store(&fn, std::memory_order_relaxed);
+    job_epoch_ = (job_epoch_ + 1) & kTicketEpochMask;  // leader-owned
+    job_ticket_.store((job_epoch_ << kTicketEpochShift) |
+                          (static_cast<std::uint64_t>(chunks)
+                           << kTicketChunksShift),
+                      std::memory_order_release);  // publishes the above
     help_with_job();
     unsigned spins = 0;
     while (job_done_.load(std::memory_order_acquire) < chunks) {
@@ -342,6 +354,18 @@ class PooledScheduler final : public Scheduler {
 
  private:
   static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+  // Job-ticket layout: [epoch:24 | chunks:20 | next:20]. 2^20 chunks is far
+  // past any delivery fan-out (leader_parallel_for falls back to serial
+  // beyond it), and `next` never exceeds `chunks` because claims stop once
+  // the indices run out, so both fit the same field width.
+  static constexpr unsigned kTicketFieldBits = 20;
+  static constexpr std::uint64_t kTicketFieldMask =
+      (std::uint64_t{1} << kTicketFieldBits) - 1;
+  static constexpr unsigned kTicketChunksShift = kTicketFieldBits;
+  static constexpr unsigned kTicketEpochShift = 2 * kTicketFieldBits;
+  static constexpr std::uint64_t kTicketEpochMask =
+      (std::uint64_t{1} << (64 - kTicketEpochShift)) - 1;
 
   std::unique_ptr<Fiber> make_fiber(NodeId v) {
     auto f = std::make_unique<Fiber>();
@@ -459,21 +483,35 @@ class PooledScheduler final : public Scheduler {
   }
 
   // Claim and run chunks of the currently published leader job, if any.
-  // Safe against stale reads: once every chunk index is claimed the
-  // fetch_add returns >= job_chunks_ and the loop is a no-op, and no new
-  // job can be published until this worker has re-passed the barrier.
+  // Each claim is a CAS that advances the ticket's `next` field while
+  // re-asserting the epoch (and chunk count) captured in the snapshot, so a
+  // helper holding state from a superseded job simply fails the CAS and
+  // re-reads — it never consumes an index or increments job_done_ for a job
+  // it did not observe. The ChunkFn is loaded between the snapshot and the
+  // CAS: a successful claim of epoch e proves job e was still incomplete at
+  // claim time, and a later epoch's fn (or the retiring nullptr store) only
+  // becomes visible after job e's last job_done_ increment, which this very
+  // chunk has yet to perform — so the loaded fn is necessarily job e's.
   void help_with_job() {
-    const ChunkFn* fn = job_fn_.load(std::memory_order_acquire);
-    if (fn == nullptr) return;
-    std::size_t i;
-    while ((i = job_next_.fetch_add(1, std::memory_order_relaxed)) <
-           job_chunks_) {
+    std::uint64_t t = job_ticket_.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint64_t chunks = (t >> kTicketChunksShift) & kTicketFieldMask;
+      const std::uint64_t i = t & kTicketFieldMask;
+      if (i >= chunks) return;  // no job published, or all chunks claimed
+      const ChunkFn* fn = job_fn_.load(std::memory_order_acquire);
+      if (fn == nullptr) return;
+      if (!job_ticket_.compare_exchange_weak(t, t + 1,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        continue;  // epoch moved on or another helper took i; re-validate
+      }
       try {
         (*fn)(i);
       } catch (...) {
         record_error(std::current_exception());
       }
       job_done_.fetch_add(1, std::memory_order_acq_rel);
+      t = job_ticket_.load(std::memory_order_acquire);
     }
   }
 
@@ -573,12 +611,14 @@ class PooledScheduler final : public Scheduler {
   std::atomic<std::size_t> barrier_count_{0};
   std::atomic<bool> barrier_sense_{false};
 
-  // Leader-issued parallel job (leader_parallel_for). job_chunks_ is
-  // published by the release store to job_fn_ and read only after the
-  // acquire load of it.
+  // Leader-issued parallel job (leader_parallel_for). The ticket carries
+  // the epoch, chunk count, and next unclaimed index in one word; its
+  // release store in leader_parallel_for publishes job_fn_ and the
+  // job_done_ reset. job_epoch_ is written only by the leader (the serial
+  // phase) and reaches helpers through the ticket.
   std::atomic<const ChunkFn*> job_fn_{nullptr};
-  std::size_t job_chunks_ = 0;
-  std::atomic<std::size_t> job_next_{0};
+  std::atomic<std::uint64_t> job_ticket_{0};
+  std::uint64_t job_epoch_ = 0;
   std::atomic<std::size_t> job_done_{0};
 
   std::atomic<bool> aborted_{false};

@@ -1,10 +1,16 @@
 #include "util/thread_pool.hpp"
 
+#include <cstdlib>
 #include <exception>
 
 namespace ccq {
 
 ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    if (const char* env = std::getenv("CCQ_POOL_THREADS")) {
+      threads = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    }
+  }
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;

@@ -24,7 +24,11 @@ namespace ccq {
 
 class ThreadPool {
  public:
-  /// threads == 0 picks hardware_concurrency (min 1).
+  /// threads == 0 picks CCQ_POOL_THREADS from the environment if set, else
+  /// hardware_concurrency (min 1). The override exists so single-core hosts
+  /// can still exercise the multi-worker scheduler paths (oversubscription
+  /// forces preemption at arbitrary points, which is exactly what the
+  /// race-sensitive code wants stressed).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
