@@ -16,6 +16,8 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace ccq;
 
 namespace {
@@ -41,7 +43,8 @@ std::uint64_t mm_rounds(NodeId n, unsigned mult) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::benchjson::TraceSession ccq_trace_session(&argc, argv);
   std::printf("ABLATION: bandwidth constant c in B = c·⌈log₂n⌉\n\n");
   std::printf("(min,+) distributed MM rounds under different c:\n");
   Table t({"n", "c=1", "c=2", "c=4", "c=1/c=4 ratio"});
@@ -67,5 +70,6 @@ int main() {
       "\nShape check: rounds scale ≈ 1/c while the exponent moves only "
       "within noise —\nconstants fold into running time, never into the "
       "complexity class, as §3 assumes.\n");
+  if (!ccq_trace_session.finish(nullptr)) return 1;
   return 0;
 }

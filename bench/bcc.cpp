@@ -17,9 +17,12 @@
 #include "util/math.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::benchjson::TraceSession ccq_trace_session(&argc, argv);
   std::printf("SEC2: broadcast vs unicast congested clique\n\n");
 
   std::printf("(a) All-to-all personalised messages (each ordered pair a\n"
@@ -92,5 +95,6 @@ int main() {
       "on\npersonalised communication — the bandwidth bottleneck that "
       "makes BCC lower\nbounds provable [19] while the unicast clique "
       "resists them (Drucker et al.).\n");
+  if (!ccq_trace_session.finish(nullptr)) return 1;
   return 0;
 }

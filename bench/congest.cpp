@@ -18,6 +18,8 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace ccq;
 
 namespace {
@@ -88,7 +90,8 @@ std::uint64_t clique_transfer_rounds(const Graph& g, unsigned L) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::benchjson::TraceSession ccq_trace_session(&argc, argv);
   std::printf("SEC2: the bottleneck motivation — CONGEST vs clique\n\n");
   std::printf("Two n/2-cliques + one bridge; node n-1 must learn node 0's\n"
               "L-bit string (L = 16·n bits, scaling with the instance):\n");
@@ -110,5 +113,6 @@ int main() {
       "⌈L/B⌉ and grow\nlinearly in L, while the clique moves the same data "
       "in a near-constant number of\nrounds — the \"no bottlenecks\" point "
       "§2 uses to motivate the model.\n");
+  if (!ccq_trace_session.finish(nullptr)) return 1;
   return 0;
 }

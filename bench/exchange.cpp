@@ -6,12 +6,15 @@
 // counting sort over persisted arenas (DESIGN.md "Message plane"). Cost
 // meters must be byte-identical between planes; only wall-clock may differ.
 //
-// Usage: bench_exchange [--n=N] [--check]
+// Usage: bench_exchange [--n=N] [--check] [--trace=PATH]
 //   --n=N     run a single clique size instead of the 128/256/512 sweep
 //   --check   CI smoke mode: exit non-zero if the flat plane is slower
 //             than legacy beyond a noise tolerance (see kCheckTolerance;
 //             shared CI runners jitter best-of-5 timings by ~10%, so an
-//             exact comparison would flake on timer noise alone)
+//             exact comparison would flake on timer noise alone), or if
+//             enabled tracing costs more than 50% on top of delivery
+//   --trace=PATH  record a round trace (see clique/trace.hpp) of every
+//             run into PATH (chrome://tracing) + PATH's .jsonl sibling
 //
 // Writes BENCH_exchange.json ({n, backend, plane, wall_ms, rounds,
 // messages, bits} per row) into the current directory.
@@ -98,6 +101,36 @@ Sample run_config(NodeId n, MessagePlaneKind plane, bool flat_api,
   return s;
 }
 
+// The tracing overhead gate. The "flat" rows above are the
+// compiled-in-but-disabled numbers the acceptance baseline diffs against —
+// a disabled trace costs one pointer test per collective, so those rows
+// must not move between PRs. Here we additionally measure the *enabled*
+// cost (per-collective O(n) delta scans + record append) so a future
+// change cannot silently make --trace unusable on big sweeps. Each trial
+// records into a throwaway local trace (Config::trace overrides the
+// session's global one, keeping the gate out of the user's timeline).
+Sample run_traced(NodeId n, int trials) {
+  Sample s;
+  for (int t = 0; t < trials; ++t) {
+    RoundTrace tr;
+    Engine::Config cfg;
+    cfg.plane = MessagePlaneKind::kFlat;
+    cfg.trace = &tr;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto res = Engine::run(gen::empty(n), NodeProgram(exchange_program), cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (t == 0 || ms < s.millis) s.millis = ms;
+    s.result = std::move(res);
+    if (!tr.totals_match()) {
+      std::printf("FATAL: trace records do not sum to metered totals\n");
+      std::exit(1);
+    }
+  }
+  return s;
+}
+
 bool same_meters(const RunResult& a, const RunResult& b) {
   return a.outputs == b.outputs && a.cost.rounds == b.cost.rounds &&
          a.cost.messages == b.cost.messages && a.cost.bits == b.cost.bits &&
@@ -120,6 +153,7 @@ void add_record(benchjson::Writer& json, NodeId n, const char* plane,
 }  // namespace
 
 int main(int argc, char** argv) {
+  benchjson::TraceSession trace_session(&argc, argv);
   NodeId only_n = 0;
   bool check = false;
   for (int i = 1; i < argc; ++i) {
@@ -128,7 +162,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--n=N] [--check]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--n=N] [--check] [--trace=PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -170,6 +205,39 @@ int main(int argc, char** argv) {
   }
   t.print();
 
+  std::printf(
+      "\nTracing overhead (flat plane; \"off\" is the disabled-trace path —\n"
+      "one pointer test per collective — \"on\" attaches a RoundTrace and\n"
+      "pays the per-collective O(n) record scan):\n");
+  Table to({"n", "trace off ms", "trace on ms", "overhead", "counts equal"});
+  bool trace_gate_failed = false;
+  for (NodeId n : sizes) {
+    const auto off = run_config(n, MessagePlaneKind::kFlat, false, trials);
+    const auto on = run_traced(n, trials);
+    if (!same_meters(off.result, on.result)) {
+      std::printf("FATAL: tracing changed the metered cost at n=%u\n", n);
+      return 1;
+    }
+    json.add({{"n", n},
+              {"backend", "pooled"},
+              {"plane", "flat"},
+              {"trace", "on"},
+              {"wall_ms", on.millis},
+              {"rounds", on.result.cost.rounds},
+              {"messages", on.result.cost.messages},
+              {"bits", on.result.cost.bits}});
+    to.add_row({std::to_string(n), Table::fmt(off.millis, 1),
+                Table::fmt(on.millis, 1),
+                Table::fmt(on.millis / off.millis, 2), "yes"});
+    // Enabled tracing must stay cheap relative to delivery itself; 1.5x is
+    // far above the measured ~1.0-1.1x but catches an accidental O(n²)
+    // scan or per-word work sneaking into the record path.
+    if (check && on.millis > 1.5 * off.millis) trace_gate_failed = true;
+  }
+  to.print();
+
+  if (!trace_session.finish(&json)) return 1;
+
   if (json.write("BENCH_exchange.json")) {
     std::printf("\nwrote BENCH_exchange.json\n");
   }
@@ -180,7 +248,13 @@ int main(int argc, char** argv) {
                   (kCheckTolerance - 1.0) * 100.0);
       return 1;
     }
-    std::printf("CHECK OK: flat plane within %.0f%% of legacy or faster\n",
+    if (trace_gate_failed) {
+      std::printf("CHECK FAILED: enabled tracing costs >50%% on top of "
+                  "delivery\n");
+      return 1;
+    }
+    std::printf("CHECK OK: flat plane within %.0f%% of legacy or faster; "
+                "tracing overhead in bounds\n",
                 (kCheckTolerance - 1.0) * 100.0);
   }
   return 0;

@@ -10,9 +10,12 @@
 #include "finegrained/registry.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::benchjson::TraceSession ccq_trace_session(&argc, argv);
   std::printf("FIG1: the fine-grained complexity map, measured\n\n");
 
   auto problems = figure1_problems();
@@ -78,5 +81,6 @@ int main() {
       "detection/MM problems < learn-everything\nproblems — matches Figure "
       "1. Absolute exponents carry a log-factor drag at these n\n(B = "
       "⌈log₂n⌉ grows too), which inflates slopes toward the upper bounds.\n");
+  if (!ccq_trace_session.finish(nullptr)) return 1;
   return 0;
 }

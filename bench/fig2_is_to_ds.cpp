@@ -14,9 +14,12 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::benchjson::TraceSession ccq_trace_session(&argc, argv);
   std::printf("FIG2/THM10: k-IS -> k-DS gadget reduction\n\n");
 
   std::printf("(a) Gadget sizes |V(G')| vs the paper's (k^2+k+2)n bound:\n");
@@ -79,5 +82,6 @@ int main() {
       "rounds x ceil(|G'|/n)^2 per the\nTheorem 10 simulation) stays a "
       "bounded multiple of the direct algorithm — the\nO(k^{2delta+4}) "
       "constant-factor overhead the theorem promises.\n");
+  if (!ccq_trace_session.finish(nullptr)) return 1;
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "algebra/mm.hpp"
+#include "bench_json.hpp"
 #include "clique/routing.hpp"
 #include "graph/generators.hpp"
 #include "graph/oracles.hpp"
@@ -130,4 +131,17 @@ BENCHMARK(BM_OracleDominatingSet)->Arg(20)->Arg(28);
 }  // namespace
 }  // namespace ccq
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the shared --trace=<path> flag is stripped
+// before google-benchmark's flag parser (which rejects unknown flags) sees
+// argv. With --trace, every Engine::run inside the timed loops records into
+// one timeline — noisy (iterations repeat) but useful for eyeballing what a
+// kernel's collectives actually do.
+int main(int argc, char** argv) {
+  ccq::benchjson::TraceSession trace_session(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!trace_session.finish(nullptr)) return 1;
+  return 0;
+}

@@ -10,6 +10,8 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace ccq;
 
 namespace {
@@ -42,7 +44,8 @@ auto minplus_rows = [](NodeId nn, SplitMix64& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::benchjson::TraceSession ccq_trace_session(&argc, argv);
   std::printf("Distributed matrix multiplication (Figure 1 MM boxes)\n\n");
   const std::vector<NodeId> ns = {27, 64, 125, 216};
 
@@ -77,5 +80,6 @@ int main() {
   std::printf(
       "Shape check: the 3-D algorithm wins at every size and its advantage "
       "grows with n.\n");
+  if (!ccq_trace_session.finish(nullptr)) return 1;
   return 0;
 }

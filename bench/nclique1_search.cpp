@@ -14,9 +14,12 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::benchjson::TraceSession ccq_trace_session(&argc, argv);
   std::printf("SEC8: NCLIQUE(1)-labelling search problems\n\n");
 
   const NodeId n = 32;
@@ -54,5 +57,6 @@ int main() {
       "and no lower bound separates them — exactly the\nopen landscape §8 "
       "describes. 2-colouring/sinkless solve only where bipartite-/\n"
       "cycle-structure permits; MIS always.\n");
+  if (!ccq_trace_session.finish(nullptr)) return 1;
   return 0;
 }

@@ -186,7 +186,10 @@ void plane_comparison() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace=<path>: record every run below into one chrome://tracing
+  // timeline + JSONL ledger (see EXPERIMENTS.md "Reading a trace").
+  benchjson::TraceSession trace_session(&argc, argv);
   std::printf("Routing substrate (Lenzen-regime loads)\n\n");
 
   std::printf(
@@ -242,6 +245,11 @@ int main() {
 
   backend_comparison();
   plane_comparison();
+
+  // Flush the trace (if any) before BENCH_routing.json so the per-phase
+  // breakdown rows land in the artifact; a failed self-check (per-record
+  // sums != metered totals) fails the bench.
+  if (!trace_session.finish(&g_json)) return 1;
 
   if (g_json.write("BENCH_routing.json")) {
     std::printf("\nwrote BENCH_routing.json\n");

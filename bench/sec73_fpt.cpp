@@ -15,9 +15,12 @@
 #include "graphalg/subgraph.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::benchjson::TraceSession ccq_trace_session(&argc, argv);
   std::printf("SEC7.3: parameterised problems in the congested clique\n");
   std::printf("(k = 3 throughout; entries are measured engine rounds)\n\n");
   const unsigned k = 3;
@@ -49,5 +52,6 @@ int main() {
       "are flat in n\n(FPT-style), while k-IS and k-DS grow polynomially — "
       "and k-DS grows faster than k-IS\n(exponent 1-1/k vs 1-2/k), matching "
       "the W[1]/W[2] analogy the paper draws.\n");
+  if (!ccq_trace_session.finish(nullptr)) return 1;
   return 0;
 }

@@ -18,9 +18,12 @@
 #include "util/math.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::benchjson::TraceSession ccq_trace_session(&argc, argv);
   std::printf("SEC8: randomness — MST baseline and MC->nondet\n\n");
 
   std::printf("(a) Deterministic Boruvka MST (the baseline the randomised\n"
@@ -86,5 +89,6 @@ int main() {
       "found quickly\n(success prob ≥ k!/k^k per trial) and verification is "
       "deterministic, while\nno-instances admit none — the §8 conversion, "
       "end to end.\n");
+  if (!ccq_trace_session.finish(nullptr)) return 1;
   return 0;
 }

@@ -8,9 +8,12 @@
 #include "graphalg/kvc.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::benchjson::TraceSession ccq_trace_session(&argc, argv);
   std::printf("THM11: k-vertex cover in O(k) rounds\n\n");
 
   std::printf("Sweep over k at fixed n = 64 (planted covers, m = 4k):\n");
@@ -37,5 +40,6 @@ int main() {
   std::printf(
       "\nShape check: the n-sweep row count is flat; the k-sweep grows "
       "≈ linearly in k\n(each kernel node broadcasts ≤ k edge endpoints).\n");
+  if (!ccq_trace_session.finish(nullptr)) return 1;
   return 0;
 }

@@ -17,9 +17,12 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::benchjson::TraceSession ccq_trace_session(&argc, argv);
   std::printf("THM2: time hierarchy for the congested clique\n\n");
 
   std::printf(
@@ -83,5 +86,6 @@ int main() {
       "⊊ CLIQUE(T)\nfor S = o(T); (b) the diagonal language is decided "
       "correctly in ⌈L/B⌉ rounds while\nno protocol in the lower budget "
       "computes f_n (certified by enumeration).\n");
+  if (!ccq_trace_session.finish(nullptr)) return 1;
   return 0;
 }

@@ -12,9 +12,12 @@
 #include "nondet/verifiers.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::benchjson::TraceSession ccq_trace_session(&argc, argv);
   std::printf("THM3: NCLIQUE normal form — certificate sizes\n\n");
 
   struct Case {
@@ -69,5 +72,6 @@ int main() {
       "two directions\nplus a presence flag and width field per B-bit "
       "slot), i.e. the label size is\nΘ(T·n·log n) exactly as Theorem 3 "
       "states; the converted verifier keeps the\noriginal round count.\n");
+  if (!ccq_trace_session.finish(nullptr)) return 1;
   return 0;
 }

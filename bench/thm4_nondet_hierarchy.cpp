@@ -11,9 +11,12 @@
 #include "hierarchy/counting.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::benchjson::TraceSession ccq_trace_session(&argc, argv);
   std::printf("THM4: nondeterministic time hierarchy\n\n");
 
   std::printf("(a) Counting with the proof's parameters (t = T/4):\n");
@@ -58,5 +61,6 @@ int main() {
       "thus COR5's strict hierarchy;\n(b) at toy scale nondeterminism "
       "strictly enlarges the zero-round class (2 → 10 of\n16 functions) "
       "but still misses XOR-like functions.\n");
+  if (!ccq_trace_session.finish(nullptr)) return 1;
   return 0;
 }

@@ -13,9 +13,12 @@
 #include "nondet/verifiers.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::benchjson::TraceSession ccq_trace_session(&argc, argv);
   std::printf("THM6: the edge-labelling canonical family for NCLIQUE(1)\n\n");
 
   struct Case {
@@ -75,5 +78,6 @@ int main() {
       "\nShape check: induced labels are Θ(log n) bits per edge, and the "
       "labelling is\nsolvable exactly on the verifier's yes-instances — "
       "Theorem 6's canonical-family\nclaim, run concretely.\n");
+  if (!ccq_trace_session.finish(nullptr)) return 1;
   return 0;
 }

@@ -14,9 +14,12 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::benchjson::TraceSession ccq_trace_session(&argc, argv);
   std::printf("THM7: all problems are in Sigma_2 (unlimited labels)\n\n");
 
   struct Lang {
@@ -84,5 +87,6 @@ int main() {
       "language exactly\n(collapse to Sigma_2), and its labels outgrow the "
       "O(n log n) budget from n = 8 on —\nwhich is why the logarithmic "
       "hierarchy does NOT collapse (Theorem 8).\n");
+  if (!ccq_trace_session.finish(nullptr)) return 1;
   return 0;
 }

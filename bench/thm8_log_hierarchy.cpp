@@ -9,9 +9,12 @@
 #include "hierarchy/counting.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::benchjson::TraceSession ccq_trace_session(&argc, argv);
   std::printf(
       "THM8: a problem outside every level of the logarithmic "
       "hierarchy\n\n");
@@ -52,5 +55,6 @@ int main() {
       "no communication, extra alternations do not grow\nthe achievable set "
       "(both levels sit at 10/16), matching the proof's intuition that\n"
       "label *size*, not alternation depth, is the binding resource here.\n");
+  if (!ccq_trace_session.finish(nullptr)) return 1;
   return 0;
 }

@@ -11,9 +11,12 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::benchjson::TraceSession ccq_trace_session(&argc, argv);
   std::printf(
       "THM9: k-dominating set in O(n^{1-1/k}) rounds (measured vs "
       "reference)\n\n");
@@ -49,5 +52,6 @@ int main() {
   std::printf(
       "Shape check: fitted exponents track 1-1/k and stay well below 1 "
       "(the trivial algorithm).\n");
+  if (!ccq_trace_session.finish(nullptr)) return 1;
   return 0;
 }

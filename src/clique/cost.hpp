@@ -26,6 +26,9 @@ struct CostMeter {
   /// Compose two phases run back to back. Totals accumulate; the per-node
   /// maxima are run-wide maxima, so composition takes the larger of the two
   /// phases — summing them would overstate the Lenzen-routing statistic.
+  /// RoundTrace::metered_totals() composes traced runs with exactly this
+  /// operation, which is why its per-record rounds/messages/bits sum to the
+  /// meter while max_sent/max_received do not (clique/trace.hpp).
   void add(const CostMeter& o) {
     rounds += o.rounds;
     messages += o.messages;

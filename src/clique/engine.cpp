@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 #include "clique/scheduler.hpp"
+#include "clique/trace.hpp"
 
 namespace ccq {
 
@@ -45,19 +47,94 @@ struct SharedState {
   std::vector<std::uint64_t> received_words;
   std::vector<std::uint64_t> outputs;
   std::vector<std::uint8_t> has_output;
+
+  // Round-trace recorder (null = untraced; the common case). Record fields
+  // are filled in the serial leader step; span push/pop from node fibers
+  // touch only node-owned slots inside the trace. `collectives_committed`
+  // mirrors the trace's collective counter for mid-run reads from node
+  // fibers (span coordinates), like rounds_committed does for rounds.
+  RoundTrace* trace = nullptr;
+  std::atomic<std::uint64_t> collectives_committed{0};
+  std::vector<std::uint64_t> trace_prev_sent;  // per-node snapshots for
+  std::vector<std::uint64_t> trace_prev_recv;  // per-collective deltas
+  SchedulerStats trace_prev_sched{};
 };
 
 namespace {
+
+const char* op_name(int opcode) {
+  switch (opcode) {
+    case kOpRound:
+      return "round";
+    case kOpExchange:
+      return "exchange";
+    case kOpBroadcast:
+      return "broadcast";
+  }
+  return "op";
+}
+
+// Traced delivery tail: build the per-collective TraceRecord from the
+// accounting and the per-node total deltas. Leader-only, and only reached
+// when a trace is attached — the O(n) scans below never run untraced.
+void trace_collective(SharedState& st, const DeliveryAccounting& acc,
+                      int opcode, double delivery_ms) {
+  TraceRecord rec;
+  rec.op = op_name(opcode);
+  // A collective's phase is node 0's innermost open span at deposit time:
+  // collective sequences are identical across nodes (engine-enforced), so
+  // node 0's label is as canonical as any, and one node's stack keeps the
+  // record single-valued when nodes nest spans differently.
+  rec.phase = st.trace->current_phase(0);
+  rec.messages = acc.messages;
+  rec.bits = acc.bits;
+  std::uint64_t max_sent = 0, max_recv = 0;
+  for (NodeId v = 0; v < st.n; ++v) {
+    const std::uint64_t ds = st.sent_words[v] - st.trace_prev_sent[v];
+    const std::uint64_t dr = st.received_words[v] - st.trace_prev_recv[v];
+    st.trace_prev_sent[v] = st.sent_words[v];
+    st.trace_prev_recv[v] = st.received_words[v];
+    rec.sent_hist.add(ds);
+    rec.received_hist.add(dr);
+    max_sent = std::max(max_sent, ds);
+    max_recv = std::max(max_recv, dr);
+  }
+  rec.max_sent = max_sent;
+  // The plane reports the receiver-side max itself (max_node_in); it must
+  // agree with the delta scan or the plane delivered an impossible inbox.
+  CCQ_CHECK_MSG(acc.max_node_in == max_recv,
+                "message plane reported a receiver-side max of "
+                    << acc.max_node_in << " words but per-node totals say "
+                    << max_recv);
+  rec.max_received = acc.max_node_in;
+  rec.delivery_ms = delivery_ms;
+  const SchedulerStats ss = st.sched->stats();
+  rec.fiber_switches = ss.fiber_switches - st.trace_prev_sched.fiber_switches;
+  rec.parallel_jobs = ss.parallel_jobs - st.trace_prev_sched.parallel_jobs;
+  rec.parallel_chunks =
+      ss.parallel_chunks - st.trace_prev_sched.parallel_chunks;
+  st.trace_prev_sched = ss;
+  st.trace->on_collective(std::move(rec));
+}
 
 // Deliver all deposits through the message plane; cost = max over ordered
 // (u,v), u != v, of the queue length (one word per ordered pair per
 // synchronous round). Returns the number of rounds charged. Leader-only:
 // the plane may fan the delivery passes out via sched->leader_parallel_for.
-std::uint64_t deliver(SharedState& st) {
+std::uint64_t deliver(SharedState& st, int opcode) {
   DeliveryAccounting acc;
   acc.sent_words = st.sent_words.data();
   acc.received_words = st.received_words.data();
-  st.plane->deliver(*st.sched, acc);
+  if (st.trace == nullptr) {  // the only per-collective cost of tracing off
+    st.plane->deliver(*st.sched, acc);
+  } else {
+    const auto t0 = std::chrono::steady_clock::now();
+    st.plane->deliver(*st.sched, acc);
+    const auto t1 = std::chrono::steady_clock::now();
+    trace_collective(
+        st, acc, opcode,
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
   st.cost.messages += acc.messages;
   st.cost.bits += acc.bits;
   st.cost.collectives += 1;
@@ -67,8 +144,15 @@ std::uint64_t deliver(SharedState& st) {
 // Leader-only: commit rounds and enforce the runaway guard (throwing from
 // the leader aborts the run through the scheduler).
 void charge_rounds(SharedState& st, std::uint64_t rounds) {
+  const std::uint64_t begin = st.cost.rounds;
   st.cost.rounds += rounds;
   st.rounds_committed.store(st.cost.rounds, std::memory_order_release);
+  if (st.trace != nullptr) {
+    // Finalise the record before the runaway check so an aborting run's
+    // last collective still carries its rounds.
+    st.trace->on_rounds_charged(begin, rounds);
+    st.collectives_committed.fetch_add(1, std::memory_order_release);
+  }
   if (st.cost.rounds > st.max_rounds) {
     throw ModelViolation("round limit exceeded (runaway algorithm?)");
   }
@@ -121,12 +205,33 @@ std::uint64_t NodeCtx::rounds_so_far() const {
   return st_->rounds_committed.load(std::memory_order_acquire);
 }
 
+bool NodeCtx::tracing() const { return st_->trace != nullptr; }
+
+void NodeCtx::trace_push(const char* label) {
+  if (st_->trace == nullptr) return;
+  // Span coordinates are (collectives committed, rounds committed) at push
+  // time — serial-phase values, stable through the parallel phase, and
+  // pure functions of the program, so spans are backend-independent.
+  st_->trace->node_push(
+      id_, label, st_->collectives_committed.load(std::memory_order_acquire),
+      st_->rounds_committed.load(std::memory_order_acquire));
+}
+
+void NodeCtx::trace_pop() {
+  if (st_->trace == nullptr) return;
+  st_->trace->node_pop(
+      id_, st_->collectives_committed.load(std::memory_order_acquire),
+      st_->rounds_committed.load(std::memory_order_acquire));
+}
+
 WordQueues NodeCtx::exchange(const WordQueues& out) {
   // Validation (bandwidth, outbox shape) happens inside the deposit scan.
   st_->sched->collective(
       id_, OpTag{detail::kOpExchange, 0},
       [&] { st_->plane->deposit_queues(id_, &out, /*movable=*/false); },
-      [st = st_] { detail::charge_rounds(*st, detail::deliver(*st)); });
+      [st = st_] {
+        detail::charge_rounds(*st, detail::deliver(*st, detail::kOpExchange));
+      });
   return st_->plane->take_queues(id_);
 }
 
@@ -137,7 +242,9 @@ WordQueues NodeCtx::exchange(WordQueues&& out) {
   st_->sched->collective(
       id_, OpTag{detail::kOpExchange, 0},
       [&] { st_->plane->deposit_queues(id_, &out, /*movable=*/true); },
-      [st = st_] { detail::charge_rounds(*st, detail::deliver(*st)); });
+      [st = st_] {
+        detail::charge_rounds(*st, detail::deliver(*st, detail::kOpExchange));
+      });
   return st_->plane->take_queues(id_);
 }
 
@@ -146,7 +253,9 @@ FlatInbox NodeCtx::exchange_flat(
   st_->sched->collective(
       id_, OpTag{detail::kOpExchange, 0},
       [&] { st_->plane->deposit_pairs(id_, sends, /*unique_dst=*/false); },
-      [st = st_] { detail::charge_rounds(*st, detail::deliver(*st)); });
+      [st = st_] {
+        detail::charge_rounds(*st, detail::deliver(*st, detail::kOpExchange));
+      });
   return st_->plane->inbox(id_);
 }
 
@@ -157,7 +266,7 @@ FlatInbox NodeCtx::round_flat(
       [&] { st_->plane->deposit_pairs(id_, sends, /*unique_dst=*/true); },
       [st = st_] {
         // A round costs exactly 1 regardless of occupancy.
-        detail::deliver(*st);
+        detail::deliver(*st, detail::kOpRound);
         detail::charge_rounds(*st, 1);
       });
   return st_->plane->inbox(id_);
@@ -184,7 +293,7 @@ std::vector<BitVector> NodeCtx::broadcast(const BitVector& mine) {
       id_, OpTag{detail::kOpBroadcast, length},
       [&] { st_->plane->deposit_broadcast(id_, words); },
       [st = st_, length, B] {
-        detail::deliver(*st);
+        detail::deliver(*st, detail::kOpBroadcast);
         // ⌈L/B⌉ rounds (equals the max queue length by construction, but we
         // charge it explicitly so an all-empty broadcast of L bits still
         // costs its rounds).
@@ -293,6 +402,35 @@ RunResult Engine::run(const Instance& instance, const NodeProgram& program,
                         ? private_bit_encoding(instance.graph)
                         : instance.private_bits;
 
+  // Attach the round trace, if any: Config::trace wins, else the
+  // process-wide default (benches' --trace). try_acquire keeps a trace
+  // single-run — a nested Engine::run seeing the same trace (or two
+  // concurrent runs sharing the global) executes untraced instead of
+  // interleaving records.
+  RoundTrace* trace = config.trace != nullptr ? config.trace : trace::global();
+  if (trace != nullptr && !trace->try_acquire()) trace = nullptr;
+  st.trace = trace;
+  if (trace != nullptr) {
+    trace->on_run_begin(n, st.bandwidth);
+    st.trace_prev_sent.assign(n, 0);
+    st.trace_prev_recv.assign(n, 0);
+  }
+  // Close the trace on every exit path: an aborting run (ModelViolation,
+  // program exception) still flushes its spans and releases the acquire.
+  struct TraceCloser {
+    SharedState& st;
+    ~TraceCloser() {
+      if (st.trace == nullptr) return;
+      CostMeter c = st.cost;
+      for (NodeId v = 0; v < st.n; ++v) {
+        c.max_node_sent = std::max(c.max_node_sent, st.sent_words[v]);
+        c.max_node_received = std::max(c.max_node_received,
+                                       st.received_words[v]);
+      }
+      st.trace->on_run_end(c);
+    }
+  } trace_closer{st};
+
   // A node program that itself calls Engine::run (nested simulation) must
   // not re-enter the shared worker pool from one of its fibers.
   ExecutionBackend backend = config.backend;
@@ -301,6 +439,7 @@ RunResult Engine::run(const Instance& instance, const NodeProgram& program,
   }
   auto sched = detail::make_scheduler(backend, config.workers,
                                       config.fiber_stack_bytes);
+  sched->enable_stats(trace != nullptr);
   st.sched = sched.get();
   sched->run(n, [&st, &program](NodeId v) {
     NodeCtx ctx(v, &st);

@@ -39,6 +39,8 @@
 
 namespace ccq {
 
+class RoundTrace;  // clique/trace.hpp
+
 namespace detail {
 struct SharedState;
 }  // namespace detail
@@ -117,6 +119,15 @@ class NodeCtx {
   /// Rounds consumed so far (nodes legitimately know the round number).
   std::uint64_t rounds_so_far() const;
 
+  // ---- observability ------------------------------------------------------
+  /// True when this run records a RoundTrace. Span push/pop are no-ops when
+  /// false, so CCQ_TRACE_SPAN can stay in node code unconditionally.
+  bool tracing() const;
+  /// Span-stack plumbing for TraceSpan / CCQ_TRACE_SPAN; `label` must
+  /// outlive the scope (string literals do). Prefer the macro.
+  void trace_push(const char* label);
+  void trace_pop();
+
  private:
   friend class Engine;
   NodeCtx(NodeId id, detail::SharedState* st) : id_(id), st_(st) {}
@@ -126,6 +137,41 @@ class NodeCtx {
 };
 
 using NodeProgram = std::function<void(NodeCtx&)>;
+
+/// RAII protocol-phase label (see clique/trace.hpp). While in scope, the
+/// label is this node's innermost phase: collectives metered while node 0
+/// is inside the span carry the label, and every node's span becomes a
+/// per-node lane in the chrome export. Exception-safe — a ModelViolation
+/// unwinding the node program closes the span at the abort coordinates.
+/// No-op (one branch) when the run is untraced.
+///
+/// The span is anchored to a NodeCtx rather than a thread: pooled-backend
+/// fibers migrate across OS threads between collectives, so thread-local
+/// "current node" tracking would misattribute labels. Use the macro:
+///
+///   void my_protocol(NodeCtx& ctx) {
+///     CCQ_TRACE_SPAN(ctx, "lenzen-phase1");
+///     ...collectives...
+///   }
+class TraceSpan {
+ public:
+  TraceSpan(NodeCtx& ctx, const char* label) : ctx_(ctx) {
+    ctx_.trace_push(label);
+  }
+  ~TraceSpan() { ctx_.trace_pop(); }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  NodeCtx& ctx_;
+};
+
+#define CCQ_TRACE_CONCAT_IMPL(a, b) a##b
+#define CCQ_TRACE_CONCAT(a, b) CCQ_TRACE_CONCAT_IMPL(a, b)
+/// Labels the rest of the enclosing scope as protocol phase `label` for
+/// node `ctx`. Nests; pay-for-what-you-use (one branch when untraced).
+#define CCQ_TRACE_SPAN(ctx, label) \
+  ::ccq::TraceSpan CCQ_TRACE_CONCAT(ccq_trace_span_, __LINE__)(ctx, label)
 
 struct RunResult {
   std::vector<std::uint64_t> outputs;  ///< one value per node
@@ -161,6 +207,11 @@ class Engine {
     std::size_t workers = 0;
     /// Pooled backend: per-node fiber stack size (0 = 256 KiB).
     std::size_t fiber_stack_bytes = 0;
+    /// Per-collective recorder (clique/trace.hpp); nullptr falls back to
+    /// the process-wide trace::global() (benches' --trace), and untraced
+    /// when that is null too. A trace already recording another run is
+    /// skipped (the run executes untraced) rather than interleaved.
+    RoundTrace* trace = nullptr;
   };
 
   /// Execute `program` on `instance`. Throws ModelViolation on any model

@@ -68,6 +68,7 @@ class LegacyPlane final : public MessagePlane {
     own_out_.resize(n);
     in_slots_.resize(n);
     stats_.assign(n, {});
+    in_totals_.assign(n, 0);
     inbox_built_.assign(n, 0);
     inbox_words_.resize(n);
     inbox_starts_.resize(n);
@@ -159,6 +160,7 @@ class LegacyPlane final : public MessagePlane {
     for (NodeId v = 0; v < n_; ++v) {
       in_slots_[v].resize(n_);
       for (auto& q : in_slots_[v]) q.clear();
+      in_totals_[v] = 0;
       inbox_built_[v] = 0;
     }
     for (NodeId u = 0; u < n_; ++u) {
@@ -167,6 +169,7 @@ class LegacyPlane final : public MessagePlane {
         if (out[v].empty()) continue;
         if (u != v) {
           acc.received_words[v] += out[v].size();
+          in_totals_[v] += out[v].size();
           in_slots_[v][u] = out[v];
         } else if (movable_[u]) {
           // Caller relinquished the outbox (rvalue / plane-owned): the self
@@ -176,6 +179,9 @@ class LegacyPlane final : public MessagePlane {
           in_slots_[u][u] = out[u];
         }
       }
+    }
+    for (NodeId v = 0; v < n_; ++v) {
+      acc.max_node_in = std::max(acc.max_node_in, in_totals_[v]);
     }
   }
 
@@ -214,6 +220,7 @@ class LegacyPlane final : public MessagePlane {
   std::vector<WordQueues> own_out_;  // backing for pair/broadcast deposits
   std::vector<WordQueues> in_slots_;
   std::vector<NodeStats> stats_;
+  std::vector<std::uint64_t> in_totals_;  // per-collective inbox words
   // Lazy flat views for exchange_flat()/round_flat() callers.
   std::vector<std::uint8_t> inbox_built_;
   std::vector<std::vector<Word>> inbox_words_;
@@ -376,9 +383,16 @@ class FlatPlane final : public MessagePlane {
       }
     });
 
-    // Pass 3: exclusive prefix → per-destination arena base.
+    // Pass 3: exclusive prefix → per-destination arena base. Before the
+    // prefix folds it away, col_base_[v + 1] is still v's raw column sum,
+    // so the receiver-side max (self run excluded) falls out for free.
     col_base_[0] = 0;
-    for (NodeId v = 0; v < n_; ++v) col_base_[v + 1] += col_base_[v];
+    for (NodeId v = 0; v < n_; ++v) {
+      acc.max_node_in = std::max(
+          acc.max_node_in,
+          col_base_[v + 1] - cnt[static_cast<std::size_t>(v) * n_ + v]);
+      col_base_[v + 1] += col_base_[v];
+    }
     const std::uint64_t total = col_base_[n_];
     CCQ_CHECK_MSG(total <= 0xffffffffull,
                   "collective exceeds 2^32 words in flight");

@@ -90,6 +90,12 @@ struct DeliveryAccounting {
   std::uint64_t max_queue = 0;  ///< rounds to drain (self pairs excluded)
   std::uint64_t messages = 0;
   std::uint64_t bits = 0;
+  /// Receiver-side per-collective max: most words delivered into any one
+  /// inbox (self excluded). The sender side is validated against B at
+  /// deposit time; this is the plane's own report of the symmetric
+  /// quantity, which the trace cross-checks against its per-node deltas so
+  /// it can never show an impossible inbox.
+  std::uint64_t max_node_in = 0;
   std::uint64_t* sent_words = nullptr;      ///< [n] run-wide accumulators
   std::uint64_t* received_words = nullptr;  ///< [n]
 };

@@ -17,6 +17,7 @@ using SendList = std::vector<std::pair<NodeId, Word>>;
 std::vector<std::pair<NodeId, Word>> route_direct(
     NodeCtx& ctx, const std::vector<RoutedMessage>& messages) {
   const NodeId n = ctx.n();
+  CCQ_TRACE_SPAN(ctx, "route-direct");
   SendList sends;
   sends.reserve(messages.size());
   for (const RoutedMessage& m : messages) {
@@ -58,7 +59,11 @@ std::vector<std::pair<NodeId, Word>> route_balanced(
     phase1.emplace_back(mid, Word(sorted[j].dst, idb));
     phase1.emplace_back(mid, sorted[j].payload);
   }
-  const FlatInbox relay_in = ctx.exchange_flat(phase1);
+  FlatInbox relay_in;
+  {
+    CCQ_TRACE_SPAN(ctx, "route-scatter");
+    relay_in = ctx.exchange_flat(phase1);
+  }
 
   // Phase 2: forward to the true destinations with an origin header. The
   // relay inbox spans stay valid until this node's next collective, so they
@@ -74,7 +79,11 @@ std::vector<std::pair<NodeId, Word>> route_balanced(
       phase2.emplace_back(dst, q[i + 1]);
     }
   }
-  const FlatInbox final_in = ctx.exchange_flat(phase2);
+  FlatInbox final_in;
+  {
+    CCQ_TRACE_SPAN(ctx, "route-deliver");
+    final_in = ctx.exchange_flat(phase2);
+  }
 
   std::vector<std::pair<NodeId, Word>> received;
   for (NodeId mid = 0; mid < n; ++mid) {
@@ -149,7 +158,11 @@ std::vector<std::pair<NodeId, BitVector>> route_blocks(
         (offset + j) % static_cast<std::size_t>(n));
     frame(phase1, mid, items[j].dst, items[j]);
   }
-  const FlatInbox relay_in = ctx.exchange_flat(phase1);
+  FlatInbox relay_in;
+  {
+    CCQ_TRACE_SPAN(ctx, "blocks-scatter");
+    relay_in = ctx.exchange_flat(phase1);
+  }
 
   // Relay: reframe with the origin in the header.
   SendList phase2;
@@ -175,7 +188,11 @@ std::vector<std::pair<NodeId, BitVector>> route_blocks(
       pos += 4 + nwords;
     }
   }
-  const FlatInbox final_in = ctx.exchange_flat(phase2);
+  FlatInbox final_in;
+  {
+    CCQ_TRACE_SPAN(ctx, "blocks-deliver");
+    final_in = ctx.exchange_flat(phase2);
+  }
 
   struct Received {
     NodeId src;

@@ -314,6 +314,7 @@ class PooledScheduler final : public Scheduler {
   // of consuming an index — a stale helper can neither run a retired
   // ChunkFn nor steal a chunk from (or credit job_done_ of) the new job.
   void leader_parallel_for(std::size_t chunks, const ChunkFn& fn) override {
+    count_job(chunks);
     if (chunks <= 1 || participants_ <= 1 || chunks > kTicketFieldMask) {
       for (std::size_t i = 0; i < chunks; ++i) fn(i);
       return;
@@ -455,6 +456,7 @@ class PooledScheduler final : public Scheduler {
  private:
   void resume(Fiber& f) {
     CCQ_DCHECK(!f.finished);
+    count_switch();
     Fiber* prev = tls_fiber;
     tls_fiber = &f;
 #ifdef CCQ_FAST_FIBER

@@ -25,6 +25,7 @@
 // accounting always happen in the serial leader step, iterating nodes in id
 // order, so scheduling order can never leak into results.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -38,6 +39,17 @@ namespace ccq {
 enum class ExecutionBackend {
   kThreadPerNode,  ///< reference: one OS thread per simulated node
   kPooled,         ///< default: fibers over a fixed worker pool
+};
+
+/// Occupancy counters a scheduler accumulates when stats are enabled
+/// (RoundTrace observability; see clique/trace.hpp). Run-wide and
+/// monotonic — the trace diffs consecutive snapshots per collective. All
+/// values are wall-clock/backend-shaped: they are *not* covered by the
+/// determinism contract.
+struct SchedulerStats {
+  std::uint64_t fiber_switches = 0;   ///< node-fiber resumes (pooled only)
+  std::uint64_t parallel_jobs = 0;    ///< leader_parallel_for invocations
+  std::uint64_t parallel_chunks = 0;  ///< chunks across those jobs
 };
 
 namespace detail {
@@ -92,8 +104,45 @@ class Scheduler {
   // construction. The default implementation runs chunks serially in
   // index order — the reference semantics every backend must match.
   virtual void leader_parallel_for(std::size_t chunks, const ChunkFn& fn) {
+    count_job(chunks);
     for (std::size_t i = 0; i < chunks; ++i) fn(i);
   }
+
+  /// Occupancy accounting for the round trace. Off by default: with stats
+  /// disabled the counters cost one branch per fiber resume / leader job
+  /// and nothing per deposited word. Engine::run enables them only when a
+  /// RoundTrace is attached.
+  void enable_stats(bool on) { stats_on_ = on; }
+  bool stats_enabled() const { return stats_on_; }
+  SchedulerStats stats() const {
+    SchedulerStats s;
+    s.fiber_switches = fiber_switches_.load(std::memory_order_relaxed);
+    s.parallel_jobs = parallel_jobs_;
+    s.parallel_chunks = parallel_chunks_;
+    return s;
+  }
+
+ protected:
+  // Job/chunk counters are leader-owned (serial phase); the fiber-switch
+  // counter is bumped by whichever worker resumes a fiber, so it is the one
+  // atomic (relaxed — it is a telemetry tally, not a synchronisation edge).
+  void count_job(std::size_t chunks) {
+    if (stats_on_) {
+      parallel_jobs_ += 1;
+      parallel_chunks_ += chunks;
+    }
+  }
+  void count_switch() {
+    if (stats_on_) {
+      fiber_switches_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  bool stats_on_ = false;
+  std::atomic<std::uint64_t> fiber_switches_{0};
+  std::uint64_t parallel_jobs_ = 0;
+  std::uint64_t parallel_chunks_ = 0;
 };
 
 /// Backend factory. `workers` caps the pooled worker team (0 = one per

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker (CI `docs` job).
+
+Two checks, both over the repository's own files only:
+
+1. Intra-repo markdown links resolve. Every relative `[text](target)` link
+   in a tracked *.md file must point at an existing file or directory
+   (anchors are stripped; http/https/mailto links are ignored — CI must not
+   depend on the network).
+
+2. EXPERIMENTS.md covers every bench target. Each executable declared in
+   bench/CMakeLists.txt (`ccq_add_bench(<name> ...)` or a plain
+   `add_executable(bench_* ...)`) must be mentioned in EXPERIMENTS.md, so a
+   new bench cannot land without its experiment-book section.
+
+Exit status 0 when clean; 1 with one `file:line: message` diagnostic per
+problem otherwise. No dependencies beyond the standard library.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) — but not images' URL part differences; images ![alt](t)
+# match too, which is what we want. Skips reference-style links (rare here).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+BENCH_DECL_RE = re.compile(
+    r"^\s*(?:ccq_add_bench|add_executable)\s*\(\s*(bench_[A-Za-z0-9_]+)",
+    re.MULTILINE,
+)
+# Fenced code blocks: links inside them are examples, not navigation.
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def tracked_markdown() -> list[Path]:
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "*.md", "**/*.md"],
+            cwd=REPO, capture_output=True, text=True, check=True,
+        ).stdout
+        # Tracked-but-deleted files still show up in ls-files; skip them.
+        files = [REPO / line for line in out.splitlines()
+                 if line and (REPO / line).exists()]
+    except (OSError, subprocess.CalledProcessError):
+        files = [p for p in REPO.rglob("*.md")
+                 if ".git" not in p.parts and "build" not in p.parts]
+    return sorted(files)
+
+
+def check_links(md: Path) -> list[str]:
+    problems = []
+    in_fence = False
+    for lineno, line in enumerate(md.read_text(encoding="utf-8").splitlines(),
+                                  start=1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{md.relative_to(REPO)}:{lineno}: broken link "
+                    f"'{target}' (resolved to {resolved})"
+                )
+    return problems
+
+
+def check_bench_coverage() -> list[str]:
+    cmake = REPO / "bench" / "CMakeLists.txt"
+    book = REPO / "EXPERIMENTS.md"
+    problems = []
+    if not book.exists():
+        return [f"{cmake.relative_to(REPO)}:1: EXPERIMENTS.md is missing"]
+    targets = BENCH_DECL_RE.findall(cmake.read_text(encoding="utf-8"))
+    if not targets:
+        return [f"{cmake.relative_to(REPO)}:1: no bench targets found "
+                "(checker regex out of date?)"]
+    text = book.read_text(encoding="utf-8")
+    for t in sorted(set(targets)):
+        if t not in text:
+            problems.append(
+                f"EXPERIMENTS.md:1: bench target '{t}' (declared in "
+                f"bench/CMakeLists.txt) has no experiment-book entry"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = []
+    for md in tracked_markdown():
+        problems.extend(check_links(md))
+    problems.extend(check_bench_coverage())
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"\ncheck_docs: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("check_docs: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
