@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
     auto mc = k_path_monte_carlo(3);
     for (std::uint64_t seed = 0; seed < 64 && !z; ++seed) {
       ++tried;
-      if (mc.trial(c.g, seed).accepted())
+      if (mc.run_trial(c.g, seed).accepted())
         z = verifier.certificate(c.g.n(), seed);
     }
     std::uint64_t vrounds = 0;

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <exception>
 
+#include "clique/chaos.hpp"
 #include "clique/scheduler.hpp"
 #include "clique/trace.hpp"
 
@@ -382,6 +383,23 @@ RunResult Engine::run(const Instance& instance, const NodeProgram& program,
   st.max_rounds = config.max_rounds;
   st.seed = config.seed;
   st.plane = detail::make_message_plane(config.plane);
+  // Attach the fault plane, if any: Config::chaos wins, else the
+  // process-wide default. Same single-run protocol as the trace below — a
+  // plan already driving another run leaves this run fault-free.
+  ChaosPlan* chaos_plan =
+      config.chaos != nullptr ? config.chaos : chaos::global();
+  if (chaos_plan != nullptr && !chaos_plan->try_acquire()) {
+    chaos_plan = nullptr;
+  }
+  struct ChaosCloser {
+    ChaosPlan* plan;
+    ~ChaosCloser() {
+      if (plan != nullptr) plan->release();
+    }
+  } chaos_closer{chaos_plan};
+  if (chaos_plan != nullptr) {
+    st.plane = detail::wrap_chaos(std::move(st.plane), chaos_plan);
+  }
   st.plane->init(n, st.bandwidth);
   st.outputs.assign(n, 0);
   st.has_output.assign(n, 0);

@@ -40,6 +40,7 @@
 namespace ccq {
 
 class RoundTrace;  // clique/trace.hpp
+class ChaosPlan;   // clique/chaos.hpp
 
 namespace detail {
 struct SharedState;
@@ -212,6 +213,11 @@ class Engine {
     /// when that is null too. A trace already recording another run is
     /// skipped (the run executes untraced) rather than interleaved.
     RoundTrace* trace = nullptr;
+    /// Fault-injection plan (clique/chaos.hpp); nullptr falls back to the
+    /// process-wide chaos::global(), and fault-free when that is null too.
+    /// Attached the same way as `trace`: a plan already driving another
+    /// run is skipped (this run executes fault-free) rather than shared.
+    ChaosPlan* chaos = nullptr;
   };
 
   /// Execute `program` on `instance`. Throws ModelViolation on any model

@@ -46,9 +46,8 @@ std::vector<std::pair<NodeId, Word>> route_balanced(
                    [](const RoutedMessage& a, const RoutedMessage& b) {
                      return a.dst < b.dst;
                    });
-  const NodeId offset = static_cast<NodeId>(
-      mix64(ctx.common_seed() ^ (static_cast<std::uint64_t>(ctx.id()) + 1)) %
-      n);
+  const NodeId offset = static_cast<NodeId>(mix64_below(
+      ctx.common_seed() ^ (static_cast<std::uint64_t>(ctx.id()) + 1), n));
 
   SendList phase1;
   phase1.reserve(2 * sorted.size());
@@ -139,9 +138,8 @@ std::vector<std::pair<NodeId, BitVector>> route_blocks(
   std::stable_sort(items.begin(), items.end(),
                    [](const Item& a, const Item& b) { return a.dst < b.dst; });
 
-  const NodeId offset = static_cast<NodeId>(
-      mix64(ctx.common_seed() ^ (static_cast<std::uint64_t>(ctx.id()) + 7)) %
-      n);
+  const NodeId offset = static_cast<NodeId>(mix64_below(
+      ctx.common_seed() ^ (static_cast<std::uint64_t>(ctx.id()) + 7), n));
 
   auto frame = [&](SendList& out, NodeId to, NodeId head, const Item& it) {
     out.emplace_back(to, Word(head, idb));

@@ -50,8 +50,9 @@ Planted planted_dominating_set(NodeId n, unsigned k, double p,
 Planted planted_hamiltonian_path(NodeId n, double extra_p,
                                  std::uint64_t seed);
 
-/// Random k-colourable graph (random balanced k-partite with density p);
-/// witness[v] = colour of v.
+/// Random k-colourable graph (uniform random colour classes — possibly
+/// unbalanced or empty — with cross-class density p); witness[v] = colour
+/// of v.
 Planted planted_k_colourable(NodeId n, unsigned k, double p,
                              std::uint64_t seed);
 

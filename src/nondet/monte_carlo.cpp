@@ -6,8 +6,8 @@
 
 namespace ccq {
 
-RunResult MonteCarloVerifier::verify(const Graph& g,
-                                     const Labelling& z) const {
+RunResult MonteCarloVerifier::verify(const Graph& g, const Labelling& z,
+                                     const Engine::Config& config) const {
   const NodeId n = g.n();
   CCQ_CHECK(z.size() == n);
   for (const BitVector& zv : z) {
@@ -20,12 +20,15 @@ RunResult MonteCarloVerifier::verify(const Graph& g,
   // prover could hand different seeds to different nodes).
   Instance inst = Instance::of(g);
   inst.labels.push_back(z);
-  auto agree = Engine::run(inst, [this](NodeCtx& ctx) {
-    auto all = ctx.broadcast(ctx.label(0));
-    bool same = true;
-    for (const auto& b : all) same = same && b == ctx.label(0);
-    ctx.decide(same);
-  });
+  auto agree = Engine::run(
+      inst,
+      [this](NodeCtx& ctx) {
+        auto all = ctx.broadcast(ctx.label(0));
+        bool same = true;
+        for (const auto& b : all) same = same && b == ctx.label(0);
+        ctx.decide(same);
+      },
+      config);
   if (!agree.accepted()) {
     agree.outputs.assign(n, 0);
     return agree;
@@ -33,15 +36,17 @@ RunResult MonteCarloVerifier::verify(const Graph& g,
 
   const std::uint64_t seed =
       z[0].read_bits(0, static_cast<unsigned>(mc_.seed_bits));
-  auto trial = mc_.trial(g, seed);
+  auto trial = mc_.trial(g, seed, config);
   trial.cost.add(agree.cost);
   return trial;
 }
 
 std::optional<Labelling> MonteCarloVerifier::prove(
-    const Graph& g, unsigned max_trials) const {
+    const Graph& g, unsigned max_trials, const Engine::Config& config) const {
   for (std::uint64_t seed = 0; seed < max_trials; ++seed) {
-    if (mc_.trial(g, seed).accepted()) return certificate(g.n(), seed);
+    if (mc_.trial(g, seed, config).accepted()) {
+      return certificate(g.n(), seed);
+    }
   }
   return std::nullopt;
 }
@@ -58,47 +63,54 @@ OneSidedMonteCarlo k_path_monte_carlo(unsigned k) {
   OneSidedMonteCarlo mc;
   mc.name = "k-path colour-coding trial (k=" + std::to_string(k) + ")";
   mc.seed_bits = 16;
-  mc.trial = [k](const Graph& g, std::uint64_t seed) {
+  mc.trial = [k](const Graph& g, std::uint64_t seed,
+                 const Engine::Config& config) {
     // One deterministic colour-coding trial under the public seed: the
     // colouring is derived from the seed, the subset DP is exact, and the
     // run accepts only if a genuinely colourful (hence genuine) k-path
     // exists — no false positives.
-    return Engine::run(g, [k, seed](NodeCtx& ctx) {
-      const std::uint32_t full = (1u << k) - 1;
-      auto colour_of = [&](NodeId v) {
-        return static_cast<unsigned>(
-            mix64(seed * 0x9e3779b97f4a7c15ULL + v + 1) % k);
-      };
-      const unsigned my_colour = colour_of(ctx.id());
-      std::vector<std::uint8_t> reach(std::size_t{1} << k, 0);
-      reach[1u << my_colour] = 1;
-      for (unsigned level = 1; level < k; ++level) {
-        BitVector mine;
-        std::vector<std::uint32_t> level_sets;
-        for (std::uint32_t sset = 0; sset <= full; ++sset) {
-          if (static_cast<unsigned>(__builtin_popcount(sset)) == level) {
-            level_sets.push_back(sset);
-            mine.push_back(reach[sset] != 0);
-          }
-        }
-        auto all = ctx.broadcast(mine);
-        for (std::size_t i = 0; i < level_sets.size(); ++i) {
-          const std::uint32_t sset = level_sets[i];
-          if (sset & (1u << my_colour)) continue;
-          const std::uint32_t bigger = sset | (1u << my_colour);
-          if (reach[bigger]) continue;
-          const BitVector& row = ctx.adj_row();
-          for (std::size_t u = row.find_first(); u < row.size();
-               u = row.find_first(u + 1)) {
-            if (all[u].get(i)) {
-              reach[bigger] = 1;
-              break;
+    return Engine::run(
+        g,
+        [k, seed](NodeCtx& ctx) {
+          const std::uint32_t full = (1u << k) - 1;
+          // mix64_below, not `% k`: the modulo would skew colour classes
+          // for k not dividing 2^64 and shave the per-trial success rate
+          // the §8 conversion is calibrated against.
+          auto colour_of = [&](NodeId v) {
+            return static_cast<unsigned>(
+                mix64_below(seed * 0x9e3779b97f4a7c15ULL + v + 1, k));
+          };
+          const unsigned my_colour = colour_of(ctx.id());
+          std::vector<std::uint8_t> reach(std::size_t{1} << k, 0);
+          reach[1u << my_colour] = 1;
+          for (unsigned level = 1; level < k; ++level) {
+            BitVector mine;
+            std::vector<std::uint32_t> level_sets;
+            for (std::uint32_t sset = 0; sset <= full; ++sset) {
+              if (static_cast<unsigned>(__builtin_popcount(sset)) == level) {
+                level_sets.push_back(sset);
+                mine.push_back(reach[sset] != 0);
+              }
+            }
+            auto all = ctx.broadcast(mine);
+            for (std::size_t i = 0; i < level_sets.size(); ++i) {
+              const std::uint32_t sset = level_sets[i];
+              if (sset & (1u << my_colour)) continue;
+              const std::uint32_t bigger = sset | (1u << my_colour);
+              if (reach[bigger]) continue;
+              const BitVector& row = ctx.adj_row();
+              for (std::size_t u = row.find_first(); u < row.size();
+                   u = row.find_first(u + 1)) {
+                if (all[u].get(i)) {
+                  reach[bigger] = 1;
+                  break;
+                }
+              }
             }
           }
-        }
-      }
-      ctx.decide(ctx.any(reach[full] != 0));
-    });
+          ctx.decide(ctx.any(reach[full] != 0));
+        },
+        config);
   };
   return mc;
 }

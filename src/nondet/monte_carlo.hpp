@@ -26,9 +26,18 @@ struct OneSidedMonteCarlo {
   std::string name;
   /// Deterministic single-trial run under a public seed. Must have no
   /// false positives. Returns the engine result (all-1 outputs = accept).
-  std::function<RunResult(const Graph&, std::uint64_t seed)> trial;
+  /// The engine config is passed through so callers can select the plane /
+  /// backend or attach fault injection (clique/chaos.hpp) for the trial.
+  std::function<RunResult(const Graph&, std::uint64_t seed,
+                          const Engine::Config&)>
+      trial;
   /// Seed bits the verifier's certificate carries (seeds < 2^seed_bits).
   unsigned seed_bits = 16;
+
+  RunResult run_trial(const Graph& g, std::uint64_t seed,
+                      const Engine::Config& config = {}) const {
+    return trial(g, seed, config);
+  }
 };
 
 /// The §8 conversion. The resulting "verifier" interface exposes:
@@ -45,12 +54,14 @@ class MonteCarloVerifier {
 
   /// Verify a claimed seed: one agreement round (all nodes must hold the
   /// same seed — a forged, disagreeing certificate is rejected) plus the
-  /// deterministic trial. Returns the combined engine result.
-  RunResult verify(const Graph& g, const Labelling& z) const;
+  /// deterministic trial. Returns the combined engine result. Both runs
+  /// execute under `config` (plane/backend selection, fault injection).
+  RunResult verify(const Graph& g, const Labelling& z,
+                   const Engine::Config& config = {}) const;
 
   /// Honest prover: search seeds 0..max_trials-1 for an accepting one.
-  std::optional<Labelling> prove(const Graph& g,
-                                 unsigned max_trials = 64) const;
+  std::optional<Labelling> prove(const Graph& g, unsigned max_trials = 64,
+                                 const Engine::Config& config = {}) const;
 
   /// Certificate carrying `seed` at every node.
   Labelling certificate(NodeId n, std::uint64_t seed) const;

@@ -5,7 +5,7 @@
 namespace ccq {
 
 RunResult run_verifier(const Graph& g, const RoundVerifier& v,
-                       const Labelling& z) {
+                       const Labelling& z, const Engine::Config& config) {
   const NodeId n = g.n();
   CCQ_CHECK_MSG(z.size() == n, "labelling must cover every node");
   const std::size_t want_bits = v.label_bits(n);
@@ -18,21 +18,24 @@ RunResult run_verifier(const Graph& g, const RoundVerifier& v,
   Instance inst = Instance::of(g);
   inst.labels.push_back(z);
 
-  return Engine::run(inst, [&v](NodeCtx& ctx) {
-    LocalView view;
-    view.id = ctx.id();
-    view.n = ctx.n();
-    view.bandwidth = ctx.bandwidth();
-    view.row = ctx.adj_row();
-    view.label = ctx.label(0);
+  return Engine::run(
+      inst,
+      [&v](NodeCtx& ctx) {
+        LocalView view;
+        view.id = ctx.id();
+        view.n = ctx.n();
+        view.bandwidth = ctx.bandwidth();
+        view.row = ctx.adj_row();
+        view.label = ctx.label(0);
 
-    const unsigned T = v.rounds(ctx.n());
-    for (unsigned r = 0; r < T; ++r) {
-      auto sends = v.send(view, r);
-      view.received.push_back(ctx.round(sends));
-    }
-    ctx.decide(v.accept(view));
-  });
+        const unsigned T = v.rounds(ctx.n());
+        for (unsigned r = 0; r < T; ++r) {
+          auto sends = v.send(view, r);
+          view.received.push_back(ctx.round(sends));
+        }
+        ctx.decide(v.accept(view));
+      },
+      config);
 }
 
 Labelling zero_labelling(const Graph& g, const RoundVerifier& v) {

@@ -58,9 +58,11 @@ struct RoundVerifier {
 
 /// Execute the verifier on (g, z) through the clique engine (so the run is
 /// metered and bandwidth-checked). z must assign each node exactly
-/// label_bits(n) bits.
+/// label_bits(n) bits. `config` selects the plane / backend and may attach
+/// fault injection (clique/chaos.hpp) — the soundness campaign sweeps it.
 RunResult run_verifier(const Graph& g, const RoundVerifier& v,
-                       const Labelling& z);
+                       const Labelling& z,
+                       const Engine::Config& config = {});
 
 /// Zero labelling of the right shape.
 Labelling zero_labelling(const Graph& g, const RoundVerifier& v);

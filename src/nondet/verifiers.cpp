@@ -212,7 +212,11 @@ RoundVerifier connectivity() {
       roots += du == 0;
     }
     if (roots != 1) return false;
-    if (my_dist == 0) return true;
+    // The root's parent field must be the canonical self-parent (matching
+    // the BFS tree encoding): leaving it unchecked would let a corrupted
+    // certificate differ from an accepted one in a bit the verifier never
+    // reads — exactly the rigidity the soundness campaign demands.
+    if (my_dist == 0) return my_parent == view.id;
     // Parent must be a neighbour one level closer to the root.
     if (my_parent >= view.n || !view.row.get(my_parent)) return false;
     const std::uint64_t parent_dist =

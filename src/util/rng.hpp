@@ -26,7 +26,10 @@ class SplitMix64 {
 
   /// Uniform in [0, bound). bound must be nonzero.
   std::uint64_t next_below(std::uint64_t bound) {
-    // Rejection sampling to avoid modulo bias.
+    // Rejection sampling to avoid modulo bias: accept only draws below the
+    // largest multiple of bound, so every residue is equally likely. A bare
+    // `next() % bound` would favour small residues whenever bound does not
+    // divide 2^64 (tests/util/misc_test.cpp chi-squares this).
     const std::uint64_t limit = bound * ((~std::uint64_t{0}) / bound);
     std::uint64_t v;
     do {
@@ -34,6 +37,10 @@ class SplitMix64 {
     } while (v >= limit);
     return v % bound;
   }
+
+  /// Alias for next_below — the bounded-draw entry point fault schedules
+  /// (clique/chaos.hpp) are documented against.
+  std::uint64_t uniform(std::uint64_t bound) { return next_below(bound); }
 
   /// Uniform double in [0, 1).
   double next_double() {
@@ -55,6 +62,18 @@ inline std::uint64_t mix64(std::uint64_t x) {
   x *= 0xc4ceb9fe1a85ec53ULL;
   x ^= x >> 33;
   return x;
+}
+
+/// Stateless bounded draw: maps counter/key `x` uniformly onto [0, bound)
+/// via a multiply-shift on the mixed value (Lemire's method — the high 64
+/// bits of mix64(x)·bound). Use this instead of `mix64(x) % bound`, which
+/// biases small residues whenever bound does not divide 2^64 — exactly the
+/// kind of skew that would quietly unbalance salted stripe offsets and
+/// seed-derived colourings. bound must be nonzero.
+inline std::uint64_t mix64_below(std::uint64_t x, std::uint64_t bound) {
+  __extension__ typedef unsigned __int128 uint128_t;
+  return static_cast<std::uint64_t>(
+      (static_cast<uint128_t>(mix64(x)) * bound) >> 64);
 }
 
 }  // namespace ccq

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <set>
 
+#include "clique/chaos.hpp"
 #include "clique/routing.hpp"
 #include "graph/generators.hpp"
 #include "util/rng.hpp"
@@ -127,6 +128,119 @@ TEST(RouteBalancedFuzz, RandomPayloadMultisets) {
     }
     EXPECT_EQ(got, want) << "seed=" << seed;
   }
+}
+
+// Exact delivery helper shared by the route_balanced property tests.
+void expect_balanced_delivers(
+    NodeId n, const std::vector<std::vector<RoutedMessage>>& demand,
+    const char* what) {
+  std::mutex mu;
+  std::map<std::pair<NodeId, NodeId>, std::multiset<std::uint64_t>> got;
+  Engine::run(gen::empty(n), [&](NodeCtx& ctx) {
+    auto received = route_balanced(ctx, demand[ctx.id()]);
+    std::lock_guard<std::mutex> lk(mu);
+    for (auto& [src, w] : received) {
+      got[{src, ctx.id()}].insert(w.value);
+    }
+    ctx.output(0);
+  });
+  std::map<std::pair<NodeId, NodeId>, std::multiset<std::uint64_t>> want;
+  for (NodeId src = 0; src < n; ++src) {
+    for (const auto& m : demand[src]) {
+      want[{src, m.dst}].insert(m.payload.value);
+    }
+  }
+  EXPECT_EQ(got, want) << what;
+}
+
+// Prime clique sizes exercise the stripe-offset arithmetic where n divides
+// nothing: the per-node offsets are mix64_below draws (no modulo bias, no
+// power-of-two alignment), and delivery must still be exact.
+TEST(RouteBalancedFuzz, PrimeSizesDeliverExactly) {
+  for (const NodeId n : {7u, 11u, 13u}) {
+    const unsigned B = node_id_bits(n);
+    std::vector<std::vector<RoutedMessage>> demand(n);
+    SplitMix64 rng(n * 1337);
+    for (NodeId v = 0; v < n; ++v) {
+      const std::size_t count = rng.next_below(3 * n);
+      for (std::size_t i = 0; i < count; ++i) {
+        RoutedMessage m;
+        m.dst = static_cast<NodeId>(rng.next_below(n));
+        m.payload = Word(rng.next_below(std::uint64_t{1} << B), B);
+        demand[v].push_back(m);
+      }
+    }
+    expect_balanced_delivers(n, demand, "prime n");
+  }
+}
+
+// Adversarial skew: a permutation demand (every node fires its whole
+// budget at a single distinct target) and an all-to-one hotspot. Both
+// defeat naive per-pair balancing; the router must still deliver exactly.
+TEST(RouteBalancedFuzz, AdversarialPermutationAndHotspotDemands) {
+  const NodeId n = 11;
+  const unsigned B = node_id_bits(n);
+  // Random permutation via seeded Fisher-Yates.
+  std::vector<NodeId> perm(n);
+  for (NodeId v = 0; v < n; ++v) perm[v] = v;
+  SplitMix64 rng(4242);
+  for (NodeId v = n; v-- > 1;) {
+    std::swap(perm[v], perm[rng.next_below(v + 1)]);
+  }
+  std::vector<std::vector<RoutedMessage>> perm_demand(n);
+  std::vector<std::vector<RoutedMessage>> hotspot_demand(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      perm_demand[v].push_back(
+          {perm[v], Word((v + i) % (std::uint64_t{1} << B), B)});
+      hotspot_demand[v].push_back(
+          {0, Word((v * 3 + i) % (std::uint64_t{1} << B), B)});
+    }
+  }
+  expect_balanced_delivers(n, perm_demand, "permutation");
+  expect_balanced_delivers(n, hotspot_demand, "all-to-one");
+}
+
+// Under chaos duplication/drop faults the router's internal framing
+// (sequence numbers, torn-pair parity) may be violated mid-flight. The
+// contract is fail-stop: the run either completes or raises
+// ModelViolation — it must never hang, crash, or silently misattribute.
+TEST(RouteBalancedFuzz, ChaosFaultsFailStopNotSilent) {
+  const NodeId n = 7;
+  const unsigned B = node_id_bits(n);
+  std::vector<std::vector<RoutedMessage>> demand(n);
+  SplitMix64 rng(777);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < n; ++i) {
+      demand[v].push_back(
+          {static_cast<NodeId>(rng.next_below(n)),
+           Word(rng.next_below(std::uint64_t{1} << B), B)});
+    }
+  }
+  unsigned violations = 0, completions = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    ChaosPlan::Config ccfg;
+    ccfg.seed = seed;
+    ccfg.p_dup = 0.5;
+    ccfg.p_drop = seed % 2 == 0 ? 0.25 : 0.0;
+    ChaosPlan plan(ccfg);
+    Engine::Config cfg;
+    cfg.chaos = &plan;
+    try {
+      Engine::run(gen::empty(n), [&](NodeCtx& ctx) {
+        route_balanced(ctx, demand[ctx.id()]);
+        ctx.output(0);
+      }, cfg);
+      ++completions;
+    } catch (const ModelViolation&) {
+      ++violations;
+    }
+    EXPECT_GT(plan.total_faults(), 0u) << seed;
+  }
+  // Heavy duplication must trip the framing checks at least once; the
+  // split keeps the test honest about both exits existing.
+  EXPECT_GT(violations, 0u);
+  EXPECT_EQ(violations + completions, 12u);
 }
 
 TEST(RouteBlocksFuzz, TooManyBlocksForOneDestinationRejected) {

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "clique/chaos.hpp"
 #include "clique/engine.hpp"
 #include "clique/routing.hpp"
 #include "graph/generators.hpp"
@@ -227,6 +228,43 @@ TEST(SchedulerAbort, EarlyFinishDetectedOnEveryBackend) {
                  ModelViolation)
         << s.name;
     EXPECT_EQ(live_guards.load(), 0) << s.name;
+  }
+}
+
+// A chaos-duplicated broadcast word makes the receiver reassemble more
+// bits than the collective's framing declares — a ModelViolation raised
+// inside the node program (clique/chaos.hpp). Every backend must unwind
+// all node stacks, release the chaos plan on the throw path, and leave the
+// engine serviceable for the next run.
+TEST(SchedulerAbort, ChaosCorruptedCollectiveUnwindsCleanly) {
+  const Graph g = gen::empty(6);
+  for (const BackendSetup& s : kSetups) {
+    ChaosPlan::Config ccfg;
+    ccfg.seed = 21;
+    ccfg.p_dup = 1.0;
+    ChaosPlan plan(ccfg);
+    Engine::Config cfg = config_for(s);
+    cfg.chaos = &plan;
+    live_guards.store(0);
+    EXPECT_THROW(Engine::run(
+                     g,
+                     [](NodeCtx& ctx) {
+                       UnwindGuard guard;
+                       ctx.broadcast(BitVector(5, true));
+                       ctx.output(0);
+                     },
+                     cfg),
+                 ModelViolation)
+        << s.name;
+    EXPECT_EQ(live_guards.load(), 0) << s.name;
+    EXPECT_GT(plan.fault_count(FaultKind::kDuplicate), 0u) << s.name;
+    // The abort path must have released the plan...
+    EXPECT_TRUE(plan.try_acquire()) << s.name;
+    plan.release();
+    // ...and left the backend reusable.
+    const auto r = Engine::run(
+        g, [](NodeCtx& ctx) { ctx.decide(ctx.all(true)); }, config_for(s));
+    EXPECT_TRUE(r.accepted()) << s.name;
   }
 }
 

@@ -19,7 +19,7 @@ TEST(MonteCarlo, TrialIsOneSided) {
   g.add_edge(0, 1);
   g.add_edge(2, 3);  // matching: max path length 2 nodes
   for (std::uint64_t seed = 0; seed < 40; ++seed) {
-    EXPECT_FALSE(mc.trial(g, seed).accepted()) << seed;
+    EXPECT_FALSE(mc.run_trial(g, seed).accepted()) << seed;
   }
 }
 
@@ -28,7 +28,7 @@ TEST(MonteCarlo, SomeSeedSucceedsOnYesInstances) {
   Graph g = gen::path(8);
   bool any = false;
   for (std::uint64_t seed = 0; seed < 40 && !any; ++seed) {
-    any = mc.trial(g, seed).accepted();
+    any = mc.run_trial(g, seed).accepted();
   }
   EXPECT_TRUE(any);
 }
@@ -65,7 +65,7 @@ TEST(MonteCarloVerifier, WrongSeedRejected) {
   bool found_bad = false;
   auto mc = k_path_monte_carlo(3);
   for (std::uint64_t seed = 0; seed < 200; ++seed) {
-    if (!mc.trial(g, seed).accepted()) {
+    if (!mc.run_trial(g, seed).accepted()) {
       bad_seed = seed;
       found_bad = true;
       break;
@@ -98,6 +98,48 @@ TEST(MonteCarloVerifier, CertificateSizeIsSeedBits) {
   EXPECT_EQ(z[0].read_bits(0, 16), 1234u);
 }
 
+TEST(MonteCarloVerifier, CertificateSizingAcrossOddSizes) {
+  // The certificate is the shared seed: exactly seed_bits per node for
+  // every n, including non-powers-of-two where ⌈log n⌉-derived widths
+  // elsewhere in the stack change between neighbouring sizes. The sizing
+  // must be n-independent and the seed must read back intact.
+  MonteCarloVerifier v(k_path_monte_carlo(3));
+  for (const NodeId n :
+       {2u, 3u, 5u, 7u, 9u, 17u, 31u, 33u, 127u, 129u, 255u, 257u, 500u,
+        512u}) {
+    const std::uint64_t seed = 0x51ceull ^ n;
+    auto z = v.certificate(n, seed);
+    ASSERT_EQ(z.size(), n) << n;
+    for (NodeId u = 0; u < n; ++u) {
+      ASSERT_EQ(z[u].size(), 16u) << "n=" << n << " node=" << u;
+      EXPECT_EQ(z[u].read_bits(0, 16), seed & 0xffffull) << n;
+    }
+  }
+}
+
+TEST(MonteCarloVerifier, WrongWidthCertificateThrows) {
+  // A 15-bit label is malformed, not merely unconvincing: the verifier
+  // must refuse to run rather than misparse the seed.
+  MonteCarloVerifier v(k_path_monte_carlo(3));
+  Graph g = gen::path(8);
+  Labelling z = v.certificate(8, 7);
+  BitVector narrow;
+  narrow.append_bits(7, 15);
+  z[2] = narrow;
+  EXPECT_THROW(v.verify(g, z), ModelViolation);
+}
+
+TEST(MonteCarloVerifier, OddSizeEndToEnd) {
+  // Full prove→verify round trip at an odd n (9): node_id_bits(9) = 4 while
+  // node_id_bits(8) = 3, so this crosses the width boundary the power-of-two
+  // sizes never see.
+  MonteCarloVerifier v(k_path_monte_carlo(4));
+  auto planted = gen::planted_hamiltonian_path(9, 0.05, 11);
+  auto z = v.prove(planted.graph, 256);
+  ASSERT_TRUE(z.has_value());
+  EXPECT_TRUE(v.verify(planted.graph, *z).accepted());
+}
+
 TEST(MonteCarloVerifier, SuccessProbabilityRoughlyEMinusK) {
   // k! / k^k per trial; for k = 3 that is 6/27 ≈ 0.22 for a fixed 3-path.
   // Sample 200 seeds on a bare 3-path and check the empirical rate is in a
@@ -107,7 +149,7 @@ TEST(MonteCarloVerifier, SuccessProbabilityRoughlyEMinusK) {
   int hits = 0;
   const int trials = 200;
   for (std::uint64_t seed = 0; seed < trials; ++seed) {
-    hits += mc.trial(g, seed).accepted();
+    hits += mc.run_trial(g, seed).accepted();
   }
   const double rate = static_cast<double>(hits) / trials;
   EXPECT_GT(rate, 0.10);

@@ -208,6 +208,60 @@ TEST(Rng, DoubleInUnitInterval) {
   }
 }
 
+TEST(Rng, UniformAliasMatchesNextBelow) {
+  // uniform() is the documented entry point for fault schedules; it must be
+  // the same stream as next_below, not a separately-evolving state.
+  SplitMix64 a(2026), b(2026);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(a.uniform(17), b.next_below(17));
+}
+
+// Pearson chi-squared statistic over `bound` equiprobable buckets.
+double chi_squared(const std::vector<std::uint64_t>& counts,
+                   std::uint64_t samples) {
+  const double expected =
+      static_cast<double>(samples) / static_cast<double>(counts.size());
+  double chi2 = 0.0;
+  for (std::uint64_t c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+// Loose acceptance bound: mean df plus four standard deviations (chi2 has
+// variance 2·df) plus slack for small df. A modulo-biased `next() % bound`
+// at bound = 6 or 10 blows far past this; a uniform sampler sits near df.
+double chi_squared_limit(std::uint64_t bound) {
+  const double df = static_cast<double>(bound - 1);
+  return df + 4.0 * std::sqrt(2.0 * df) + 10.0;
+}
+
+TEST(Rng, NextBelowPassesChiSquared) {
+  for (const std::uint64_t bound : {6ull, 10ull, 1000ull}) {
+    SplitMix64 rng(bound * 31 + 5);
+    const std::uint64_t samples = bound * 1000;
+    std::vector<std::uint64_t> counts(bound, 0);
+    for (std::uint64_t i = 0; i < samples; ++i) ++counts[rng.next_below(bound)];
+    EXPECT_LT(chi_squared(counts, samples), chi_squared_limit(bound))
+        << "bound=" << bound;
+  }
+}
+
+TEST(Rng, Mix64BelowPassesChiSquaredOnSequentialKeys) {
+  // mix64_below is fed *counters*, not PRNG output — stripe offsets and
+  // seed-derived colourings hash (round, node) pairs. Sequential keys are
+  // therefore the representative workload.
+  for (const std::uint64_t bound : {6ull, 10ull, 1000ull}) {
+    const std::uint64_t samples = bound * 1000;
+    std::vector<std::uint64_t> counts(bound, 0);
+    for (std::uint64_t i = 0; i < samples; ++i) {
+      ++counts[mix64_below(i, bound)];
+    }
+    EXPECT_LT(chi_squared(counts, samples), chi_squared_limit(bound))
+        << "bound=" << bound;
+  }
+}
+
 TEST(Rng, RoughUniformity) {
   SplitMix64 rng(1234);
   std::vector<int> buckets(10, 0);
