@@ -19,11 +19,16 @@
 // Entries are packed `entry_bits` per entry; the paper assumes entries fit
 // in O(log n) bits, which callers express by picking entry_bits.
 
+#include <algorithm>
 #include <span>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "algebra/kernels.hpp"
 #include "algebra/mm.hpp"
 #include "clique/engine.hpp"
+#include "util/math.hpp"
 
 namespace ccq {
 
@@ -67,26 +72,91 @@ inline MinPlusSemiring::Value decode_value<MinPlusSemiring>(
   return u == all_ones ? MinPlusSemiring::infinity() : u;
 }
 
+/// Pack `values` at `entry_bits` per entry into a BitVector, writing whole
+/// 64-bit words instead of calling append_bits per entry (which resizes the
+/// vector every call). Two bulk paths: when entry_bits divides 64, each
+/// output word is filled from a whole number of entries with no carry state;
+/// otherwise a shift-carry accumulator spills completed words. Bit layout is
+/// identical to the per-entry reference (LSB-first, entry i at bit offset
+/// i·entry_bits) — tests/algebra/kernels_test.cpp checks that bit-for-bit.
 template <Semiring S>
 BitVector pack_entries(std::span<const typename S::Value> values,
                        unsigned entry_bits) {
-  BitVector bv;
-  for (const auto& v : values)
-    bv.append_bits(encode_value<S>(v, entry_bits), entry_bits);
-  return bv;
+  CCQ_CHECK(entry_bits >= 1 && entry_bits <= 64);
+  const std::size_t total = values.size() * entry_bits;
+  std::vector<std::uint64_t> words(ceil_div(total, 64), 0);
+  if (64 % entry_bits == 0) {
+    const unsigned per = 64u / entry_bits;
+    std::size_t idx = 0;
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      std::uint64_t acc = 0;
+      const std::size_t lim =
+          std::min<std::size_t>(per, values.size() - idx);
+      for (unsigned e = 0; e < lim; ++e, ++idx)
+        acc |= encode_value<S>(values[idx], entry_bits)
+               << (e * entry_bits);
+      words[w] = acc;
+    }
+  } else {
+    // entry_bits ∈ (1, 64) and not a divisor, so filled stays in [1, 63]
+    // whenever a word spills — the carry shift below never hits 64.
+    std::uint64_t acc = 0;
+    unsigned filled = 0;
+    std::size_t w = 0;
+    for (const auto& v : values) {
+      const std::uint64_t u = encode_value<S>(v, entry_bits);
+      acc |= u << filled;
+      if (filled + entry_bits >= 64) {
+        words[w++] = acc;
+        acc = u >> (64u - filled);
+        filled = filled + entry_bits - 64;
+      } else {
+        filled += entry_bits;
+      }
+    }
+    if (filled > 0) words[w] = acc;
+  }
+  return BitVector::from_words(std::move(words), total);
 }
 
+/// Inverse of pack_entries; same two bulk paths (per-word extraction when
+/// entry_bits divides 64, a two-word shift window otherwise).
 template <Semiring S>
 std::vector<typename S::Value> unpack_entries(const BitVector& bv,
                                               std::size_t count,
                                               unsigned entry_bits) {
+  CCQ_CHECK(entry_bits >= 1 && entry_bits <= 64);
   CCQ_CHECK(bv.size() == count * entry_bits);
   std::vector<typename S::Value> out;
   out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i)
-    out.push_back(
-        decode_value<S>(bv.read_bits(i * entry_bits, entry_bits),
-                        entry_bits));
+  const std::uint64_t mask =
+      entry_bits == 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << entry_bits) - 1;
+  if (entry_bits == 64) {
+    for (std::size_t i = 0; i < count; ++i)
+      out.push_back(decode_value<S>(bv.word(i), entry_bits));
+  } else if (64 % entry_bits == 0) {
+    const unsigned per = 64u / entry_bits;
+    std::size_t idx = 0;
+    for (std::size_t w = 0; idx < count; ++w) {
+      std::uint64_t cur = bv.word(w);
+      for (unsigned e = 0; e < per && idx < count; ++e, ++idx) {
+        out.push_back(decode_value<S>(cur & mask, entry_bits));
+        cur >>= entry_bits;
+      }
+    }
+  } else {
+    const auto& words = bv.words();
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < count; ++i, pos += entry_bits) {
+      const std::size_t w = pos >> 6;
+      const unsigned off = pos & 63;
+      std::uint64_t v = words[w] >> off;
+      // off + entry_bits > 64 implies off ≥ 1, so 64 − off ≤ 63.
+      if (off + entry_bits > 64) v |= words[w + 1] << (64u - off);
+      out.push_back(decode_value<S>(v & mask, entry_bits));
+    }
+  }
   return out;
 }
 
@@ -104,6 +174,23 @@ std::vector<typename S::Value> mm_distributed_naive(
   auto rows =
       ctx.broadcast(pack_entries<S>(std::span<const V>(row_b), entry_bits));
   std::vector<V> row_c(n, S::zero());
+  if constexpr (std::is_same_v<S, BoolSemiring>) {
+    if (entry_bits == 1) {
+      // Word-level local step: each broadcast row *is* a bit vector, so
+      // row_c = OR of rows[k] over set bits of row_a — no unpack at all.
+      // Sound only for 0/1 entries (mul is bitwise AND over bytes).
+      bool domain_ok = true;
+      for (NodeId k = 0; k < n; ++k) domain_ok &= row_a[k] <= 1;
+      if (domain_ok) {
+        BitVector acc(n);
+        for (NodeId k = 0; k < n; ++k)
+          if (row_a[k] != 0) acc |= rows[k];
+        for (NodeId j = 0; j < n; ++j)
+          row_c[j] = static_cast<V>(acc.get(j));
+        return row_c;
+      }
+    }
+  }
   for (NodeId k = 0; k < n; ++k) {
     if (row_a[k] == S::zero()) continue;
     const auto bk = unpack_entries<S>(rows[k], n, entry_bits);
@@ -172,27 +259,31 @@ std::vector<typename S::Value> mm_distributed_3d(
   std::vector<std::pair<NodeId, Word>> phase_a;
   {
     const NodeId iv = L.range_of(me);
+    // The A payload for destination (iv, j, k) depends only on k, and the
+    // B payload for (i, j, iv) only on j — pack each slice once and replay
+    // the words per destination (d× fewer pack calls). The emission order
+    // below is identical to packing inside the loops, so the word stream
+    // and every meter are unchanged.
+    std::vector<std::vector<Word>> a_words(L.d), b_words(L.d);
+    for (NodeId t = 0; t < L.d; ++t) {
+      const auto sa = slice(row_a, t);
+      a_words[t] =
+          encode_bits(pack_entries<S>(std::span<const V>(sa), entry_bits), B);
+      const auto sb = slice(row_b, t);
+      b_words[t] =
+          encode_bits(pack_entries<S>(std::span<const V>(sb), entry_bits), B);
+    }
     for (NodeId j = 0; j < L.d; ++j) {
       for (NodeId k = 0; k < L.d; ++k) {
-        BitVector payload;  // A slice then B slice, fixed order per pair
         // A slice to worker (iv, j, k).
         const NodeId dst_a = L.worker(iv, j, k);
-        auto sa = slice(row_a, k);
-        // B slice to worker (j', j, iv) — reuse loop variables: for B we
-        // iterate (i, j) explicitly below instead.
-        payload = pack_entries<S>(std::span<const V>(sa), entry_bits);
-        for (const Word& w : encode_bits(payload, B))
-          phase_a.emplace_back(dst_a, w);
+        for (const Word& w : a_words[k]) phase_a.emplace_back(dst_a, w);
       }
     }
     for (NodeId i = 0; i < L.d; ++i) {
       for (NodeId j = 0; j < L.d; ++j) {
-        const NodeId dst_b = L.worker(i, j, L.range_of(me));
-        auto sb = slice(row_b, j);
-        BitVector payload =
-            pack_entries<S>(std::span<const V>(sb), entry_bits);
-        for (const Word& w : encode_bits(payload, B))
-          phase_a.emplace_back(dst_b, w);
+        const NodeId dst_b = L.worker(i, j, iv);
+        for (const Word& w : b_words[j]) phase_a.emplace_back(dst_b, w);
       }
     }
   }
@@ -223,7 +314,7 @@ std::vector<typename S::Value> mm_distributed_3d(
             decode_words(q.subspan(pos_words, nw), bits), rk, entry_bits);
         pos_words += nw;
         const NodeId r = src - L.range_begin(i);
-        for (NodeId c = 0; c < rk; ++c) a_blk.at(r, c) = vals[c];
+        std::copy(vals.begin(), vals.end(), a_blk.row_data(r));
       }
       if (sends_b) {
         const std::size_t bits = static_cast<std::size_t>(rj) * entry_bits;
@@ -232,11 +323,13 @@ std::vector<typename S::Value> mm_distributed_3d(
             decode_words(q.subspan(pos_words, nw), bits), rj, entry_bits);
         pos_words += nw;
         const NodeId r = src - L.range_begin(k);
-        for (NodeId c = 0; c < rj; ++c) b_blk.at(r, c) = vals[c];
+        std::copy(vals.begin(), vals.end(), b_blk.row_data(r));
       }
       CCQ_CHECK_MSG(pos_words == q.size(), "mm_3d: stray words in inbox");
     }
-    partial = mm_naive<S>(a_blk, b_blk);
+    // Serial kernel dispatch: this runs inside a node program (scheduler
+    // fiber), so the local step must never block on the kernel pool.
+    partial = kernels::mm_local<S>(a_blk, b_blk);
   }
 
   // ---- Step C: return partial rows to their owners and reduce.
@@ -245,10 +338,10 @@ std::vector<typename S::Value> mm_distributed_3d(
     const NodeId i = L.wi(me);
     for (NodeId r = L.range_begin(i); r < L.range_end(i); ++r) {
       const NodeId lr = r - L.range_begin(i);
-      std::vector<V> vals(partial.row_data(lr),
-                          partial.row_data(lr) + partial.cols());
-      BitVector payload =
-          pack_entries<S>(std::span<const V>(vals), entry_bits);
+      // Pack straight from the row (contiguous row-major storage).
+      BitVector payload = pack_entries<S>(
+          std::span<const V>(partial.row_data(lr), partial.cols()),
+          entry_bits);
       for (const Word& w : encode_bits(payload, B))
         phase_c.emplace_back(r, w);
     }

@@ -1,0 +1,252 @@
+#include "algebra/kernels.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "clique/scheduler.hpp"
+
+namespace ccq::kernels {
+
+// ---- worker pool ----------------------------------------------------------
+
+namespace {
+
+std::size_t configured_threads() {
+  // CCQ_KERNEL_THREADS sizes the kernel pool independently of the
+  // scheduler's superstep pool (CCQ_POOL_THREADS), so single-core CI hosts
+  // can oversubscribe the parallel kernels without perturbing the engine.
+  if (const char* env = std::getenv("CCQ_KERNEL_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 0;  // ThreadPool default: CCQ_POOL_THREADS / hardware_concurrency
+}
+
+}  // namespace
+
+ThreadPool& pool() {
+  static ThreadPool p(configured_threads());
+  return p;
+}
+
+bool pool_available() {
+  if (ccq::detail::on_scheduler_fiber()) return false;
+  return pool().size() > 1;
+}
+
+// ---- BitMatrix ------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kLsbMask = 0x0101010101010101ULL;
+// Byte k of this multiplier is 2^(7-k), so for x with bytes b_j ∈ {0,1}
+// the product places b_j at bit 56+j (all 64 partial products land on
+// distinct bit positions — no carries), i.e. (x * kGather) >> 56 packs the
+// low bit of each of 8 bytes into one byte.
+constexpr std::uint64_t kGather = 0x0102040810204080ULL;
+// Byte j of this mask is 2^j: AND-ing it against a byte-replicated value
+// isolates bit j of the source byte inside byte j.
+constexpr std::uint64_t kSpread = 0x8040201008040201ULL;
+
+}  // namespace
+
+BitMatrix BitMatrix::from_matrix(const Matrix<std::uint8_t>& m) {
+  BitMatrix bm(m.rows(), m.cols());
+  const std::size_t groups = m.cols() / 8;  // whole 8-byte column groups
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const std::uint8_t* src = m.row_data(i);
+    std::uint64_t* dst = bm.row(i);
+    for (std::size_t g = 0; g < groups; ++g) {
+      std::uint64_t x;
+      std::memcpy(&x, src + g * 8, 8);
+      if (x == 0) continue;  // words start zeroed
+      // Fold each byte's bits into its low bit (nonzero byte -> 0x01),
+      // then gather the 8 low bits into one output byte.
+      x |= x >> 4;
+      x |= x >> 2;
+      x |= x >> 1;
+      x &= kLsbMask;
+      dst[g >> 3] |= ((x * kGather) >> 56) << ((g & 7) * 8);
+    }
+    for (std::size_t j = groups * 8; j < m.cols(); ++j)
+      if (src[j] != 0) dst[j >> 6] |= std::uint64_t{1} << (j & 63);
+  }
+  return bm;
+}
+
+Matrix<std::uint8_t> BitMatrix::to_matrix() const {
+  Matrix<std::uint8_t> m(rows_, cols_);
+  const std::size_t groups = cols_ / 8;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const std::uint64_t* src = row(i);
+    std::uint8_t* dst = m.row_data(i);
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::uint64_t b = (src[g >> 3] >> ((g & 7) * 8)) & 0xff;
+      // Replicate the byte, isolate bit j inside byte j, then map each
+      // nonzero byte (0 or 2^j, so at most 0x80 — the +0x7f cannot carry
+      // across bytes) to 0x01.
+      std::uint64_t spread = (b * kLsbMask) & kSpread;
+      spread = ((spread + 0x7f7f7f7f7f7f7f7fULL) >> 7) & kLsbMask;
+      std::memcpy(dst + g * 8, &spread, 8);
+    }
+    for (std::size_t j = groups * 8; j < cols_; ++j)
+      dst[j] = static_cast<std::uint8_t>((src[j >> 6] >> (j & 63)) & 1u);
+  }
+  return m;
+}
+
+BitMatrix BitMatrix::transpose() const {
+  BitMatrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const std::uint64_t* src = row(i);
+    const std::uint64_t imask = std::uint64_t{1} << (i & 63);
+    const std::size_t iw = i >> 6;
+    // Walk only the set bits of row i: one countr_zero per edge.
+    for (std::size_t w = 0; w < wpr_; ++w) {
+      std::uint64_t bits = src[w];
+      while (bits) {
+        const std::size_t j =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        t.row(j)[iw] |= imask;
+      }
+    }
+  }
+  return t;
+}
+
+BitMatrix bit_mm(const BitMatrix& a, const BitMatrix& b) {
+  CCQ_CHECK(a.cols() == b.rows());
+  BitMatrix c(a.rows(), b.cols());
+  const std::size_t wpr_a = a.words_per_row();
+  const std::size_t wpr_b = b.words_per_row();
+  std::vector<std::uint32_t> ks;  // set columns of the current a row
+  ks.reserve(a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const std::uint64_t* ar = a.row(i);
+    ks.clear();
+    for (std::size_t w = 0; w < wpr_a; ++w) {
+      std::uint64_t bits = ar[w];
+      while (bits) {
+        ks.push_back(static_cast<std::uint32_t>(
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(bits))));
+        bits &= bits - 1;
+      }
+    }
+    if (ks.empty()) continue;
+    std::uint64_t* cr = c.row(i);
+    const std::uint64_t* bbase = b.row(0);
+    // OR the selected b rows into 4-word output chunks held in registers;
+    // one pass over ks per chunk keeps all accumulator traffic out of
+    // memory (the whole b matrix is typically L1/L2-resident anyway).
+    std::size_t t = 0;
+    for (; t + 8 <= wpr_b; t += 8) {
+      std::uint64_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+      std::uint64_t a4 = 0, a5 = 0, a6 = 0, a7 = 0;
+      for (const std::uint32_t k : ks) {
+        const std::uint64_t* br = bbase + k * wpr_b + t;
+        a0 |= br[0];
+        a1 |= br[1];
+        a2 |= br[2];
+        a3 |= br[3];
+        a4 |= br[4];
+        a5 |= br[5];
+        a6 |= br[6];
+        a7 |= br[7];
+      }
+      cr[t] = a0;
+      cr[t + 1] = a1;
+      cr[t + 2] = a2;
+      cr[t + 3] = a3;
+      cr[t + 4] = a4;
+      cr[t + 5] = a5;
+      cr[t + 6] = a6;
+      cr[t + 7] = a7;
+    }
+    for (; t + 4 <= wpr_b; t += 4) {
+      std::uint64_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+      for (const std::uint32_t k : ks) {
+        const std::uint64_t* br = bbase + k * wpr_b + t;
+        a0 |= br[0];
+        a1 |= br[1];
+        a2 |= br[2];
+        a3 |= br[3];
+      }
+      cr[t] = a0;
+      cr[t + 1] = a1;
+      cr[t + 2] = a2;
+      cr[t + 3] = a3;
+    }
+    for (; t < wpr_b; ++t) {
+      std::uint64_t acc = 0;
+      for (const std::uint32_t k : ks) acc |= bbase[k * wpr_b + t];
+      cr[t] = acc;
+    }
+  }
+  return c;
+}
+
+BitMatrix bit_mm_popcount(const BitMatrix& a, const BitMatrix& b) {
+  CCQ_CHECK(a.cols() == b.rows());
+  const BitMatrix bt = b.transpose();
+  BitMatrix c(a.rows(), b.cols());
+  const std::size_t wpr = a.words_per_row();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const std::uint64_t* ar = a.row(i);
+    std::uint64_t* cr = c.row(i);
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      const std::uint64_t* br = bt.row(j);
+      for (std::size_t w = 0; w < wpr; ++w) {
+        if (ar[w] & br[w]) {  // popcount > 0 — existence is enough
+          cr[j >> 6] |= std::uint64_t{1} << (j & 63);
+          break;
+        }
+      }
+    }
+  }
+  return c;
+}
+
+BitMatrix bit_closure(BitMatrix m) {
+  CCQ_CHECK(m.rows() == m.cols());
+  const std::size_t n = m.rows();
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, true);
+  // (I ∨ A)^(2^t) covers walks of ≤ 2^t edges; simple paths need ≤ n−1.
+  std::uint64_t covered = 1;
+  while (n > 1 && covered < n - 1) {
+    BitMatrix sq = bit_mm(m, m);
+    covered *= 2;
+    if (sq == m) break;  // fixpoint reached early
+    m = std::move(sq);
+  }
+  return m;
+}
+
+std::size_t bit_first_common(const BitVector& a, const BitVector& b,
+                             std::size_t from) {
+  CCQ_CHECK(a.size() == b.size());
+  if (from >= a.size()) return a.size();
+  const auto& wa = a.words();
+  const auto& wb = b.words();
+  std::size_t w = from >> 6;
+  std::uint64_t cur = (wa[w] & wb[w]) >> (from & 63);
+  if (cur != 0)
+    return from + static_cast<std::size_t>(std::countr_zero(cur));
+  for (++w; w < wa.size(); ++w) {
+    const std::uint64_t both = wa[w] & wb[w];
+    if (both != 0)
+      return (w << 6) + static_cast<std::size_t>(std::countr_zero(both));
+  }
+  return a.size();
+}
+
+Matrix<std::uint8_t> bool_mm_bitpacked(const Matrix<std::uint8_t>& a,
+                                       const Matrix<std::uint8_t>& b) {
+  return bit_mm(BitMatrix::from_matrix(a), BitMatrix::from_matrix(b))
+      .to_matrix();
+}
+
+}  // namespace ccq::kernels

@@ -2,6 +2,7 @@
 
 // Dense row-major matrices over arbitrary value types.
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -44,8 +45,20 @@ class Matrix {
 
   Matrix transpose() const {
     Matrix t(cols_, rows_);
-    for (std::size_t i = 0; i < rows_; ++i)
-      for (std::size_t j = 0; j < cols_; ++j) t.at(j, i) = at(i, j);
+    // Cache-blocked row-pointer copy: both source and destination stay
+    // within a kBlk×kBlk tile, so neither side strides the full matrix.
+    constexpr std::size_t kBlk = 32;
+    for (std::size_t ii = 0; ii < rows_; ii += kBlk) {
+      const std::size_t imax = std::min(ii + kBlk, rows_);
+      for (std::size_t jj = 0; jj < cols_; jj += kBlk) {
+        const std::size_t jmax = std::min(jj + kBlk, cols_);
+        for (std::size_t i = ii; i < imax; ++i) {
+          const T* src = &data_[i * cols_];
+          for (std::size_t j = jj; j < jmax; ++j)
+            t.data_[j * rows_ + i] = src[j];
+        }
+      }
+    }
     return t;
   }
 

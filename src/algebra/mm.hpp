@@ -15,6 +15,18 @@
 
 namespace ccq {
 
+// Dispatching kernels live in algebra/kernels.hpp (included at the bottom
+// of this header: kernels needs mm_strassen, while mm_power and
+// semiring_closure below only need these declarations).
+namespace kernels {
+template <Semiring S>
+Matrix<typename S::Value> mm_auto(const Matrix<typename S::Value>& a,
+                                  const Matrix<typename S::Value>& b);
+template <Semiring S>
+Matrix<typename S::Value> mm_tiled(const Matrix<typename S::Value>& a,
+                                   const Matrix<typename S::Value>& b);
+}  // namespace kernels
+
 /// Naive O(n³) product over any semiring (ikj loop order for locality).
 template <Semiring S>
 Matrix<typename S::Value> mm_naive(const Matrix<typename S::Value>& a,
@@ -82,16 +94,20 @@ Matrix<typename S::Value> mm_power(Matrix<typename S::Value> a,
   Matrix<typename S::Value> result = a;
   --e;
   while (e > 0) {
-    if (e & 1) result = mm_naive<S>(result, a);
+    if (e & 1) result = kernels::mm_auto<S>(result, a);
     e >>= 1;
-    if (e) a = mm_naive<S>(a, a);
+    if (e) a = kernels::mm_auto<S>(a, a);
   }
   return result;
 }
 
 /// Reflexive closure fixed point: (I ⊕ A)^(n-1) computed by repeated
-/// squaring until stable. For BoolSemiring this is reflexive-transitive
-/// closure; for MinPlusSemiring, all-pairs distances.
+/// squaring. For BoolSemiring this is reflexive-transitive closure; for
+/// MinPlusSemiring, all-pairs distances. Squaring stops as soon as the
+/// doubling covers walks of length n−1 — for the path-summable (idempotent)
+/// semirings this is already the fixed point, so the final full-matrix
+/// compare of the old stop rule is unnecessary; the compare remains only as
+/// an early exit when the closure converges before ⌈log₂(n−1)⌉ rounds.
 template <Semiring S>
 Matrix<typename S::Value> semiring_closure(
     const Matrix<typename S::Value>& a) {
@@ -100,11 +116,14 @@ Matrix<typename S::Value> semiring_closure(
   Matrix<typename S::Value> m = a;
   for (std::size_t i = 0; i < n; ++i)
     m.at(i, i) = S::add(m.at(i, i), S::one());
-  while (true) {
-    Matrix<typename S::Value> sq = mm_naive<S>(m, m);
-    if (sq == m) return m;
+  std::uint64_t covered = 1;  // (I ⊕ A)^covered so far
+  while (n > 1 && covered < n - 1) {
+    Matrix<typename S::Value> sq = kernels::mm_auto<S>(m, m);
+    covered *= 2;
+    if (sq == m) break;  // fixpoint reached early
     m = std::move(sq);
   }
+  return m;
 }
 
 // ---- Strassen implementation ----
@@ -115,9 +134,12 @@ template <Ring R>
 Matrix<typename R::Value> add_m(const Matrix<typename R::Value>& a,
                                 const Matrix<typename R::Value>& b) {
   Matrix<typename R::Value> c(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i)
-    for (std::size_t j = 0; j < a.cols(); ++j)
-      c.at(i, j) = R::add(a.at(i, j), b.at(i, j));
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto* pa = a.row_data(i);
+    const auto* pb = b.row_data(i);
+    auto* pc = c.row_data(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) pc[j] = R::add(pa[j], pb[j]);
+  }
   return c;
 }
 
@@ -125,9 +147,12 @@ template <Ring R>
 Matrix<typename R::Value> sub_m(const Matrix<typename R::Value>& a,
                                 const Matrix<typename R::Value>& b) {
   Matrix<typename R::Value> c(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i)
-    for (std::size_t j = 0; j < a.cols(); ++j)
-      c.at(i, j) = R::sub(a.at(i, j), b.at(i, j));
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto* pa = a.row_data(i);
+    const auto* pb = b.row_data(i);
+    auto* pc = c.row_data(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) pc[j] = R::sub(pa[j], pb[j]);
+  }
   return c;
 }
 
@@ -135,9 +160,10 @@ template <typename V>
 Matrix<V> quadrant(const Matrix<V>& m, std::size_t qi, std::size_t qj) {
   const std::size_t h = m.rows() / 2;
   Matrix<V> q(h, h);
-  for (std::size_t i = 0; i < h; ++i)
-    for (std::size_t j = 0; j < h; ++j)
-      q.at(i, j) = m.at(qi * h + i, qj * h + j);
+  for (std::size_t i = 0; i < h; ++i) {
+    const V* src = m.row_data(qi * h + i) + qj * h;
+    std::copy(src, src + h, q.row_data(i));
+  }
   return q;
 }
 
@@ -145,9 +171,10 @@ template <typename V>
 void place(Matrix<V>& m, const Matrix<V>& q, std::size_t qi,
            std::size_t qj) {
   const std::size_t h = q.rows();
-  for (std::size_t i = 0; i < h; ++i)
-    for (std::size_t j = 0; j < h; ++j)
-      m.at(qi * h + i, qj * h + j) = q.at(i, j);
+  for (std::size_t i = 0; i < h; ++i) {
+    const V* src = q.row_data(i);
+    std::copy(src, src + h, m.row_data(qi * h + i) + qj * h);
+  }
 }
 
 template <Ring R>
@@ -155,7 +182,7 @@ Matrix<typename R::Value> strassen_pow2(const Matrix<typename R::Value>& a,
                                         const Matrix<typename R::Value>& b,
                                         std::size_t cutoff) {
   const std::size_t n = a.rows();
-  if (n <= cutoff) return mm_naive<R>(a, b);
+  if (n <= cutoff) return kernels::mm_tiled<R>(a, b);
   using M = Matrix<typename R::Value>;
   const M a11 = quadrant(a, 0, 0), a12 = quadrant(a, 0, 1),
           a21 = quadrant(a, 1, 0), a22 = quadrant(a, 1, 1);
@@ -196,14 +223,18 @@ Matrix<typename R::Value> mm_strassen(const Matrix<typename R::Value>& a,
   using V = typename R::Value;
   Matrix<V> pa(p, p, R::zero()), pb(p, p, R::zero());
   for (std::size_t i = 0; i < a.rows(); ++i)
-    for (std::size_t j = 0; j < a.cols(); ++j) pa.at(i, j) = a.at(i, j);
+    std::copy(a.row_data(i), a.row_data(i) + a.cols(), pa.row_data(i));
   for (std::size_t i = 0; i < b.rows(); ++i)
-    for (std::size_t j = 0; j < b.cols(); ++j) pb.at(i, j) = b.at(i, j);
+    std::copy(b.row_data(i), b.row_data(i) + b.cols(), pb.row_data(i));
   Matrix<V> pc = detail::strassen_pow2<R>(pa, pb, cutoff);
   Matrix<V> c(a.rows(), b.cols());
   for (std::size_t i = 0; i < c.rows(); ++i)
-    for (std::size_t j = 0; j < c.cols(); ++j) c.at(i, j) = pc.at(i, j);
+    std::copy(pc.row_data(i), pc.row_data(i) + c.cols(), c.row_data(i));
   return c;
 }
 
 }  // namespace ccq
+
+#include "algebra/kernels.hpp"  // IWYU pragma: keep — completes the
+                                // kernels::mm_auto/mm_tiled declarations
+                                // used by mm_power and semiring_closure.

@@ -13,12 +13,16 @@ Graph BmmToApspGadget::build(const Matrix<std::uint8_t>& a,
   CCQ_CHECK(a.rows() == p_ && a.cols() == q_);
   CCQ_CHECK(b.rows() == q_ && b.cols() == r_);
   Graph g = Graph::undirected(total_nodes());
-  for (std::size_t i = 0; i < p_; ++i)
+  for (std::size_t i = 0; i < p_; ++i) {
+    const std::uint8_t* row = a.row_data(i);
     for (std::size_t j = 0; j < q_; ++j)
-      if (a.at(i, j)) g.add_edge(layer_i(i), layer_j(j));
-  for (std::size_t j = 0; j < q_; ++j)
+      if (row[j]) g.add_edge(layer_i(i), layer_j(j));
+  }
+  for (std::size_t j = 0; j < q_; ++j) {
+    const std::uint8_t* row = b.row_data(j);
     for (std::size_t k = 0; k < r_; ++k)
-      if (b.at(j, k)) g.add_edge(layer_j(j), layer_k(k));
+      if (row[k]) g.add_edge(layer_j(j), layer_k(k));
+  }
   return g;
 }
 

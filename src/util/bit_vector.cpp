@@ -1,6 +1,7 @@
 #include "util/bit_vector.hpp"
 
 #include <bit>
+#include <utility>
 
 namespace ccq {
 
@@ -10,6 +11,16 @@ BitVector BitVector::from_string(const std::string& s) {
     CCQ_CHECK_MSG(s[i] == '0' || s[i] == '1', "bad bit char: " << s[i]);
     if (s[i] == '1') b.set(i);
   }
+  return b;
+}
+
+BitVector BitVector::from_words(std::vector<std::uint64_t> words,
+                                std::size_t nbits) {
+  CCQ_CHECK(words.size() == (nbits + 63) / 64);
+  BitVector b;
+  b.nbits_ = nbits;
+  b.words_ = std::move(words);
+  b.trim();
   return b;
 }
 

@@ -26,6 +26,13 @@ class BitVector {
   /// Parse from a string of '0'/'1' characters, index 0 first.
   static BitVector from_string(const std::string& s);
 
+  /// Adopt a pre-built word buffer holding `nbits` bits (LSB-first within
+  /// each word). The bulk encoders in pack_entries write whole words and
+  /// hand them over here, skipping the per-append resize of append_bits.
+  /// Bits past `nbits` in the last word are cleared.
+  static BitVector from_words(std::vector<std::uint64_t> words,
+                              std::size_t nbits);
+
   std::size_t size() const { return nbits_; }
   bool empty() const { return nbits_ == 0; }
 
