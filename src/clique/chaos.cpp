@@ -151,7 +151,7 @@ class ChaosPlane final : public detail::MessagePlane {
     SplitMix64 rng(stream_seed(cfg.seed, collective_, src, dst));
     out.reserve(in.size());
     for (std::size_t pos = 0; pos < in.size(); ++pos) {
-      const auto i = static_cast<std::uint32_t>(pos);
+      const auto i = static_cast<std::uint64_t>(pos);
       Word w = in[pos];
       if (byz) {
         const std::uint64_t draw = rng.next();

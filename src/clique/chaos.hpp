@@ -59,8 +59,11 @@ struct FaultEvent {
   std::uint64_t collective = 0;  ///< 0-based collective index within a run
   NodeId src = 0;
   NodeId dst = 0;
-  std::uint32_t index = 0;  ///< word position in the (src→dst) queue
-  unsigned bit = 0;         ///< kFlip only: which bit was flipped
+  /// Word position in the (src→dst) queue. 64-bit: queue lengths are
+  /// size_t and the legacy plane accepts queues past 2³² words, so a
+  /// narrower index would silently alias distinct fault positions.
+  std::uint64_t index = 0;
+  unsigned bit = 0;  ///< kFlip only: which bit was flipped
   Word before;
   Word after;
 
@@ -78,7 +81,7 @@ struct AdversaryView {
   std::uint64_t collective = 0;
   NodeId src = 0;
   NodeId dst = 0;
-  std::uint32_t index = 0;
+  std::uint64_t index = 0;
   Word original;
   std::uint64_t rng = 0;
 };

@@ -10,6 +10,8 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "util/check.hpp"
+
 namespace ccq {
 
 struct CostMeter {
@@ -29,13 +31,28 @@ struct CostMeter {
   /// RoundTrace::metered_totals() composes traced runs with exactly this
   /// operation, which is why its per-record rounds/messages/bits sum to the
   /// meter while max_sent/max_received do not (clique/trace.hpp).
+  ///
+  /// Accumulation is overflow-checked: the meter is the experimental
+  /// instrument of the repository, and composition is unbounded (a trace
+  /// accumulates runs until clear()), so a wrapped total must raise a
+  /// ModelViolation rather than quietly corrupt every table built on it.
   void add(const CostMeter& o) {
-    rounds += o.rounds;
-    messages += o.messages;
-    bits += o.bits;
-    collectives += o.collectives;
+    rounds = checked_sum(rounds, o.rounds, "rounds");
+    messages = checked_sum(messages, o.messages, "messages");
+    bits = checked_sum(bits, o.bits, "bits");
+    collectives = checked_sum(collectives, o.collectives, "collectives");
     max_node_sent = std::max(max_node_sent, o.max_node_sent);
     max_node_received = std::max(max_node_received, o.max_node_received);
+  }
+
+ private:
+  static std::uint64_t checked_sum(std::uint64_t a, std::uint64_t b,
+                                   const char* what) {
+    const std::uint64_t s = a + b;
+    CCQ_CHECK_MSG(s >= a, "cost meter overflow: " << what << " total "
+                              << a << " + " << b
+                              << " exceeds 64 bits");
+    return s;
   }
 };
 

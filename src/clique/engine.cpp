@@ -136,9 +136,15 @@ std::uint64_t deliver(SharedState& st, int opcode) {
         st, acc, opcode,
         std::chrono::duration<double, std::milli>(t1 - t0).count());
   }
-  st.cost.messages += acc.messages;
-  st.cost.bits += acc.bits;
-  st.cost.collectives += 1;
+  // CostMeter::add checks for 64-bit wrap — the meter is the experimental
+  // instrument, so a silently wrapped total would poison every table built
+  // on it (the per-collective increments themselves cannot wrap: they are
+  // bounded by words actually materialised in memory).
+  CostMeter delta;
+  delta.messages = acc.messages;
+  delta.bits = acc.bits;
+  delta.collectives = 1;
+  st.cost.add(delta);
   return acc.max_queue;
 }
 
@@ -147,6 +153,10 @@ std::uint64_t deliver(SharedState& st, int opcode) {
 void charge_rounds(SharedState& st, std::uint64_t rounds) {
   const std::uint64_t begin = st.cost.rounds;
   st.cost.rounds += rounds;
+  // A wrapped counter would sail under the max_rounds check below and keep
+  // the run alive with a corrupt meter; fail loudly instead.
+  CCQ_CHECK_MSG(st.cost.rounds >= begin,
+                "round counter overflowed 64 bits");
   st.rounds_committed.store(st.cost.rounds, std::memory_order_release);
   if (st.trace != nullptr) {
     // Finalise the record before the runaway check so an aborting run's
@@ -357,8 +367,25 @@ RunResult Engine::run(const Instance& instance, const NodeProgram& program,
                       const Config& config) {
   const NodeId n = instance.graph.n();
   CCQ_CHECK_MSG(n >= 1, "empty clique");
-  CCQ_CHECK_MSG(n <= 4096, "clique too large for the simulator");
-  CCQ_CHECK(config.bandwidth_multiplier >= 1);
+  CCQ_CHECK_MSG(n <= 8192, "clique too large for the simulator");
+  // Config-value validation, all at run() entry so a nonsense config fails
+  // here with a ModelViolation instead of crashing or hanging mid-run.
+  CCQ_CHECK_MSG(config.bandwidth_multiplier >= 1,
+                "bandwidth_multiplier must be at least 1 (0 would make "
+                "every word a bandwidth violation)");
+  CCQ_CHECK_MSG(config.workers <= n,
+                "config.workers = " << config.workers << " exceeds n = " << n
+                                    << "; a worker (or shard) beyond the "
+                                       "node count can never own a node");
+  // 16 KiB floor: the fiber switch already parks a signal frame, the
+  // resume trampoline and the collective's deposit scan on that stack; an
+  // 8 KiB stack overflows it before the first rendezvous.
+  CCQ_CHECK_MSG(config.fiber_stack_bytes == 0 ||
+                    config.fiber_stack_bytes >= 16 * 1024,
+                "config.fiber_stack_bytes = "
+                    << config.fiber_stack_bytes
+                    << " is below the 16 KiB fiber-switch floor (0 selects "
+                       "the 256 KiB default)");
   for (const Labelling& z : instance.labels) {
     CCQ_CHECK_MSG(z.size() == n, "labelling must assign a label per node");
   }

@@ -19,9 +19,11 @@
 // Node programs execute on a pluggable scheduler backend
 // (Config::backend, see clique/scheduler.hpp): by default they run as
 // cooperatively yielding fibers over a fixed worker pool, one superstep
-// per collective; ExecutionBackend::kThreadPerNode keeps the historical
-// thread-per-node execution as a reference. Results are bit-for-bit
-// identical across backends, worker counts, and schedules.
+// per collective; ExecutionBackend::kSharded statically shards the node id
+// space across workers (owner-computes, for n ≫ cores — DESIGN.md §12);
+// ExecutionBackend::kThreadPerNode keeps the historical thread-per-node
+// execution as a reference. Results are bit-for-bit identical across
+// backends, worker counts, shard counts, and schedules.
 
 #include <cstdint>
 #include <functional>
@@ -204,9 +206,15 @@ class Engine {
     /// planes — kLegacy keeps the original per-pair vector queues as the
     /// auditable baseline, kFlat is the arena-backed counting-sort plane.
     MessagePlaneKind plane = MessagePlaneKind::kFlat;
-    /// Pooled backend: cap on concurrent workers (0 = hardware).
+    /// Pooled backend: cap on concurrent workers. Sharded backend: the
+    /// shard count — the node id space is cut into this many contiguous
+    /// owner-computes blocks (the worker team is min(shards, pool size)).
+    /// 0 = one per shared-pool thread. Values above n are rejected at
+    /// run() entry (ModelViolation).
     std::size_t workers = 0;
-    /// Pooled backend: per-node fiber stack size (0 = 256 KiB).
+    /// Fiber backends: per-node fiber stack size (0 = 256 KiB). Nonzero
+    /// values below the 16 KiB switch-frame floor are rejected at run()
+    /// entry (ModelViolation).
     std::size_t fiber_stack_bytes = 0;
     /// Per-collective recorder (clique/trace.hpp); nullptr falls back to
     /// the process-wide trace::global() (benches' --trace), and untraced

@@ -1,6 +1,7 @@
 #include "clique/msgplane.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 namespace ccq {
@@ -80,6 +81,11 @@ class LegacyPlane final : public MessagePlane {
     NodeStats s;
     for (NodeId dst = 0; dst < n_; ++dst) {
       const auto& q = (*out)[dst];
+      // Same per-pair cap the flat plane enforces: the planes must accept
+      // and reject identical outboxes, and downstream consumers (the chaos
+      // ledger's word index, the flat-view conversion) assume it.
+      CCQ_CHECK_MSG(q.size() <= 0xffffffffull,
+                    "queue to node " << dst << " exceeds 2^32 words");
       if (dst == self || q.empty()) continue;  // self-delivery is free
       for (const Word& w : q) {
         CCQ_BANDWIDTH_CHECK(self, dst, w, bandwidth_);
@@ -96,6 +102,8 @@ class LegacyPlane final : public MessagePlane {
   void deposit_pairs(NodeId self,
                      std::span<const std::pair<NodeId, Word>> out,
                      bool unique_dst) override {
+    CCQ_CHECK_MSG(out.size() <= 0xffffffffull,
+                  "deposit exceeds 2^32 words");
     WordQueues& qs = own_out_[self];
     qs.resize(n_);
     for (auto& q : qs) q.clear();
@@ -123,6 +131,8 @@ class LegacyPlane final : public MessagePlane {
   }
 
   void deposit_broadcast(NodeId self, std::span<const Word> words) override {
+    CCQ_CHECK_MSG(words.size() <= 0xffffffffull,
+                  "broadcast exceeds 2^32 words");
     std::uint64_t wbits = 0;
     for (const Word& w : words) {
       CCQ_CHECK_MSG(w.bits <= bandwidth_,
@@ -248,7 +258,19 @@ class LegacyPlane final : public MessagePlane {
 //
 // Every parallel pass writes data partitioned by node id, and every serial
 // reduction iterates in id order, so results are bit-identical for any
-// worker count and either backend.
+// worker count and any backend.
+//
+// Delivery is block-sparse: the [src][dst] histogram is tiled into
+// kChunk×kChunk shard blocks, each deposit records which destination
+// chunks its row touches (one bit per chunk), and deliver() folds the row
+// masks into per-source-block masks. The column-sum and cursor passes then
+// skip blocks no deposit touched, so a sparse collective (a ring exchange
+// at n = 8192, say) costs O(touched blocks) instead of O(n²) histogram
+// reads. Skipped cursor entries keep stale values — sound because their
+// counts are zero and FlatInbox::from returns an empty span without
+// reading the cursor when the count is zero. Mask invariant, on which all
+// of this rests: a clear chunk bit implies every count in that chunk of
+// the row is zero (bits may over-approximate the other way).
 //
 // The histogram is double-buffered: a node may deposit for collective k+1
 // while a straggler still reads its collective-k inbox (whose FlatInbox
@@ -273,12 +295,18 @@ class FlatPlane final : public MessagePlane {
     col_base_.assign(static_cast<std::size_t>(n) + 1, 0);
     stats_.assign(n, {});
     deposits_.assign(n, {});
+    mask_words_ = (num_chunks() + 63) / 64;
+    touch_[0].assign(static_cast<std::size_t>(n) * mask_words_, 0);
+    touch_[1].assign(static_cast<std::size_t>(n) * mask_words_, 0);
+    block_touch_.assign(num_chunks() * mask_words_, 0);
   }
 
   void deposit_queues(NodeId self, const WordQueues* out,
                       bool /*movable*/) override {
     CCQ_CHECK_MSG(out->size() == n_, "outbox must have one queue per node");
     std::uint32_t* cnt = row(self);
+    std::uint64_t* m = mask(self);
+    std::fill_n(m, mask_words_, std::uint64_t{0});
     NodeStats s;
     for (NodeId dst = 0; dst < n_; ++dst) {
       const auto& q = (*out)[dst];
@@ -287,6 +315,7 @@ class FlatPlane final : public MessagePlane {
       CCQ_CHECK_MSG(q.size() <= 0xffffffffull,
                     "queue to node " << dst << " exceeds 2^32 words");
       cnt[dst] = static_cast<std::uint32_t>(q.size());
+      if (!q.empty()) set_touch(m, dst);  // self runs live in the arena too
       if (dst == self || q.empty()) continue;  // self-delivery is free
       for (const Word& w : q) {
         CCQ_BANDWIDTH_CHECK(self, dst, w, bandwidth_);
@@ -307,7 +336,11 @@ class FlatPlane final : public MessagePlane {
     CCQ_CHECK_MSG(out.size() <= 0xffffffffull,
                   "deposit exceeds 2^32 words");
     std::uint32_t* cnt = row(self);
-    std::fill_n(cnt, n_, 0u);
+    std::uint64_t* m = mask(self);
+    // Zero only the chunks this row touched the last time it used this
+    // buffer (the mask invariant says the rest already are) — a sparse
+    // deposit costs O(sends + touched chunks), not O(n).
+    clear_touched(cnt, m);
     NodeStats s;
     for (const auto& [dst, w] : out) {
       if (unique_dst) {
@@ -319,6 +352,7 @@ class FlatPlane final : public MessagePlane {
         CCQ_CHECK_MSG(dst < n_, "exchange_flat: destination out of range");
       }
       ++cnt[dst];
+      set_touch(m, dst);
       if (dst != self) {
         CCQ_BANDWIDTH_CHECK(self, dst, w, bandwidth_);
         s.bits += w.bits;
@@ -346,6 +380,13 @@ class FlatPlane final : public MessagePlane {
     const std::uint32_t k = static_cast<std::uint32_t>(words.size());
     std::fill_n(cnt, n_, k);
     cnt[self] = 0;
+    // Dense row: every chunk is (over-approximately, around self) touched.
+    std::uint64_t* m = mask(self);
+    if (k > 0) {
+      fill_all_touched(m);
+    } else {
+      std::fill_n(m, mask_words_, std::uint64_t{0});
+    }
     NodeStats s;
     if (n_ > 1 && k > 0) {
       s.msgs = static_cast<std::uint64_t>(n_ - 1) * k;
@@ -368,14 +409,35 @@ class FlatPlane final : public MessagePlane {
     }
 
     const std::size_t chunks = num_chunks();
-    // Pass 2: column sums + received_words, chunked by destination.
+    // Pass 1.5: fold the per-source touch masks into per-source-block masks
+    // (OR over each kChunk-source block). Serial and O(n · maskwords) —
+    // cheap next to what it lets passes 2 and 4 skip.
+    {
+      std::fill(block_touch_.begin(), block_touch_.end(), std::uint64_t{0});
+      const std::uint64_t* tm = touch_[parity_].data();
+      for (NodeId u = 0; u < n_; ++u) {
+        std::uint64_t* bt = block_touch_.data() + (u / kChunk) * mask_words_;
+        const std::uint64_t* rm = tm + static_cast<std::size_t>(u) * mask_words_;
+        for (std::size_t i = 0; i < mask_words_; ++i) bt[i] |= rm[i];
+      }
+    }
+
+    // Pass 2: column sums + received_words, chunked by destination; source
+    // blocks that deposited nothing for this destination chunk are skipped
+    // wholesale (the shard×shard block-sparse walk).
     sched.leader_parallel_for(chunks, [&](std::size_t c) {
       const NodeId v0 = chunk_begin(c), v1 = chunk_end(c);
       std::fill(col_base_.begin() + v0 + 1, col_base_.begin() + v1 + 1,
                 std::uint64_t{0});
-      for (NodeId u = 0; u < n_; ++u) {
-        const std::uint32_t* r = cnt + static_cast<std::size_t>(u) * n_;
-        for (NodeId v = v0; v < v1; ++v) col_base_[v + 1] += r[v];
+      const std::size_t cw = c >> 6;
+      const std::uint64_t cb = std::uint64_t{1} << (c & 63);
+      for (std::size_t b = 0; b < chunks; ++b) {
+        if (!(block_touch_[b * mask_words_ + cw] & cb)) continue;
+        const NodeId u0 = chunk_begin(b), u1 = chunk_end(b);
+        for (NodeId u = u0; u < u1; ++u) {
+          const std::uint32_t* r = cnt + static_cast<std::size_t>(u) * n_;
+          for (NodeId v = v0; v < v1; ++v) col_base_[v + 1] += r[v];
+        }
       }
       for (NodeId v = v0; v < v1; ++v) {
         acc.received_words[v] +=
@@ -398,17 +460,29 @@ class FlatPlane final : public MessagePlane {
                   "collective exceeds 2^32 words in flight");
     if (arena_.size() < total) arena_.resize(total);
 
-    // Pass 4: per-pair start cursors, chunked by destination (top-down walk
-    // of each column).
+    // Pass 4: per-pair start cursors, chunked by destination. Each chunk
+    // keeps a running cursor per column (seeded from the arena bases) and
+    // walks only the touched source blocks top-down. An untouched block's
+    // counts are all zero (mask invariant), so the running cursors pass over
+    // it unchanged; its cursor entries keep stale values, which are never
+    // read (count == 0 ⇒ FlatInbox::from returns early).
     sched.leader_parallel_for(chunks, [&](std::size_t c) {
       const NodeId v0 = chunk_begin(c), v1 = chunk_end(c);
+      const std::size_t cw = c >> 6;
+      const std::uint64_t cb = std::uint64_t{1} << (c & 63);
+      std::uint32_t run[kChunk];
       for (NodeId v = v0; v < v1; ++v) {
-        cursor_[v] = static_cast<std::uint32_t>(col_base_[v]);
+        run[v - v0] = static_cast<std::uint32_t>(col_base_[v]);
       }
-      for (NodeId u = 1; u < n_; ++u) {
-        const std::size_t prev = static_cast<std::size_t>(u - 1) * n_;
-        for (NodeId v = v0; v < v1; ++v) {
-          cursor_[prev + n_ + v] = cursor_[prev + v] + cnt[prev + v];
+      for (std::size_t b = 0; b < chunks; ++b) {
+        if (!(block_touch_[b * mask_words_ + cw] & cb)) continue;
+        const NodeId u0 = chunk_begin(b), u1 = chunk_end(b);
+        for (NodeId u = u0; u < u1; ++u) {
+          const std::size_t base = static_cast<std::size_t>(u) * n_;
+          for (NodeId v = v0; v < v1; ++v) {
+            cursor_[base + v] = run[v - v0];
+            run[v - v0] += cnt[base + v];
+          }
         }
       }
     });
@@ -463,6 +537,37 @@ class FlatPlane final : public MessagePlane {
   std::uint32_t* row(NodeId u) {
     return counts_[parity_].data() + static_cast<std::size_t>(u) * n_;
   }
+  std::uint64_t* mask(NodeId u) {
+    return touch_[parity_].data() + static_cast<std::size_t>(u) * mask_words_;
+  }
+  static void set_touch(std::uint64_t* m, NodeId dst) {
+    const std::size_t c = dst / kChunk;
+    m[c >> 6] |= std::uint64_t{1} << (c & 63);
+  }
+  /// Dense-row mask: every valid chunk bit set. The tail bits of the last
+  /// word stay clear — clear_touched walks set bits as chunk indices, so a
+  /// spurious bit would name a chunk past the histogram row.
+  void fill_all_touched(std::uint64_t* m) const {
+    std::fill_n(m, mask_words_, ~std::uint64_t{0});
+    const unsigned tail = static_cast<unsigned>(num_chunks() & 63);
+    if (tail != 0) m[mask_words_ - 1] = (std::uint64_t{1} << tail) - 1;
+  }
+  /// Zero exactly the count chunks the mask marks, then the mask itself —
+  /// restoring the invariant "clear bit ⇒ all-zero chunk" for this row.
+  void clear_touched(std::uint32_t* cnt, std::uint64_t* m) {
+    for (std::size_t w = 0; w < mask_words_; ++w) {
+      std::uint64_t bits = m[w];
+      m[w] = 0;
+      while (bits != 0) {
+        const auto b = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::size_t c = (w << 6) + b;
+        std::fill_n(cnt + chunk_begin(c),
+                    static_cast<std::size_t>(chunk_end(c) - chunk_begin(c)),
+                    std::uint32_t{0});
+      }
+    }
+  }
 
   void scatter(NodeId u) {
     std::uint32_t* cur = cursor_.data() + static_cast<std::size_t>(u) * n_;
@@ -502,6 +607,12 @@ class FlatPlane final : public MessagePlane {
   std::vector<std::uint32_t> cursor_;     // [src * n + dst]
   std::vector<std::uint64_t> col_base_;   // [n + 1] arena base per dst
   std::vector<Word> arena_;               // shared flat inbox storage
+  // Block-sparse tiling (see class comment): per-row destination-chunk
+  // touch masks, double-buffered in lockstep with counts_, plus the
+  // per-source-block fold deliver() rebuilds each collective.
+  std::size_t mask_words_ = 0;              // ceil(num_chunks / 64)
+  std::vector<std::uint64_t> touch_[2];     // [src * mask_words + w]
+  std::vector<std::uint64_t> block_touch_;  // [src_chunk * mask_words + w]
 };
 
 #undef CCQ_BANDWIDTH_CHECK

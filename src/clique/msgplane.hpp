@@ -59,9 +59,13 @@ class FlatInbox {
   std::span<const Word> from(NodeId src) const {
     if (cursor_ != nullptr) {
       // Flat plane: cursors sit one past the end of each (src → self) run
-      // after the scatter; the run length is the histogram entry.
+      // after the scatter; the run length is the histogram entry. An empty
+      // run must not touch the cursor at all — the block-sparse delivery
+      // passes skip cursor writes for untouched shard×shard blocks, so a
+      // zero-count entry may sit over a stale cursor value.
       const std::size_t i = static_cast<std::size_t>(src) * n_ + self_;
       const std::uint32_t count = counts_[i];
+      if (count == 0) return {};
       return {words_ + (cursor_[i] - count), count};
     }
     return {words_ + starts_[src],

@@ -212,19 +212,29 @@ class ThreadPerNodeScheduler final : public Scheduler {
 };
 
 // ---------------------------------------------------------------------------
-// Pooled backend: node programs as ucontext fibers over the shared pool.
+// Fiber backends: node programs as stackful fibers over the shared pool.
+//
+// Two backends share the machinery below. kPooled multiplexes all n fibers
+// over the worker team through a shared claim counter (dynamic balance);
+// kSharded assigns each worker a static set of contiguous node shards and
+// runs a plain id-ordered loop over them (owner-computes; no shared counter
+// on the resume path, and each worker allocates — first-touches — the
+// stacks it will keep resuming). Everything that decides results (the
+// serial leader phase, delivery, accounting) is identical, which is the
+// determinism argument: the backends differ only in who resumes a fiber,
+// never in what the leader observes.
 // ---------------------------------------------------------------------------
 
-/// Workers the pooled backend draws from. One process-wide pool sized by
+/// Workers the fiber backends draw from. One process-wide pool sized by
 /// hardware_concurrency: engine runs are frequent and short, so per-run
-/// thread creation would reintroduce exactly the overhead this backend
-/// removes.
+/// thread creation would reintroduce exactly the overhead these backends
+/// remove.
 ThreadPool& shared_pool() {
   static ThreadPool pool;
   return pool;
 }
 
-class PooledScheduler;
+class FiberSchedulerBase;
 
 struct Fiber {
 #ifdef CCQ_FAST_FIBER
@@ -235,7 +245,7 @@ struct Fiber {
   ucontext_t* resumer = nullptr;  // the worker context to yield back to
 #endif
   std::unique_ptr<char[]> stack;
-  PooledScheduler* sched = nullptr;
+  FiberSchedulerBase* sched = nullptr;
   NodeId id = 0;
   bool finished = false;
   // Rendezvous payload while parked at a collective.
@@ -260,13 +270,12 @@ void spin_pause(unsigned& spins) {
   }
 }
 
-class PooledScheduler final : public Scheduler {
+class FiberSchedulerBase : public Scheduler {
  public:
-  PooledScheduler(std::size_t workers, std::size_t stack_bytes)
-      : workers_cap_(workers),
-        stack_bytes_(stack_bytes == 0 ? kDefaultStackBytes : stack_bytes) {}
+  explicit FiberSchedulerBase(std::size_t stack_bytes)
+      : stack_bytes_(stack_bytes == 0 ? kDefaultStackBytes : stack_bytes) {}
 
-  void run(NodeId n, const NodeBody& body) override {
+  void run(NodeId n, const NodeBody& body) final {
     n_ = n;
     body_ = &body;
     aborted_.store(false, std::memory_order_relaxed);
@@ -274,25 +283,18 @@ class PooledScheduler final : public Scheduler {
     error_ = nullptr;
     done_ = false;
 
-    fibers_.clear();
-    fibers_.reserve(n);
-    run_list_.clear();
-    run_list_.reserve(n);
-    for (NodeId v = 0; v < n; ++v) {
-      fibers_.push_back(make_fiber(v));
-      run_list_.push_back(fibers_.back().get());
-    }
-    next_.store(0, std::memory_order_relaxed);
+    // One slot per node; plan_run (pooled) or the owning worker's first
+    // resume phase (sharded) installs the fiber.
+    destroy_fibers();
+    fibers_.resize(n);
 
     ThreadPool& pool = shared_pool();
-    std::size_t workers = std::min<std::size_t>(pool.size(), n);
-    if (workers_cap_ > 0) workers = std::min(workers, workers_cap_);
-    if (workers == 0) workers = 1;
-    participants_ = workers;
+    participants_ = plan_run(pool.size());
     barrier_count_.store(0, std::memory_order_relaxed);
     barrier_sense_.store(false, std::memory_order_relaxed);
 
-    pool.parallel_for(workers, [this](std::size_t) { worker_loop(); });
+    pool.parallel_for(participants_,
+                      [this](std::size_t w) { worker_loop(w); });
 
     destroy_fibers();
     if (error_) std::rethrow_exception(error_);
@@ -313,7 +315,7 @@ class PooledScheduler final : public Scheduler {
   // a CAS: a claim taken against a superseded epoch fails the CAS instead
   // of consuming an index — a stale helper can neither run a retired
   // ChunkFn nor steal a chunk from (or credit job_done_ of) the new job.
-  void leader_parallel_for(std::size_t chunks, const ChunkFn& fn) override {
+  void leader_parallel_for(std::size_t chunks, const ChunkFn& fn) final {
     count_job(chunks);
     if (chunks <= 1 || participants_ <= 1 || chunks > kTicketFieldMask) {
       for (std::size_t i = 0; i < chunks; ++i) fn(i);
@@ -338,7 +340,7 @@ class PooledScheduler final : public Scheduler {
   }
 
   void collective(NodeId id, OpTag tag, const Thunk& deposit,
-                  const Thunk& leader) override {
+                  const Thunk& leader) final {
     Fiber* f = tls_fiber;
     CCQ_CHECK_MSG(f != nullptr && f->sched == this && f->id == id,
                   "collective() called off its scheduler fiber");
@@ -353,9 +355,25 @@ class PooledScheduler final : public Scheduler {
     if (aborted_.load(std::memory_order_acquire)) throw Aborted{};
   }
 
- private:
+ protected:
   static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
 
+  // ---- backend hooks ------------------------------------------------------
+  // plan_run: serial (the caller's thread, before any worker starts) —
+  // size the worker team and build the backend's resume schedule; returns
+  // the team size (≥ 1). resume_phase: parallel — resume this worker's
+  // share of the unfinished fibers until each parks at a collective or
+  // finishes. end_superstep: serial (the barrier winner, after validation
+  // and the leader thunk) — rebuild the resume schedule for the next
+  // superstep.
+  virtual std::size_t plan_run(std::size_t pool_size) = 0;
+  virtual void resume_phase(std::size_t worker) = 0;
+  virtual void end_superstep() {}
+
+  NodeId n() const { return n_; }
+  Fiber* fiber(NodeId v) const { return fibers_[v].get(); }
+
+ private:
   // Job-ticket layout: [epoch:24 | chunks:20 | next:20]. 2^20 chunks is far
   // past any delivery fan-out (leader_parallel_for falls back to serial
   // beyond it), and `next` never exceeds `chunks` because claims stop once
@@ -368,7 +386,14 @@ class PooledScheduler final : public Scheduler {
   static constexpr std::uint64_t kTicketEpochMask =
       (std::uint64_t{1} << (64 - kTicketEpochShift)) - 1;
 
-  std::unique_ptr<Fiber> make_fiber(NodeId v) {
+ protected:
+  // Builds node v's fiber and installs it in the run's fiber table. The
+  // pooled backend calls this serially from plan_run; the sharded backend
+  // calls it from the owning worker's first resume phase (distinct v ⇒
+  // distinct slots, and the superstep barrier orders the writes before the
+  // serial phase reads them), so each stack is allocated and first-touched
+  // by the worker that keeps resuming it.
+  Fiber* make_fiber(NodeId v) {
     auto f = std::make_unique<Fiber>();
     f->sched = this;
     f->id = v;
@@ -413,17 +438,18 @@ class PooledScheduler final : public Scheduler {
 #ifdef CCQ_TSAN
     f->tsan_fiber = __tsan_create_fiber(0);
 #endif
-    return f;
+    fibers_[v] = std::move(f);
+    return fibers_[v].get();
   }
 
+ private:
   void destroy_fibers() {
 #ifdef CCQ_TSAN
     for (auto& f : fibers_) {
-      if (f->tsan_fiber) __tsan_destroy_fiber(f->tsan_fiber);
+      if (f && f->tsan_fiber) __tsan_destroy_fiber(f->tsan_fiber);
     }
 #endif
     fibers_.clear();
-    run_list_.clear();
   }
 
  public:
@@ -433,7 +459,7 @@ class PooledScheduler final : public Scheduler {
   // fall off the end. Public so the fast-fiber first-activation shim
   // (ccq_fiber_main) can reach it.
   static void run_node(Fiber* f) {
-    PooledScheduler* sched = f->sched;
+    FiberSchedulerBase* sched = f->sched;
     try {
       (*sched->body_)(f->id);
       sched->any_returned_.store(true, std::memory_order_relaxed);
@@ -453,7 +479,7 @@ class PooledScheduler final : public Scheduler {
   }
 #endif
 
- private:
+ protected:
   void resume(Fiber& f) {
     CCQ_DCHECK(!f.finished);
     count_switch();
@@ -484,6 +510,7 @@ class PooledScheduler final : public Scheduler {
 #endif
   }
 
+ private:
   // Claim and run chunks of the currently published leader job, if any.
   // Each claim is a CAS that advances the ticket's `next` field while
   // re-asserting the epoch (and chunk count) captured in the snapshot, so a
@@ -525,17 +552,14 @@ class PooledScheduler final : public Scheduler {
     aborted_.store(true, std::memory_order_release);
   }
 
-  // One superstep: resume every unfinished fiber until it parks at a
-  // collective (or finishes), meet the other workers at the sense-reversing
-  // barrier, and let the last arrival run the serial leader step.
-  void worker_loop() {
+  // One superstep: resume this worker's share of the unfinished fibers
+  // until each parks at a collective (or finishes), meet the other workers
+  // at the sense-reversing barrier, and let the last arrival run the serial
+  // leader step.
+  void worker_loop(std::size_t worker) {
     bool sense = false;
     while (true) {
-      std::size_t i;
-      while ((i = next_.fetch_add(1, std::memory_order_relaxed)) <
-             run_list_.size()) {
-        resume(*run_list_[i]);
-      }
+      resume_phase(worker);
       sense = !sense;
       if (barrier_count_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           participants_) {
@@ -559,11 +583,11 @@ class PooledScheduler final : public Scheduler {
 
   // Serial phase: every fiber has yielded, so plain accesses are safe (the
   // barrier orders them). Validates the rendezvous, runs the leader, and
-  // builds the next superstep's run list.
+  // lets the backend rebuild its resume schedule.
   void superstep_end() {
     std::size_t parked = 0;
     for (const auto& f : fibers_) {
-      if (!f->finished) ++parked;
+      if (f && !f->finished) ++parked;
     }
     if (!aborted_.load(std::memory_order_relaxed) && parked > 0) {
       if (any_returned_.load(std::memory_order_relaxed)) {
@@ -572,6 +596,8 @@ class PooledScheduler final : public Scheduler {
             "a collective")));
       } else {
         // All n fibers are parked at a collective; validate and deliver.
+        // (parked > 0 and no normal return means no fiber finished at all:
+        // an exceptional finish would have set aborted_.)
         Fiber* first = fibers_.front().get();
         for (const auto& f : fibers_) {
           if (!(f->tag == first->tag)) {
@@ -590,23 +616,19 @@ class PooledScheduler final : public Scheduler {
       }
     }
     // Next superstep resumes every unfinished fiber — after an abort they
-    // observe aborted_ and unwind with Aborted, emptying the run list.
-    run_list_.clear();
-    for (const auto& f : fibers_) {
-      if (!f->finished) run_list_.push_back(f.get());
-    }
-    next_.store(0, std::memory_order_relaxed);
-    done_ = run_list_.empty();
+    // observe aborted_ and unwind with Aborted, draining the schedule.
+    end_superstep();
+    done_ = parked == 0;
   }
 
-  const std::size_t workers_cap_;
   const std::size_t stack_bytes_;
 
   NodeId n_ = 0;
   const NodeBody* body_ = nullptr;
+  // One entry per node id; slots are filled by plan_run or (sharded) by the
+  // owning worker before the first barrier, so the serial phase always sees
+  // a complete table.
   std::vector<std::unique_ptr<Fiber>> fibers_;
-  std::vector<Fiber*> run_list_;  // mutated only in the serial phase
-  std::atomic<std::size_t> next_{0};
   bool done_ = false;  // written in the serial phase, read after release
 
   std::size_t participants_ = 0;
@@ -629,11 +651,106 @@ class PooledScheduler final : public Scheduler {
   std::exception_ptr error_;
 };
 
+// Dynamic balance: all n fibers sit in one run list and workers claim them
+// through a shared counter, so a straggling node program cannot idle the
+// rest of the team. The price is one contended fetch_add per resume.
+class PooledScheduler final : public FiberSchedulerBase {
+ public:
+  PooledScheduler(std::size_t workers, std::size_t stack_bytes)
+      : FiberSchedulerBase(stack_bytes), workers_cap_(workers) {}
+
+ private:
+  std::size_t plan_run(std::size_t pool_size) override {
+    run_list_.clear();
+    run_list_.reserve(n());
+    for (NodeId v = 0; v < n(); ++v) run_list_.push_back(make_fiber(v));
+    next_.store(0, std::memory_order_relaxed);
+    std::size_t workers = std::min<std::size_t>(pool_size, n());
+    if (workers_cap_ > 0) workers = std::min(workers, workers_cap_);
+    return workers == 0 ? 1 : workers;
+  }
+
+  void resume_phase(std::size_t /*worker*/) override {
+    std::size_t i;
+    while ((i = next_.fetch_add(1, std::memory_order_relaxed)) <
+           run_list_.size()) {
+      resume(*run_list_[i]);
+    }
+  }
+
+  void end_superstep() override {
+    run_list_.clear();
+    for (NodeId v = 0; v < n(); ++v) {
+      Fiber* f = fiber(v);
+      if (!f->finished) run_list_.push_back(f);
+    }
+    next_.store(0, std::memory_order_relaxed);
+  }
+
+  const std::size_t workers_cap_;
+  std::vector<Fiber*> run_list_;  // mutated only in the serial phase
+  std::atomic<std::size_t> next_{0};
+};
+
+// Owner-computes (the libgalois/libdist pattern): the id space is cut into
+// `shards` contiguous blocks handed to workers statically, and each worker
+// resumes its owned nodes with a plain id-ordered loop — no shared claim
+// counter, no cross-worker cache traffic on the resume path, and fiber
+// stacks are created by their owner on first resume so the memory a worker
+// keeps switching through is memory it allocated itself. Static ownership
+// trades the pooled backend's load balance for that locality, which is the
+// right trade exactly when n ≫ cores: with hundreds of fibers per worker,
+// per-shard imbalance averages out (bench_sharding measures this).
+class ShardedScheduler final : public FiberSchedulerBase {
+ public:
+  ShardedScheduler(std::size_t shards, std::size_t stack_bytes)
+      : FiberSchedulerBase(stack_bytes), shards_cfg_(shards) {}
+
+ private:
+  std::size_t plan_run(std::size_t pool_size) override {
+    // Shard count: configured, else one shard per pool thread; clamped so
+    // every shard is non-empty. The worker team never exceeds the shard
+    // count — a worker with no shard would only spin at the barrier.
+    std::size_t shards = shards_cfg_ == 0 ? pool_size : shards_cfg_;
+    shards = std::max<std::size_t>(
+        1, std::min<std::size_t>(shards, n()));
+    const std::size_t workers =
+        std::max<std::size_t>(1, std::min(pool_size, shards));
+    owned_.assign(workers, {});
+    // Shard s owns the contiguous block [s·n/S, (s+1)·n/S) — balanced to
+    // ±1 node even when S does not divide n — and shards are dealt to
+    // workers round-robin so a team smaller than S still covers every
+    // node. Results cannot depend on any of this: ownership only decides
+    // which worker resumes a fiber, never what the serial phase computes.
+    for (std::size_t s = 0; s < shards; ++s) {
+      const NodeId b = static_cast<NodeId>(s * n() / shards);
+      const NodeId e = static_cast<NodeId>((s + 1) * n() / shards);
+      if (b < e) owned_[s % workers].push_back({b, e});
+    }
+    return workers;
+  }
+
+  void resume_phase(std::size_t worker) override {
+    for (const auto& [b, e] : owned_[worker]) {
+      for (NodeId v = b; v < e; ++v) {
+        Fiber* f = fiber(v);
+        if (f == nullptr) f = make_fiber(v);  // first superstep, owner-local
+        if (!f->finished) resume(*f);
+      }
+    }
+  }
+
+  const std::size_t shards_cfg_;
+  // Per-worker owned shards as [begin, end) node-id ranges; built in
+  // plan_run, read-only while workers run.
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> owned_;
+};
+
 }  // namespace
 
 #ifdef CCQ_FAST_FIBER
 extern "C" void ccq_fiber_main(void* fiber) {
-  PooledScheduler::run_node(static_cast<Fiber*>(fiber));
+  FiberSchedulerBase::run_node(static_cast<Fiber*>(fiber));
 }
 #endif
 
@@ -647,6 +764,8 @@ std::unique_ptr<Scheduler> make_scheduler(ExecutionBackend backend,
       return std::make_unique<ThreadPerNodeScheduler>();
     case ExecutionBackend::kPooled:
       return std::make_unique<PooledScheduler>(workers, stack_bytes);
+    case ExecutionBackend::kSharded:
+      return std::make_unique<ShardedScheduler>(workers, stack_bytes);
   }
   CCQ_CHECK_MSG(false, "unknown execution backend");
   return nullptr;

@@ -5,7 +5,7 @@
 // The engine's unit of execution is the *superstep*: all n node programs
 // run until they meet at the next collective, a single serial "leader"
 // step validates the rendezvous and delivers messages, and everyone
-// resumes. Two backends realise this contract:
+// resumes. Three backends realise this contract:
 //
 //   * ExecutionBackend::kThreadPerNode — the reference backend: one OS
 //     thread per simulated node, rendezvoused through a mutex + condition
@@ -17,13 +17,24 @@
 //     multiplexed over a fixed worker team hosted on the shared
 //     ccq::ThreadPool; workers meet at a sense-reversing spin barrier
 //     between the parallel (resume fibers) and serial (validate +
-//     deliver) phases of each superstep.
+//     deliver) phases of each superstep. Workers claim fibers from a
+//     shared run list (one atomic fetch_add per resume), so load balance
+//     is dynamic but every resume touches a contended cache line.
 //
-// Both backends produce bit-for-bit identical RunResults (outputs, rounds,
-// messages, bits, per-node maxima) for any program and any worker count —
-// asserted by tests/clique/scheduler_test.cpp. Message delivery and cost
-// accounting always happen in the serial leader step, iterating nodes in id
-// order, so scheduling order can never leak into results.
+//   * ExecutionBackend::kSharded — owner-computes for n ≫ cores: the node
+//     id space is split into contiguous shards (Config::workers = shard
+//     count) assigned statically to workers. Each worker drives a plain
+//     id-ordered loop over its owned nodes — no shared claim counter on
+//     the resume path — and creates its fibers itself on first resume, so
+//     stacks are allocated (and first-touched) by the worker that will
+//     run them for the whole run (DESIGN.md §12).
+//
+// All backends produce bit-for-bit identical RunResults (outputs, rounds,
+// messages, bits, per-node maxima) for any program and any worker or shard
+// count — asserted by tests/clique/scheduler_test.cpp and
+// tests/clique/sharded_test.cpp. Message delivery and cost accounting
+// always happen in the serial leader step, iterating nodes in id order, so
+// scheduling order can never leak into results.
 
 #include <atomic>
 #include <cstddef>
@@ -39,6 +50,7 @@ namespace ccq {
 enum class ExecutionBackend {
   kThreadPerNode,  ///< reference: one OS thread per simulated node
   kPooled,         ///< default: fibers over a fixed worker pool
+  kSharded,        ///< owner-computes: static contiguous node shards
 };
 
 /// Occupancy counters a scheduler accumulates when stats are enabled
@@ -47,7 +59,7 @@ enum class ExecutionBackend {
 /// values are wall-clock/backend-shaped: they are *not* covered by the
 /// determinism contract.
 struct SchedulerStats {
-  std::uint64_t fiber_switches = 0;   ///< node-fiber resumes (pooled only)
+  std::uint64_t fiber_switches = 0;   ///< node-fiber resumes (fiber backends)
   std::uint64_t parallel_jobs = 0;    ///< leader_parallel_for invocations
   std::uint64_t parallel_chunks = 0;  ///< chunks across those jobs
 };
@@ -145,9 +157,11 @@ class Scheduler {
   std::uint64_t parallel_chunks_ = 0;
 };
 
-/// Backend factory. `workers` caps the pooled worker team (0 = one per
-/// shared-pool thread); `stack_bytes` sizes pooled fiber stacks (0 = 256
-/// KiB). Both are ignored by the thread-per-node backend.
+/// Backend factory. `workers` caps the pooled worker team, or sets the
+/// sharded backend's shard count (0 = one per shared-pool thread);
+/// `stack_bytes` sizes fiber stacks (0 = 256 KiB). Both are ignored by the
+/// thread-per-node backend. Value validation (workers ≤ n, stack floor) is
+/// Engine::run's job — the factory only wires the backend.
 std::unique_ptr<Scheduler> make_scheduler(ExecutionBackend backend,
                                           std::size_t workers,
                                           std::size_t stack_bytes);

@@ -80,5 +80,31 @@ TEST(CostMeter, ComposingTwoEngineRunsKeepsMaxSemantics) {
                      phase2.cost.max_node_received));
 }
 
+TEST(CostMeter, AddRefusesToWrapSixtyFourBits) {
+  // Regression: add() used to wrap silently. A meter accumulated across a
+  // long campaign sits near the top of the range; folding in one more
+  // collective's delta (here an n·B product: a full n = 8192 round at
+  // B = 13) must throw, not wrap to a tiny total.
+  CostMeter total;
+  total.bits = ~std::uint64_t{0} - 100;
+  CostMeter delta;
+  delta.bits = 8192ull * 13ull;
+  EXPECT_THROW(total.add(delta), ModelViolation);
+
+  CostMeter rounds_hi;
+  rounds_hi.rounds = ~std::uint64_t{0};
+  CostMeter one_round;
+  one_round.rounds = 1;
+  EXPECT_THROW(rounds_hi.add(one_round), ModelViolation);
+
+  // Maxima are max-composed, never summed: saturated maxima stay legal.
+  CostMeter maxed;
+  maxed.max_node_sent = ~std::uint64_t{0};
+  CostMeter more;
+  more.max_node_sent = 5;
+  maxed.add(more);
+  EXPECT_EQ(maxed.max_node_sent, ~std::uint64_t{0});
+}
+
 }  // namespace
 }  // namespace ccq

@@ -423,6 +423,49 @@ TEST(Engine, SingleNodeClique) {
   EXPECT_EQ(r.outputs[0], 7u);
 }
 
+TEST(Engine, ConfigValidationAtRunEntry) {
+  // Bad configs must be rejected before any node program runs — each of
+  // these used to slip through and fail later in confusing ways (a zero
+  // bandwidth multiplier made every word a violation; an 8 KiB fiber stack
+  // overflowed under the first deep collective; workers > n spun up owners
+  // that could never own a node).
+  const Graph g = gen::empty(8);
+  auto trivial = [](NodeCtx& ctx) { ctx.output(0); };
+  struct Case {
+    const char* name;
+    std::function<void(Engine::Config&)> tweak;
+    bool ok;
+  };
+  const Case kCases[] = {
+      {"defaults", [](Engine::Config&) {}, true},
+      {"bandwidth_multiplier=0",
+       [](Engine::Config& c) { c.bandwidth_multiplier = 0; }, false},
+      {"workers=n", [](Engine::Config& c) { c.workers = 8; }, true},
+      {"workers=n+1", [](Engine::Config& c) { c.workers = 9; }, false},
+      {"sharded workers=n+1",
+       [](Engine::Config& c) {
+         c.backend = ExecutionBackend::kSharded;
+         c.workers = 9;
+       },
+       false},
+      {"stack=8KiB",
+       [](Engine::Config& c) { c.fiber_stack_bytes = 8 * 1024; }, false},
+      {"stack=16KiB floor",
+       [](Engine::Config& c) { c.fiber_stack_bytes = 16 * 1024; }, true},
+      {"stack=0 default",
+       [](Engine::Config& c) { c.fiber_stack_bytes = 0; }, true},
+  };
+  for (const Case& tc : kCases) {
+    Engine::Config cfg;
+    tc.tweak(cfg);
+    if (tc.ok) {
+      EXPECT_EQ(Engine::run(g, trivial, cfg).outputs.size(), 8u) << tc.name;
+    } else {
+      EXPECT_THROW(Engine::run(g, trivial, cfg), ModelViolation) << tc.name;
+    }
+  }
+}
+
 TEST(Engine, LabellingSizeValidation) {
   Instance inst = Instance::of(gen::empty(3));
   inst.labels.push_back(Labelling{BitVector(1), BitVector(1)});  // short

@@ -24,7 +24,7 @@ namespace {
 struct PlaneSetup {
   MessagePlaneKind plane;
   ExecutionBackend backend;
-  std::size_t workers;  // pooled only; 0 = hardware
+  std::size_t workers;  // pooled: worker cap; sharded: shard count; 0 = hw
   const char* name;
 };
 
@@ -39,6 +39,12 @@ const PlaneSetup kSetups[] = {
      "flat/thread-per-node"},
     {MessagePlaneKind::kFlat, ExecutionBackend::kPooled, 2, "flat/pooled-2"},
     {MessagePlaneKind::kFlat, ExecutionBackend::kPooled, 0, "flat/pooled-hw"},
+    {MessagePlaneKind::kLegacy, ExecutionBackend::kSharded, 3,
+     "legacy/sharded-3"},
+    {MessagePlaneKind::kFlat, ExecutionBackend::kSharded, 5,
+     "flat/sharded-5"},  // non-dividing shard count
+    {MessagePlaneKind::kFlat, ExecutionBackend::kSharded, 0,
+     "flat/sharded-hw"},
 };
 
 Engine::Config config_for(const PlaneSetup& s) {

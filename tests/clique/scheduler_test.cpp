@@ -24,7 +24,7 @@ namespace {
 
 struct BackendSetup {
   ExecutionBackend backend;
-  std::size_t workers;  // pooled only; 0 = hardware
+  std::size_t workers;  // pooled: worker cap; sharded: shard count; 0 = hw
   const char* name;
 };
 
@@ -33,6 +33,10 @@ const BackendSetup kSetups[] = {
     {ExecutionBackend::kPooled, 1, "pooled/1"},
     {ExecutionBackend::kPooled, 2, "pooled/2"},
     {ExecutionBackend::kPooled, 0, "pooled/hw"},
+    {ExecutionBackend::kSharded, 1, "sharded/1"},
+    {ExecutionBackend::kSharded, 2, "sharded/2"},
+    {ExecutionBackend::kSharded, 5, "sharded/5"},  // non-dividing shard count
+    {ExecutionBackend::kSharded, 0, "sharded/hw"},
 };
 
 Engine::Config config_for(const BackendSetup& s) {
@@ -136,12 +140,17 @@ TEST(SchedulerDeterminism, RepeatedPooledRunsAreIdentical) {
 }
 
 TEST(SchedulerDeterminism, WorkerCapBeyondPoolSizeIsClamped) {
-  const Graph g = gen::gnp(9, 0.5, 3);
-  Engine::Config cfg;
-  cfg.backend = ExecutionBackend::kPooled;
-  cfg.workers = 1000;  // more than any pool; must clamp, not deadlock
-  const auto ref = Engine::run(g, mixed_program);
-  expect_same_result(ref, Engine::run(g, mixed_program, cfg), "clamped");
+  // workers may legally exceed the machine's pool size (just not n — that
+  // is rejected at run() entry); the scheduler must clamp, not deadlock.
+  const Graph g = gen::gnp(64, 0.5, 3);
+  for (ExecutionBackend backend :
+       {ExecutionBackend::kPooled, ExecutionBackend::kSharded}) {
+    Engine::Config cfg;
+    cfg.backend = backend;
+    cfg.workers = 64;  // == n, far beyond any pool on CI hardware
+    const auto ref = Engine::run(g, mixed_program);
+    expect_same_result(ref, Engine::run(g, mixed_program, cfg), "clamped");
+  }
 }
 
 TEST(SchedulerDeterminism, ManyNodesOnPooledBackend) {

@@ -35,7 +35,7 @@ namespace {
 struct TraceSetup {
   MessagePlaneKind plane;
   ExecutionBackend backend;
-  std::size_t workers;  // pooled only; 0 = hardware
+  std::size_t workers;  // pooled: worker cap; sharded: shard count; 0 = hw
   const char* name;
 };
 
@@ -50,6 +50,10 @@ const TraceSetup kSetups[] = {
      "flat/thread-per-node"},
     {MessagePlaneKind::kFlat, ExecutionBackend::kPooled, 2, "flat/pooled-2"},
     {MessagePlaneKind::kFlat, ExecutionBackend::kPooled, 0, "flat/pooled-hw"},
+    {MessagePlaneKind::kLegacy, ExecutionBackend::kSharded, 0,
+     "legacy/sharded-hw"},
+    {MessagePlaneKind::kFlat, ExecutionBackend::kSharded, 3,
+     "flat/sharded-3"},  // non-dividing shard count for n in {5, 26}
 };
 
 Engine::Config config_for(const TraceSetup& s, RoundTrace* trace) {
