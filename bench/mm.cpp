@@ -1,11 +1,22 @@
 // MM — the δ(semiring MM) ≤ 1/3-style upper bound feeding Figure 1 ([10]).
 // Measures the naive broadcast algorithm (Θ(n·w/B) rounds) against the 3-D
 // partitioned algorithm (O(n^{1/3}·w/B)) for Boolean and (min,+) matrices.
+//
+// Usage: bench_mm [--n=N] [--check] [--trace=PATH]
+//   --n=N     run a single clique size instead of the default sweep
+//   --check   CI smoke mode: every 3-D result row must equal the naive
+//             broadcast result bit-for-bit, and 3-D rounds must not exceed
+//             naive rounds × 1.15 (the same noise tolerance the other
+//             bench gates use; at any measured size 3-D actually wins
+//             outright, the slack only guards tiny-n granularity).
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "algebra/distributed_mm.hpp"
 #include "graph/generators.hpp"
+#include "graphalg/common.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -16,18 +27,29 @@ using namespace ccq;
 
 namespace {
 
+constexpr double kCheckTolerance = 1.15;
+
+template <Semiring S>
+struct Measured {
+  std::uint64_t rounds = 0;
+  std::vector<std::vector<typename S::Value>> rows;
+};
+
 template <Semiring S, typename RowGen>
-std::uint64_t measure(NodeId n, bool use_3d, unsigned entry_bits,
-                      RowGen row_gen) {
+Measured<S> measure(NodeId n, bool use_3d, unsigned entry_bits,
+                    RowGen row_gen) {
+  using V = typename S::Value;
+  PerNode<std::vector<V>> sink(n);
   auto res = Engine::run(gen::empty(n), [&](NodeCtx& ctx) {
     SplitMix64 rng(ctx.id() * 0x9e37ULL + 5);
     auto ra = row_gen(ctx.n(), rng);
     auto rb = row_gen(ctx.n(), rng);
     auto rc = use_3d ? mm_distributed_3d<S>(ctx, ra, rb, entry_bits)
                      : mm_distributed_naive<S>(ctx, ra, rb, entry_bits);
+    sink.set(ctx.id(), rc);
     ctx.output(static_cast<std::uint64_t>(rc[0]) & 0x3f);
   });
-  return res.cost.rounds;
+  return {res.cost.rounds, sink.take()};
 }
 
 auto bool_rows = [](NodeId nn, SplitMix64& rng) {
@@ -42,44 +64,89 @@ auto minplus_rows = [](NodeId nn, SplitMix64& rng) {
   return row;
 };
 
+bool g_check_ok = true;
+
+// Runs both algorithms, verifies 3-D against the naive broadcast result
+// row-for-row (fatal on mismatch — the two schedules fold identically, so
+// any difference is a delivery bug, not noise), returns {naive, 3d} rounds.
+template <Semiring S, typename RowGen>
+std::pair<std::uint64_t, std::uint64_t> run_pair(NodeId n, unsigned entry_bits,
+                                                 RowGen row_gen, bool check) {
+  const auto naive = measure<S>(n, false, entry_bits, row_gen);
+  const auto tri = measure<S>(n, true, entry_bits, row_gen);
+  if (naive.rows != tri.rows) {
+    std::printf("FATAL: 3-D result diverges from naive broadcast at n=%u\n",
+                n);
+    std::exit(1);
+  }
+  if (check &&
+      static_cast<double>(tri.rounds) >
+          static_cast<double>(naive.rounds) * kCheckTolerance) {
+    std::printf("CHECK FAILED: 3-D rounds %llu vs naive %llu at n=%u "
+                "(> %.0f%% tolerance)\n",
+                static_cast<unsigned long long>(tri.rounds),
+                static_cast<unsigned long long>(naive.rounds), n,
+                (kCheckTolerance - 1) * 100);
+    g_check_ok = false;
+  }
+  return {naive.rounds, tri.rounds};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ccq::benchjson::TraceSession ccq_trace_session(&argc, argv);
+  std::vector<NodeId> ns = {27, 64, 125, 216};
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--n=", 4) == 0) {
+      ns = {static_cast<NodeId>(std::strtoul(argv[i] + 4, nullptr, 10))};
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--n=N] [--check] [--trace=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
   std::printf("Distributed matrix multiplication (Figure 1 MM boxes)\n\n");
-  const std::vector<NodeId> ns = {27, 64, 125, 216};
 
   for (int which = 0; which < 2; ++which) {
     const bool boolean = which == 0;
-    std::printf("%s MM:\n", boolean ? "Boolean" : "(min,+)");
+    std::printf("%s MM (every 3-D row verified against naive):\n",
+                boolean ? "Boolean" : "(min,+)");
     Table t({"n", "naive rounds", "3-D rounds", "speedup"});
     std::vector<double> xs, y3;
     for (NodeId n : ns) {
-      std::uint64_t naive, tri;
-      if (boolean) {
-        naive = measure<BoolSemiring>(n, false, 1, bool_rows);
-        tri = measure<BoolSemiring>(n, true, 1, bool_rows);
-      } else {
-        naive = measure<MinPlusSemiring>(n, false, 8, minplus_rows);
-        tri = measure<MinPlusSemiring>(n, true, 8, minplus_rows);
-      }
+      const auto [naive, tri] =
+          boolean ? run_pair<BoolSemiring>(n, 1, bool_rows, check)
+                  : run_pair<MinPlusSemiring>(n, 8, minplus_rows, check);
       t.add_row({std::to_string(n), std::to_string(naive),
                  std::to_string(tri),
                  Table::fmt(static_cast<double>(naive) / tri, 2)});
       xs.push_back(n);
       y3.push_back(static_cast<double>(tri));
     }
-    auto fit = fit_loglog(xs, y3);
     t.print();
-    std::printf(
-        "3-D fitted exponent: %.3f vs the paper's 1/3 target (small-n "
-        "block-size\ngranularity and the w/B ratio inflate it; the naive "
-        "baseline sits near 1)\n\n",
-        fit.slope);
+    if (xs.size() > 1) {
+      auto fit = fit_loglog(xs, y3);
+      std::printf(
+          "3-D fitted exponent: %.3f vs the paper's 1/3 target (small-n "
+          "block-size\ngranularity and the w/B ratio inflate it; the naive "
+          "baseline sits near 1)\n",
+          fit.slope);
+    }
+    std::printf("\n");
   }
   std::printf(
       "Shape check: the 3-D algorithm wins at every size and its advantage "
       "grows with n.\n");
   if (!ccq_trace_session.finish(nullptr)) return 1;
+  if (check) {
+    if (!g_check_ok) return 1;
+    std::printf("CHECK OK: results exact, 3-D within %.0f%% of naive "
+                "rounds everywhere\n",
+                (kCheckTolerance - 1) * 100);
+  }
   return 0;
 }

@@ -370,4 +370,585 @@ std::vector<typename S::Value> mm_distributed_3d(
   return row_c;
 }
 
+// ---- rectangular shapes & the sparse nonzero-block schedule ---------------
+//
+// mm_distributed_rect generalises the 3-D schedule to C[n1×n3] =
+// A[n1×n2]·B[n2×n3]: node v < n1 holds row v of A, node v < n2 holds row v
+// of B, and on return node v < n1 holds row v of C. The worker grid uses
+// independent per-dimension part counts d1·d2·d3 ≤ n instead of a cube.
+//
+// mm_distributed_sparse runs the same schedule but ships only nonzero
+// content (DESIGN.md §13): a block-occupancy descriptor round tells each
+// worker the per-slice nonzero counts, then every slice travels either as
+// strictly-increasing (index,value) runs or — when the count makes runs no
+// cheaper — in the dense packed format, the choice being a pure function of
+// the agreed count. Partial result rows travel the same way, prefixed by a
+// self-describing count. Measured bits therefore scale with nnz, and every
+// structural corruption of a descriptor (drop, flip) makes the declared and
+// received payload widths disagree, which the receivers CCQ_CHECK.
+
+/// Shape of a rectangular product C[n1×n3] = A[n1×n2] · B[n2×n3].
+struct MmShape {
+  NodeId n1, n2, n3;
+};
+
+namespace mmrect_detail {
+
+/// Bits for an index into a slice of `width` entries.
+inline unsigned slice_index_bits(NodeId width) {
+  return width <= 1 ? 1u : ceil_log2(width);
+}
+
+/// Bits for a nonzero count in [0, width].
+inline unsigned slice_count_bits(NodeId width) {
+  return std::max(1u, ceil_log2(static_cast<std::uint64_t>(width) + 1));
+}
+
+/// Deterministic per-slice mode rule, computable by sender and receiver
+/// from the agreed count alone: ship (index,value) runs iff strictly
+/// cheaper than the dense packed slice (ties go dense, so a fully dense
+/// input degenerates to the dense 3-D schedule plus descriptors).
+inline bool slice_runs_sparse(NodeId width, NodeId count,
+                              unsigned entry_bits) {
+  return static_cast<std::uint64_t>(count) *
+             (slice_index_bits(width) + entry_bits) <
+         static_cast<std::uint64_t>(width) * entry_bits;
+}
+
+/// Payload bits a slice with `count` nonzeros occupies (0 ⇒ nothing sent).
+inline std::size_t slice_payload_bits(NodeId width, NodeId count,
+                                      unsigned entry_bits) {
+  if (count == 0) return 0;
+  return slice_runs_sparse(width, count, entry_bits)
+             ? static_cast<std::size_t>(count) *
+                   (slice_index_bits(width) + entry_bits)
+             : static_cast<std::size_t>(width) * entry_bits;
+}
+
+/// Per-dimension block grids: dim 0 indexes C/A row ranges (d1 parts of
+/// [n1]), dim 1 the inner ranges (d2 parts of [n2]), dim 2 the C/B column
+/// ranges (d3 parts of [n3]). Worker (i,j,k) = (i·d3+j)·d2+k multiplies
+/// A[R⁰_i, R¹_k] · B[R¹_k, R²_j].
+struct RectLayout {
+  NodeId n[3];
+  NodeId d[3];
+  NodeId q[3];
+
+  RectLayout(NodeId nodes, MmShape s) {
+    CCQ_CHECK_MSG(s.n1 >= 1 && s.n2 >= 1 && s.n3 >= 1,
+                  "mm shape dimensions must be positive");
+    CCQ_CHECK_MSG(s.n1 <= nodes && s.n2 <= nodes,
+                  "row-holding mm dimensions must fit the clique");
+    n[0] = s.n1;
+    n[1] = s.n2;
+    n[2] = s.n3;
+    d[0] = d[1] = d[2] = 1;
+    // Deterministic greedy grid: repeatedly split the dimension with the
+    // widest parts (ties → lowest index) while the grid fits the clique.
+    // For square shapes this converges to the ⌊n^{1/3}⌋ cube of Layout.
+    for (;;) {
+      int best = -1;
+      NodeId best_w = 0;
+      for (int t = 0; t < 3; ++t) {
+        if (d[t] >= n[t]) continue;
+        const std::uint64_t grown = static_cast<std::uint64_t>(d[0]) * d[1] *
+                                    d[2] / d[t] * (d[t] + 1);
+        if (grown > nodes) continue;
+        const NodeId w = static_cast<NodeId>(ceil_div(n[t], d[t]));
+        if (w > best_w) {
+          best = t;
+          best_w = w;
+        }
+      }
+      if (best < 0) break;
+      ++d[best];
+    }
+    for (int t = 0; t < 3; ++t)
+      q[t] = static_cast<NodeId>(ceil_div(n[t], d[t]));
+  }
+
+  NodeId begin(int t, NodeId r) const { return std::min(r * q[t], n[t]); }
+  NodeId end(int t, NodeId r) const {
+    return std::min((r + 1) * q[t], n[t]);
+  }
+  NodeId size(int t, NodeId r) const { return end(t, r) - begin(t, r); }
+  /// Which part contains index v (v < n[t]).
+  NodeId of(int t, NodeId v) const { return v / q[t]; }
+
+  bool is_worker(NodeId v) const {
+    return v < static_cast<std::uint64_t>(d[0]) * d[1] * d[2];
+  }
+  NodeId worker(NodeId i, NodeId j, NodeId k) const {
+    return (i * d[2] + j) * d[1] + k;
+  }
+  NodeId wi(NodeId v) const { return v / (d[1] * d[2]); }
+  NodeId wj(NodeId v) const { return (v / d[1]) % d[2]; }
+  NodeId wk(NodeId v) const { return v % d[1]; }
+};
+
+}  // namespace mmrect_detail
+
+/// Dense rectangular 3-D schedule. Node v < n1 passes row v of A (length
+/// n2), node v < n2 passes row v of B (length n3); other nodes pass empty
+/// spans. Returns row v of C (length n3) for v < n1, an empty vector
+/// otherwise.
+template <Semiring S>
+std::vector<typename S::Value> mm_distributed_rect(
+    NodeCtx& ctx, MmShape shape, std::span<const typename S::Value> row_a,
+    std::span<const typename S::Value> row_b, unsigned entry_bits) {
+  using V = typename S::Value;
+  using mmrect_detail::RectLayout;
+  const NodeId nn = ctx.n();
+  const RectLayout L(nn, shape);
+  const NodeId me = ctx.id();
+  const unsigned B = ctx.bandwidth();
+  CCQ_CHECK(entry_bits >= 1 && entry_bits <= 64);
+  const bool holds_a = me < L.n[0];
+  const bool holds_b = me < L.n[1];
+  CCQ_CHECK(!holds_a || row_a.size() == L.n[1]);
+  CCQ_CHECK(!holds_b || row_b.size() == L.n[2]);
+  CCQ_TRACE_SPAN(ctx, "mm-rect");
+
+  // ---- Step A: distribute input slices (A first, then B, so a worker
+  // receiving both from one source decodes positionally).
+  std::vector<std::pair<NodeId, Word>> phase_a;
+  if (holds_a) {
+    const NodeId iv = L.of(0, me);
+    for (NodeId k = 0; k < L.d[1]; ++k) {
+      const auto words = encode_bits(
+          pack_entries<S>(row_a.subspan(L.begin(1, k), L.size(1, k)),
+                          entry_bits),
+          B);
+      for (NodeId j = 0; j < L.d[2]; ++j)
+        for (const Word& w : words)
+          phase_a.emplace_back(L.worker(iv, j, k), w);
+    }
+  }
+  if (holds_b) {
+    const NodeId kv = L.of(1, me);
+    for (NodeId j = 0; j < L.d[2]; ++j) {
+      const auto words = encode_bits(
+          pack_entries<S>(row_b.subspan(L.begin(2, j), L.size(2, j)),
+                          entry_bits),
+          B);
+      for (NodeId i = 0; i < L.d[0]; ++i)
+        for (const Word& w : words)
+          phase_a.emplace_back(L.worker(i, j, kv), w);
+    }
+  }
+  const FlatInbox inbox_a = ctx.exchange_flat(phase_a);
+
+  // ---- Step B: workers assemble their blocks and multiply locally.
+  Matrix<V> partial;
+  if (L.is_worker(me)) {
+    const NodeId i = L.wi(me), j = L.wj(me), k = L.wk(me);
+    const NodeId ri = L.size(0, i), rj = L.size(2, j), rk = L.size(1, k);
+    Matrix<V> a_blk(ri, rk, S::zero()), b_blk(rk, rj, S::zero());
+    for (NodeId src = 0; src < nn; ++src) {
+      const auto q = inbox_a.from(src);
+      const bool sends_a = src < L.n[0] && L.of(0, src) == i;
+      const bool sends_b = src < L.n[1] && L.of(1, src) == k;
+      if (!sends_a && !sends_b) {
+        CCQ_CHECK_MSG(q.empty(), "mm_rect: words from unexpected source");
+        continue;
+      }
+      std::size_t pos_words = 0;
+      if (sends_a) {
+        const std::size_t bits = static_cast<std::size_t>(rk) * entry_bits;
+        const std::size_t nw = ceil_div(bits, B);
+        auto vals = unpack_entries<S>(
+            decode_words(q.subspan(pos_words, nw), bits), rk, entry_bits);
+        pos_words += nw;
+        std::copy(vals.begin(), vals.end(),
+                  a_blk.row_data(src - L.begin(0, i)));
+      }
+      if (sends_b) {
+        const std::size_t bits = static_cast<std::size_t>(rj) * entry_bits;
+        const std::size_t nw = ceil_div(bits, B);
+        auto vals = unpack_entries<S>(
+            decode_words(q.subspan(pos_words, nw), bits), rj, entry_bits);
+        pos_words += nw;
+        std::copy(vals.begin(), vals.end(),
+                  b_blk.row_data(src - L.begin(1, k)));
+      }
+      CCQ_CHECK_MSG(pos_words == q.size(), "mm_rect: stray words in inbox");
+    }
+    partial = kernels::mm_local<S>(a_blk, b_blk);
+  }
+
+  // ---- Step C: return partial rows to their owners and reduce.
+  std::vector<std::pair<NodeId, Word>> phase_c;
+  if (L.is_worker(me)) {
+    const NodeId i = L.wi(me);
+    for (NodeId r = L.begin(0, i); r < L.end(0, i); ++r) {
+      const NodeId lr = r - L.begin(0, i);
+      BitVector payload = pack_entries<S>(
+          std::span<const V>(partial.row_data(lr), partial.cols()),
+          entry_bits);
+      for (const Word& w : encode_bits(payload, B))
+        phase_c.emplace_back(r, w);
+    }
+  }
+  const FlatInbox inbox_c = ctx.exchange_flat(phase_c);
+
+  std::vector<V> row_c;
+  if (holds_a) {
+    row_c.assign(L.n[2], S::zero());
+    const NodeId i = L.of(0, me);
+    for (NodeId src = 0; src < nn; ++src) {
+      const auto q = inbox_c.from(src);
+      if (q.empty()) continue;
+      CCQ_CHECK_MSG(L.is_worker(src) && L.wi(src) == i,
+                    "mm_rect: partial row from unexpected worker");
+      const NodeId j = L.wj(src);
+      const NodeId rj = L.size(2, j);
+      const std::size_t bits = static_cast<std::size_t>(rj) * entry_bits;
+      auto vals = unpack_entries<S>(decode_words(q, bits), rj, entry_bits);
+      for (NodeId c = 0; c < rj; ++c) {
+        const NodeId col = L.begin(2, j) + c;
+        row_c[col] = S::add(row_c[col], vals[c]);
+      }
+    }
+  } else {
+    for (NodeId src = 0; src < nn; ++src)
+      CCQ_CHECK_MSG(inbox_c.from(src).empty(),
+                    "mm_rect: partial row sent to a non-owner");
+  }
+  return row_c;
+}
+
+/// Sparsity-aware rectangular schedule: same shape convention and worker
+/// grid as mm_distributed_rect, but only nonzero content is exchanged, so
+/// measured bits scale with nnz. Three collectives: a descriptor round
+/// (per-slice nonzero counts), the slice payloads (runs or dense per the
+/// count rule), and the partial-row reduction (count-prefixed rows, empty
+/// rows free). All three are validated receiver-side; any width or count
+/// inconsistency throws ModelViolation.
+template <Semiring S>
+std::vector<typename S::Value> mm_distributed_sparse(
+    NodeCtx& ctx, MmShape shape, std::span<const typename S::Value> row_a,
+    std::span<const typename S::Value> row_b, unsigned entry_bits) {
+  using V = typename S::Value;
+  using namespace mmrect_detail;
+  const NodeId nn = ctx.n();
+  const RectLayout L(nn, shape);
+  const NodeId me = ctx.id();
+  const unsigned B = ctx.bandwidth();
+  CCQ_CHECK(entry_bits >= 1 && entry_bits <= 64);
+  const bool holds_a = me < L.n[0];
+  const bool holds_b = me < L.n[1];
+  CCQ_CHECK(!holds_a || row_a.size() == L.n[1]);
+  CCQ_CHECK(!holds_b || row_b.size() == L.n[2]);
+  CCQ_TRACE_SPAN(ctx, "mm-sparse");
+
+  auto append_bv = [](BitVector& dst, const BitVector& src) {
+    std::size_t pos = 0;
+    while (pos < src.size()) {
+      const unsigned take =
+          static_cast<unsigned>(std::min<std::size_t>(64, src.size() - pos));
+      dst.append_bits(src.read_bits(pos, take), take);
+      pos += take;
+    }
+  };
+
+  // Encode one of my input slices (count + payload per the mode rule).
+  auto encode_slice = [&](std::span<const V> row, int dim, NodeId t,
+                          NodeId& count_out) {
+    const NodeId lo = L.begin(dim, t), width = L.size(dim, t);
+    NodeId count = 0;
+    for (NodeId c = 0; c < width; ++c)
+      if (row[lo + c] != S::zero()) ++count;
+    count_out = count;
+    BitVector bv;
+    if (count == 0) return bv;
+    if (slice_runs_sparse(width, count, entry_bits)) {
+      const unsigned ib = slice_index_bits(width);
+      for (NodeId c = 0; c < width; ++c) {
+        if (row[lo + c] == S::zero()) continue;
+        bv.append_bits(c, ib);
+        bv.append_bits(encode_value<S>(row[lo + c], entry_bits), entry_bits);
+      }
+    } else {
+      for (NodeId c = 0; c < width; ++c)
+        bv.append_bits(encode_value<S>(row[lo + c], entry_bits), entry_bits);
+    }
+    return bv;
+  };
+
+  // Decode one slice with an agreed count into (index, value) pairs.
+  auto parse_slice = [&](const BitVector& bv, std::size_t& pos, NodeId width,
+                         NodeId count, std::vector<std::uint32_t>& cols,
+                         std::vector<V>& vals) {
+    if (slice_runs_sparse(width, count, entry_bits)) {
+      const unsigned ib = slice_index_bits(width);
+      std::uint64_t prev = ~std::uint64_t{0};
+      for (NodeId t = 0; t < count; ++t) {
+        const std::uint64_t idx = bv.read_bits(pos, ib);
+        pos += ib;
+        CCQ_CHECK_MSG(idx < width && (prev == ~std::uint64_t{0} || idx > prev),
+                      "mm_sparse: corrupt slice run indices");
+        prev = idx;
+        cols.push_back(static_cast<std::uint32_t>(idx));
+        vals.push_back(
+            decode_value<S>(bv.read_bits(pos, entry_bits), entry_bits));
+        pos += entry_bits;
+      }
+    } else {
+      NodeId found = 0;
+      for (NodeId c = 0; c < width; ++c) {
+        const V v = decode_value<S>(bv.read_bits(pos, entry_bits), entry_bits);
+        pos += entry_bits;
+        if (v != S::zero()) {
+          cols.push_back(c);
+          vals.push_back(v);
+          ++found;
+        }
+      }
+      CCQ_CHECK_MSG(found == count, "mm_sparse: dense slice count mismatch");
+    }
+  };
+
+  // Pre-encode my slices once (payloads are identical across replicas).
+  std::vector<NodeId> a_cnt(holds_a ? L.d[1] : 0, 0);
+  std::vector<NodeId> b_cnt(holds_b ? L.d[2] : 0, 0);
+  std::vector<BitVector> a_pay(a_cnt.size()), b_pay(b_cnt.size());
+  if (holds_a)
+    for (NodeId k = 0; k < L.d[1]; ++k)
+      a_pay[k] = encode_slice(row_a, 1, k, a_cnt[k]);
+  if (holds_b)
+    for (NodeId j = 0; j < L.d[2]; ++j)
+      b_pay[j] = encode_slice(row_b, 2, j, b_cnt[j]);
+  const NodeId iv = holds_a ? L.of(0, me) : 0;
+  const NodeId kv = holds_b ? L.of(1, me) : 0;
+
+  // ---- Phase 0: block-occupancy descriptors. Destination (i,j,k) learns
+  // the nonzero count of my A slice k (if of⁰(me)=i) and of my B slice j
+  // (if of¹(me)=k); a destination owed both gets one combined descriptor
+  // from the A loop. All-zero descriptors are simply not sent.
+  std::vector<std::pair<NodeId, Word>> phase0;
+  if (holds_a) {
+    for (NodeId k = 0; k < L.d[1]; ++k) {
+      const NodeId wk = L.size(1, k);
+      const bool overlap = holds_b && k == kv;
+      for (NodeId j = 0; j < L.d[2]; ++j) {
+        const NodeId wj = L.size(2, j);
+        BitVector bv;
+        bool any = false;
+        if (wk > 0) {
+          bv.append_bits(a_cnt[k], slice_count_bits(wk));
+          any |= a_cnt[k] > 0;
+        }
+        if (overlap && wj > 0) {
+          bv.append_bits(b_cnt[j], slice_count_bits(wj));
+          any |= b_cnt[j] > 0;
+        }
+        if (!any) continue;
+        for (const Word& w : encode_bits(bv, B))
+          phase0.emplace_back(L.worker(iv, j, k), w);
+      }
+    }
+  }
+  if (holds_b) {
+    for (NodeId j = 0; j < L.d[2]; ++j) {
+      const NodeId wj = L.size(2, j);
+      if (wj == 0 || b_cnt[j] == 0) continue;
+      for (NodeId i = 0; i < L.d[0]; ++i) {
+        if (holds_a && i == iv) continue;  // combined in the A loop above
+        BitVector bv;
+        bv.append_bits(b_cnt[j], slice_count_bits(wj));
+        for (const Word& w : encode_bits(bv, B))
+          phase0.emplace_back(L.worker(i, j, kv), w);
+      }
+    }
+  }
+  const FlatInbox inbox0 = ctx.exchange_flat(phase0);
+
+  // Workers record per-source agreed counts.
+  std::vector<NodeId> cnt_a_from, cnt_b_from;
+  NodeId bi = 0, bj = 0, bk = 0;   // my worker coordinates
+  NodeId ri = 0, rj = 0, rk = 0;   // my block dimensions
+  if (L.is_worker(me)) {
+    bi = L.wi(me), bj = L.wj(me), bk = L.wk(me);
+    ri = L.size(0, bi), rj = L.size(2, bj), rk = L.size(1, bk);
+    cnt_a_from.assign(nn, 0);
+    cnt_b_from.assign(nn, 0);
+    for (NodeId src = 0; src < nn; ++src) {
+      const auto q = inbox0.from(src);
+      const bool qa = src < L.n[0] && L.of(0, src) == bi && rk > 0;
+      const bool qb = src < L.n[1] && L.of(1, src) == bk && rj > 0;
+      if (q.empty()) continue;  // all counts zero (or non-sender)
+      CCQ_CHECK_MSG(qa || qb, "mm_sparse: descriptor from unexpected source");
+      const std::size_t total = (qa ? slice_count_bits(rk) : 0) +
+                                (qb ? slice_count_bits(rj) : 0);
+      const BitVector bv = decode_words(q, total);
+      std::size_t pos = 0;
+      if (qa) {
+        cnt_a_from[src] =
+            static_cast<NodeId>(bv.read_bits(pos, slice_count_bits(rk)));
+        pos += slice_count_bits(rk);
+        CCQ_CHECK_MSG(cnt_a_from[src] <= rk,
+                      "mm_sparse: A slice count exceeds its width");
+      }
+      if (qb) {
+        cnt_b_from[src] =
+            static_cast<NodeId>(bv.read_bits(pos, slice_count_bits(rj)));
+        CCQ_CHECK_MSG(cnt_b_from[src] <= rj,
+                      "mm_sparse: B slice count exceeds its width");
+      }
+    }
+  } else {
+    for (NodeId src = 0; src < nn; ++src)
+      CCQ_CHECK_MSG(inbox0.from(src).empty(),
+                    "mm_sparse: descriptor sent to a non-worker");
+  }
+
+  // ---- Phase A: slice payloads, gated and framed by the agreed counts.
+  std::vector<std::pair<NodeId, Word>> phase_a;
+  if (holds_a) {
+    for (NodeId k = 0; k < L.d[1]; ++k) {
+      const bool overlap = holds_b && k == kv;
+      for (NodeId j = 0; j < L.d[2]; ++j) {
+        BitVector bv;
+        if (a_cnt[k] > 0) append_bv(bv, a_pay[k]);
+        if (overlap && b_cnt[j] > 0) append_bv(bv, b_pay[j]);
+        if (bv.size() == 0) continue;
+        for (const Word& w : encode_bits(bv, B))
+          phase_a.emplace_back(L.worker(iv, j, k), w);
+      }
+    }
+  }
+  if (holds_b) {
+    for (NodeId j = 0; j < L.d[2]; ++j) {
+      if (b_cnt[j] == 0) continue;
+      for (NodeId i = 0; i < L.d[0]; ++i) {
+        if (holds_a && i == iv) continue;
+        for (const Word& w : encode_bits(b_pay[j], B))
+          phase_a.emplace_back(L.worker(i, j, kv), w);
+      }
+    }
+  }
+  const FlatInbox inbox_a = ctx.exchange_flat(phase_a);
+
+  // ---- Local step: assemble CSR blocks, multiply (sparse or dense kernel
+  // — identical values either way), keep the nonzero runs per partial row.
+  std::vector<std::vector<std::pair<NodeId, V>>> c_runs;
+  if (L.is_worker(me)) {
+    std::vector<std::vector<std::uint32_t>> a_cols(ri), b_cols(rk);
+    std::vector<std::vector<V>> a_vals(ri), b_vals(rk);
+    for (NodeId src = 0; src < nn; ++src) {
+      const auto q = inbox_a.from(src);
+      const bool qa = src < L.n[0] && L.of(0, src) == bi;
+      const bool qb = src < L.n[1] && L.of(1, src) == bk;
+      const NodeId ca = qa ? cnt_a_from[src] : 0;
+      const NodeId cb = qb ? cnt_b_from[src] : 0;
+      const std::size_t expect = slice_payload_bits(rk, ca, entry_bits) +
+                                 slice_payload_bits(rj, cb, entry_bits);
+      if (expect == 0) {
+        CCQ_CHECK_MSG(q.empty(), "mm_sparse: payload without a descriptor");
+        continue;
+      }
+      const BitVector bv = decode_words(q, expect);
+      std::size_t pos = 0;
+      if (ca > 0)
+        parse_slice(bv, pos, rk, ca, a_cols[src - L.begin(0, bi)],
+                    a_vals[src - L.begin(0, bi)]);
+      if (cb > 0)
+        parse_slice(bv, pos, rj, cb, b_cols[src - L.begin(1, bk)],
+                    b_vals[src - L.begin(1, bk)]);
+    }
+    SparseMatrix<V> a_csr(rk), b_csr(rj);
+    for (NodeId r = 0; r < ri; ++r) a_csr.push_row(a_cols[r], a_vals[r]);
+    for (NodeId r = 0; r < rk; ++r) b_csr.push_row(b_cols[r], b_vals[r]);
+    c_runs.assign(ri, {});
+    const bool sparse_local =
+        a_csr.density() <= kernels::kSparseDispatchMaxDensity &&
+        b_csr.density() <= kernels::kSparseDispatchMaxDensity;
+    if (sparse_local) {
+      const auto c_csr = kernels::spgemm<S>(a_csr, b_csr);
+      for (NodeId r = 0; r < ri; ++r)
+        for (std::size_t t = c_csr.row_begin(r); t < c_csr.row_end(r); ++t)
+          if (c_csr.values()[t] != S::zero())
+            c_runs[r].emplace_back(c_csr.col_idx()[t], c_csr.values()[t]);
+    } else {
+      const auto c_dense = kernels::mm_local<S>(
+          a_csr.template to_dense<S>(), b_csr.template to_dense<S>());
+      for (NodeId r = 0; r < ri; ++r) {
+        const V* row = c_dense.row_data(r);
+        for (NodeId c = 0; c < rj; ++c)
+          if (row[c] != S::zero()) c_runs[r].emplace_back(c, row[c]);
+      }
+    }
+  }
+
+  // ---- Phase C: count-prefixed partial rows to their owners; empty
+  // partial rows cost nothing.
+  std::vector<std::pair<NodeId, Word>> phase_c;
+  if (L.is_worker(me) && rj > 0) {
+    const unsigned cb = slice_count_bits(rj);
+    const unsigned ib = slice_index_bits(rj);
+    for (NodeId r = 0; r < ri; ++r) {
+      const auto& runs = c_runs[r];
+      if (runs.empty()) continue;
+      const NodeId count = static_cast<NodeId>(runs.size());
+      BitVector bv;
+      bv.append_bits(count, cb);
+      if (slice_runs_sparse(rj, count, entry_bits)) {
+        for (const auto& [c, v] : runs) {
+          bv.append_bits(c, ib);
+          bv.append_bits(encode_value<S>(v, entry_bits), entry_bits);
+        }
+      } else {
+        std::vector<V> dense(rj, S::zero());
+        for (const auto& [c, v] : runs) dense[c] = v;
+        for (NodeId c = 0; c < rj; ++c)
+          bv.append_bits(encode_value<S>(dense[c], entry_bits), entry_bits);
+      }
+      const NodeId owner = L.begin(0, bi) + r;
+      for (const Word& w : encode_bits(bv, B)) phase_c.emplace_back(owner, w);
+    }
+  }
+  const FlatInbox inbox_c = ctx.exchange_flat(phase_c);
+
+  std::vector<V> row_c;
+  if (holds_a) {
+    row_c.assign(L.n[2], S::zero());
+    const NodeId oi = L.of(0, me);
+    std::vector<std::uint32_t> cols;
+    std::vector<V> vals;
+    for (NodeId src = 0; src < nn; ++src) {
+      const auto q = inbox_c.from(src);
+      if (q.empty()) continue;
+      CCQ_CHECK_MSG(L.is_worker(src) && L.wi(src) == oi,
+                    "mm_sparse: partial row from unexpected worker");
+      const NodeId j = L.wj(src);
+      const NodeId width = L.size(2, j);
+      CCQ_CHECK_MSG(width > 0, "mm_sparse: partial row for an empty range");
+      const unsigned cb = slice_count_bits(width);
+      std::size_t total = 0;
+      for (const Word& w : q) total += w.bits;
+      CCQ_CHECK_MSG(total >= cb, "mm_sparse: truncated partial-row payload");
+      const BitVector bv = decode_words(q, total);
+      const NodeId count = static_cast<NodeId>(bv.read_bits(0, cb));
+      CCQ_CHECK_MSG(count >= 1 && count <= width,
+                    "mm_sparse: corrupt partial-row count");
+      CCQ_CHECK_MSG(
+          total == cb + slice_payload_bits(width, count, entry_bits),
+          "mm_sparse: partial-row payload width mismatch");
+      std::size_t pos = cb;
+      cols.clear();
+      vals.clear();
+      parse_slice(bv, pos, width, count, cols, vals);
+      for (std::size_t t = 0; t < cols.size(); ++t) {
+        const NodeId col = L.begin(2, j) + cols[t];
+        row_c[col] = S::add(row_c[col], vals[t]);
+      }
+    }
+  } else {
+    for (NodeId src = 0; src < nn; ++src)
+      CCQ_CHECK_MSG(inbox_c.from(src).empty(),
+                    "mm_sparse: partial row sent to a non-owner");
+  }
+  return row_c;
+}
+
 }  // namespace ccq

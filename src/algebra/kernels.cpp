@@ -249,4 +249,19 @@ Matrix<std::uint8_t> bool_mm_bitpacked(const Matrix<std::uint8_t>& a,
       .to_matrix();
 }
 
+BitMatrix bit_spgemm(const SparseMatrix<std::uint8_t>& a, const BitMatrix& b) {
+  CCQ_CHECK(a.cols() == b.rows());
+  BitMatrix c(a.rows(), b.cols());
+  const std::size_t wpr = b.words_per_row();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    std::uint64_t* cr = c.row(i);
+    for (std::size_t t = a.row_begin(i); t < a.row_end(i); ++t) {
+      if (a.values()[t] == 0) continue;  // stored zero: no contribution
+      const std::uint64_t* br = b.row(a.col_idx()[t]);
+      for (std::size_t w = 0; w < wpr; ++w) cr[w] |= br[w];
+    }
+  }
+  return c;
+}
+
 }  // namespace ccq::kernels

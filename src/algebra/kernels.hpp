@@ -40,6 +40,7 @@
 
 #include "algebra/matrix.hpp"
 #include "algebra/mm.hpp"
+#include "algebra/sparse.hpp"
 #include "util/bit_vector.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
@@ -135,6 +136,12 @@ std::size_t bit_first_common(const BitVector& a, const BitVector& b,
 /// unpack). Requires entries in {0, 1}; mm_auto checks that before routing.
 Matrix<std::uint8_t> bool_mm_bitpacked(const Matrix<std::uint8_t>& a,
                                        const Matrix<std::uint8_t>& b);
+
+/// Bit-packed Boolean SpGEMM: for every stored nonzero a(i,k), OR word-row
+/// k of b into word-row i of the result — the sparse-A analogue of bit_mm,
+/// nnz(a)·cols(b)/64 word ops instead of rows·cols(a)·cols(b)/64. Same
+/// result as bit_mm on the densified a.
+BitMatrix bit_spgemm(const SparseMatrix<std::uint8_t>& a, const BitMatrix& b);
 
 // ---- scalar kernels -------------------------------------------------------
 
@@ -287,12 +294,36 @@ inline constexpr std::size_t kParallelMinRows = 128;
 /// (cutoff-64 leaves win ~(7/8) per halving; padding waste is gated below).
 inline constexpr std::size_t kStrassenMinN = 256;
 
-/// Full dispatch: semiring × size × pool availability (DESIGN.md §11).
-/// Bit-for-bit equal to mm_naive<S> on every input.
+/// Maximum measured density at which mm_auto routes through the SpGEMM
+/// kernels: below 1/20 the per-nonzero work (p²·n³ scalar, p·n³/64
+/// bit-packed) clearly beats every dense kernel including the bit-packed
+/// Boolean path (n³/64).
+inline constexpr double kSparseDispatchMaxDensity = 0.05;
+
+/// Minimum dimension before the sparse route pays for its CSR conversion.
+inline constexpr std::size_t kSparseDispatchMinDim = 64;
+
+/// Full dispatch: semiring × size × density × pool availability (DESIGN.md
+/// §11, §13). Bit-for-bit equal to mm_naive<S> on every input.
 template <Semiring S>
 Matrix<typename S::Value> mm_auto(const Matrix<typename S::Value>& a,
                                   const Matrix<typename S::Value>& b) {
   CCQ_CHECK(a.cols() == b.rows());
+  using V = typename S::Value;
+  if (std::min({a.rows(), a.cols(), b.cols()}) >= kSparseDispatchMinDim &&
+      density_of<S>(a) <= kSparseDispatchMaxDensity &&
+      density_of<S>(b) <= kSparseDispatchMaxDensity) {
+    if constexpr (std::is_same_v<S, BoolSemiring>) {
+      if (detail::bool_in_domain(a) && detail::bool_in_domain(b)) {
+        return bit_spgemm(SparseMatrix<std::uint8_t>::template from_dense<S>(a),
+                          BitMatrix::from_matrix(b))
+            .to_matrix();
+      }
+    }
+    return spgemm<S>(SparseMatrix<V>::template from_dense<S>(a),
+                     SparseMatrix<V>::template from_dense<S>(b))
+        .template to_dense<S>();
+  }
   if constexpr (std::is_same_v<S, BoolSemiring>) {
     if (a.cols() >= 64 && detail::bool_in_domain(a) &&
         detail::bool_in_domain(b))

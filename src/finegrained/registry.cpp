@@ -54,6 +54,53 @@ CostMeter run_distributed_mm(NodeId n, std::uint64_t seed,
   return res.cost;
 }
 
+// Sparse (min,+) MM over the nonzero-block schedule (DESIGN.md §13):
+// ~n/20 finite entries per row, the rest ∞ (the semiring zero).
+CostMeter run_sparse_mm(NodeId n, std::uint64_t seed) {
+  auto res = Engine::run(gen::empty(n), [&](NodeCtx& ctx) {
+    SplitMix64 rng(seed ^ (ctx.id() * 0x9e3779b9ULL));
+    const NodeId nn = ctx.n();
+    const NodeId per_row = std::max<NodeId>(1, nn / 20);
+    auto gen_row = [&] {
+      std::vector<MinPlusSemiring::Value> row(nn,
+                                              MinPlusSemiring::infinity());
+      for (NodeId t = 0; t < per_row; ++t)
+        row[rng.next_below(nn)] = rng.next_below(30);
+      return row;
+    };
+    const auto ra = gen_row();
+    const auto rb = gen_row();
+    const auto rc = mm_distributed_sparse<MinPlusSemiring>(
+        ctx, MmShape{nn, nn, nn}, ra, rb, /*entry_bits=*/8);
+    ctx.output(static_cast<std::uint64_t>(rc[0] & 0x7f));
+  });
+  return res.cost;
+}
+
+// Rectangular Boolean MM: C[n × n/4] = A[n × n/2]·B[n/2 × n/4] on the
+// per-dimension block grid.
+CostMeter run_rect_mm(NodeId n, std::uint64_t seed) {
+  auto res = Engine::run(gen::empty(n), [&](NodeCtx& ctx) {
+    SplitMix64 rng(seed ^ (ctx.id() * 0x9e3779b9ULL));
+    const NodeId nn = ctx.n();
+    const MmShape shape{nn, std::max<NodeId>(1, nn / 2),
+                        std::max<NodeId>(1, nn / 4)};
+    std::vector<BoolSemiring::Value> ra, rb;
+    if (ctx.id() < shape.n1) {
+      ra.resize(shape.n2);
+      for (auto& v : ra) v = rng.next_bool(0.4) ? 1 : 0;
+    }
+    if (ctx.id() < shape.n2) {
+      rb.resize(shape.n3);
+      for (auto& v : rb) v = rng.next_bool(0.4) ? 1 : 0;
+    }
+    const auto rc = mm_distributed_rect<BoolSemiring>(ctx, shape, ra, rb,
+                                                      /*entry_bits=*/1);
+    ctx.output(rc.empty() ? 0 : static_cast<std::uint64_t>(rc[0]));
+  });
+  return res.cost;
+}
+
 }  // namespace
 
 std::vector<Problem> figure1_problems() {
@@ -151,6 +198,27 @@ std::vector<Problem> figure1_problems() {
                       });
                 },
                 1.0 / 3.0, "[10]"});
+
+  ps.push_back({"Sparse (min,+) MM",
+                [](NodeId n, std::uint64_t seed) {
+                  return run_sparse_mm(n, seed);
+                },
+                1.0 / 3.0,
+                "nonzero-block 3-D schedule, bits ∝ nnz (DESIGN.md §13)"});
+
+  ps.push_back({"Rect Bool MM",
+                [](NodeId n, std::uint64_t seed) {
+                  return run_rect_mm(n, seed);
+                },
+                1.0 / 3.0,
+                "rectangular block grid; cf. Le Gall [42]"});
+
+  ps.push_back({"Sparse triangle",
+                [](NodeId n, std::uint64_t seed) {
+                  return triangle_mm_clique(sparse_graph(n, seed)).cost;
+                },
+                1.0 / 3.0,
+                "A² ∧ A over the sparse MM schedule (DESIGN.md §13)"});
 
   // Galactic: the 1−2/ω ring bound needs fast MM; we carry it analytically.
   ps.push_back({"Ring MM", nullptr, 1.0 - 2.0 / kOmega, "[10, 41]"});

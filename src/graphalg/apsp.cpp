@@ -19,14 +19,30 @@ std::vector<typename S::Value> square_step(NodeCtx& ctx, MmAlgo algo,
       return mm_distributed_naive<S>(ctx, row, row, entry_bits);
     case MmAlgo::k3dPartition:
       return mm_distributed_3d<S>(ctx, row, row, entry_bits);
+    case MmAlgo::kSparse3d: {
+      const NodeId n = ctx.n();
+      return mm_distributed_sparse<S>(ctx, MmShape{n, n, n}, row, row,
+                                      entry_bits);
+    }
+    case MmAlgo::kAuto:
+      break;  // resolved before Engine::run — never reaches a node program
   }
   CCQ_CHECK_MSG(false, "unknown MmAlgo");
   return row;
 }
 
+/// Resolve kAuto from the input graph's density, deterministically and
+/// outside the node programs so every node runs the identical schedule.
+MmAlgo resolve_algo(MmAlgo algo, const Graph& g) {
+  if (algo != MmAlgo::kAuto) return algo;
+  return graph_density(g) <= kSparseMmMaxDensity ? MmAlgo::kSparse3d
+                                                 : MmAlgo::k3dPartition;
+}
+
 }  // namespace
 
 ApspResult apsp_clique(const Graph& g, MmAlgo algo) {
+  algo = resolve_algo(algo, g);
   const NodeId n = g.n();
   std::uint32_t max_w = 1;
   for (const Edge& e : g.edges()) max_w = std::max(max_w, e.w);
@@ -122,6 +138,7 @@ ApspResult apsp_approx_impl(const Graph& g, MmAlgo algo) {
 }  // namespace
 
 ApspResult apsp_approx_clique(const Graph& g, double epsilon, MmAlgo algo) {
+  algo = resolve_algo(algo, g);
   const unsigned steps = std::max(1u, ceil_log2(g.n()));
   const unsigned m = required_mantissa_bits(epsilon, steps);
   if (m <= 4) return apsp_approx_impl<4>(g, algo);
@@ -133,6 +150,7 @@ ApspResult apsp_approx_clique(const Graph& g, double epsilon, MmAlgo algo) {
 }
 
 ClosureResult transitive_closure_clique(const Graph& g, MmAlgo algo) {
+  algo = resolve_algo(algo, g);
   const NodeId n = g.n();
   PerNode<std::vector<std::uint8_t>> sink(n);
 

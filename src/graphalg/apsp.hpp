@@ -27,15 +27,17 @@ struct ClosureResult {
 enum class MmAlgo {
   kNaiveBroadcast,  ///< Θ(n·w/B)-round baseline
   k3dPartition,     ///< O(n^{1/3}·w/B) rounds (Censor-Hillel et al. [10])
+  kSparse3d,        ///< nonzero-block 3-D schedule, bits ∝ nnz (DESIGN.md §13)
+  kAuto,            ///< kSparse3d when graph_density ≤ kSparseMmMaxDensity
 };
 
 /// APSP by ⌈log₂n⌉ distributed (min,+) squarings of the weight matrix.
 /// Handles directed and weighted graphs.
-ApspResult apsp_clique(const Graph& g, MmAlgo algo = MmAlgo::k3dPartition);
+ApspResult apsp_clique(const Graph& g, MmAlgo algo = MmAlgo::kAuto);
 
 /// Reflexive-transitive closure by Boolean squaring.
 ClosureResult transitive_closure_clique(const Graph& g,
-                                        MmAlgo algo = MmAlgo::k3dPartition);
+                                        MmAlgo algo = MmAlgo::kAuto);
 
 /// (1+ε)-approximate weighted APSP — the approximation boxes of Figure 1.
 /// Weights are rounded to powers of (1+ε/(2n)) before the (min,+) squaring,
@@ -45,6 +47,6 @@ ClosureResult transitive_closure_clique(const Graph& g,
 /// sophisticated [5]; DESIGN.md records this substitution — the *measured
 /// tradeoff* approximate-cheaper-than-exact is what Figure 1 needs.)
 ApspResult apsp_approx_clique(const Graph& g, double epsilon,
-                              MmAlgo algo = MmAlgo::k3dPartition);
+                              MmAlgo algo = MmAlgo::kAuto);
 
 }  // namespace ccq

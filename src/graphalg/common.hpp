@@ -11,8 +11,24 @@
 #include <vector>
 
 #include "clique/engine.hpp"
+#include "graph/graph.hpp"
 
 namespace ccq {
+
+/// Density threshold below which the MM-based graph algorithms route
+/// through the sparse nonzero-block schedule (DESIGN.md §13).
+inline constexpr double kSparseMmMaxDensity = 0.10;
+
+/// Fraction of possible (ordered) adjacencies present: m/(n(n-1)) for
+/// directed graphs, 2m/(n(n-1)) for undirected. 0 for n < 2.
+inline double graph_density(const Graph& g) {
+  const double n = static_cast<double>(g.n());
+  if (g.n() < 2) return 0.0;
+  const double pairs = n * (n - 1.0);
+  const double adj =
+      static_cast<double>(g.m()) * (g.is_directed() ? 1.0 : 2.0);
+  return adj / pairs;
+}
 
 template <typename T>
 class PerNode {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "algebra/distributed_mm.hpp"
 #include "algebra/kernels.hpp"
 #include "clique/engine.hpp"
 #include "graph/oracles.hpp"
@@ -158,7 +159,83 @@ DetectionResult detect_structure_clique(const Graph& g, unsigned k,
   return result;
 }
 
-DetectionResult triangle_clique(const Graph& g) {
+DetectionResult triangle_mm_clique(const Graph& g) {
+  CCQ_CHECK_MSG(!g.is_directed(),
+                "triangle detection is defined for undirected graphs");
+  const NodeId n = g.n();
+  PerNode<std::vector<NodeId>> sink(n);
+
+  auto run = Engine::run(g, [&](NodeCtx& ctx) {
+    const NodeId me = ctx.id();
+    const NodeId nn = ctx.n();
+    using V = BoolSemiring::Value;
+    std::vector<V> row(nn, 0);
+    const BitVector& r = ctx.adj_row();
+    for (std::size_t u = r.find_first(); u < r.size();
+         u = r.find_first(u + 1)) {
+      row[u] = 1;
+    }
+    // sq[j] = ∃k: adj(me,k) ∧ adj(k,j); no self loops, so a set entry with
+    // adj(me,j) certifies a triangle {me, j, k} with k ∉ {me, j}.
+    const auto sq = mm_distributed_sparse<BoolSemiring>(
+        ctx, MmShape{nn, nn, nn}, row, row, /*entry_bits=*/1);
+    NodeId myj = nn;
+    for (NodeId j = 0; j < nn; ++j) {
+      if (row[j] && sq[j]) {
+        myj = j;
+        break;
+      }
+    }
+
+    // Elect the lowest-id node on a triangle, publish its partner j, then
+    // elect the lowest common neighbour as the third corner. Every branch
+    // below is gated on shared data, so the collective sequence is uniform.
+    const auto found_bits = ctx.share_bit(myj < nn);
+    NodeId winner = nn;
+    for (NodeId v = 0; v < nn; ++v) {
+      if (found_bits[v]) {
+        winner = v;
+        break;
+      }
+    }
+    std::vector<NodeId> witness;
+    if (winner < nn) {
+      const unsigned idb = node_id_bits(nn);
+      BitVector jb(idb);
+      if (me == winner) {
+        jb = BitVector{};
+        jb.append_bits(myj, idb);
+      }
+      const auto all = ctx.broadcast(jb);
+      const NodeId jw =
+          static_cast<NodeId>(all[winner].read_bits(0, idb));
+      const auto common = ctx.share_bit(me != winner && me != jw &&
+                                        r.get(winner) && r.get(jw));
+      NodeId kw = nn;
+      for (NodeId v = 0; v < nn; ++v) {
+        if (common[v]) {
+          kw = v;
+          break;
+        }
+      }
+      CCQ_CHECK_MSG(kw < nn, "triangle_mm: missing third corner");
+      witness = {winner, jw, kw};
+    }
+    sink.set(me, witness);
+    ctx.decide(winner < nn);
+  });
+
+  DetectionResult result;
+  result.cost = run.cost;
+  result.found = run.accepted();
+  auto wits = sink.take();
+  if (result.found) result.witness = wits[0];
+  return result;
+}
+
+namespace {
+
+DetectionResult triangle_detect_clique(const Graph& g) {
   // Word-parallel local pattern: scan pairs (u, v) with v ∈ N(u), v > u,
   // and find the first common neighbour w > v by AND-ing adjacency rows
   // 64 bits at a time (kernels::bit_first_common). The scan order (u
@@ -186,6 +263,15 @@ DetectionResult triangle_clique(const Graph& g) {
         }
         return std::nullopt;
       });
+}
+
+}  // namespace
+
+DetectionResult triangle_clique(const Graph& g) {
+  CCQ_CHECK_MSG(!g.is_directed(),
+                "triangle detection is defined for undirected graphs");
+  if (graph_density(g) <= kSparseMmMaxDensity) return triangle_mm_clique(g);
+  return triangle_detect_clique(g);
 }
 
 DetectionResult independent_set_clique(const Graph& g, unsigned k) {

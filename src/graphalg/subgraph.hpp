@@ -40,8 +40,16 @@ DetectionResult detect_structure_clique(const Graph& g, unsigned k,
 
 // Convenience wrappers (all measured through the same detector):
 
-/// Triangle detection (k = 3).
+/// Triangle detection (k = 3). Routes through the sparse Boolean-MM path
+/// (triangle_mm_clique) when graph_density(g) ≤ kSparseMmMaxDensity, the
+/// Dolev-style detector otherwise.
 DetectionResult triangle_clique(const Graph& g);
+
+/// Triangle detection via one distributed Boolean squaring on the sparse
+/// nonzero-block schedule: a triangle through v exists iff (A² ∧ A) has a
+/// set entry in row v. Communication scales with nnz (DESIGN.md §13), which
+/// beats the detector's Θ(n^{1+1/3}/B) rounds on sparse inputs.
+DetectionResult triangle_mm_clique(const Graph& g);
 
 /// Independent set of size k (the k-IS of Figure 1; note 3-IS and triangle
 /// are complement problems, which test_reductions exercises).

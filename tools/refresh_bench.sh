@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerate every committed perf baseline in one command.
+#
+# Rebuilds the Release tree and reruns each JSON-writing bench with its
+# default sweep, rewriting the BENCH_*.json files at the repo root:
+#
+#   BENCH_routing.json    bench_routing     (plane + backend tables)
+#   BENCH_exchange.json   bench_exchange    (flat vs legacy plane)
+#   BENCH_kernels.json    bench_kernels     (local-compute kernels)
+#   BENCH_chaos.json      bench_chaos_verifiers (soundness campaign)
+#   BENCH_sharding.json   bench_sharding    (owner-computes backend)
+#   BENCH_mm_sparse.json  bench_mm_sparse   (sparse vs dense MM)
+#
+# Every bench self-verifies (fatal on any result divergence), so a baseline
+# refresh cannot silently bake in a correctness regression. Run from
+# anywhere; writes relative to the repo root.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=build-rel
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j --target \
+  bench_routing bench_exchange bench_kernels bench_chaos_verifiers \
+  bench_sharding bench_mm_sparse
+
+./"$BUILD"/bench/bench_routing
+./"$BUILD"/bench/bench_exchange
+./"$BUILD"/bench/bench_kernels
+./"$BUILD"/bench/bench_chaos_verifiers
+./"$BUILD"/bench/bench_sharding
+./"$BUILD"/bench/bench_mm_sparse
+
+echo
+echo "refreshed:"
+ls -l BENCH_*.json
