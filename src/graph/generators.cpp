@@ -1,6 +1,7 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "util/rng.hpp"
@@ -180,6 +181,52 @@ Planted planted_k_cycle(NodeId n, unsigned k, double p, std::uint64_t seed) {
     if (!g.has_edge(u, v)) g.add_edge(u, v);
   }
   return {std::move(g), std::move(witness)};
+}
+
+Graph powerlaw_chung_lu(NodeId n, double exponent, double avg_degree,
+                        std::uint64_t seed) {
+  CCQ_CHECK_MSG(exponent > 1.0, "Chung–Lu requires a tail exponent > 1");
+  CCQ_CHECK_MSG(avg_degree > 0 && avg_degree < n,
+                "Chung–Lu requires 0 < avg_degree < n");
+  SplitMix64 rng(seed);
+  // Target weights w_v ∝ (v+1)^(-1/(exponent-1)), rescaled so the mean is
+  // avg_degree; then P[{u,v}] = min(1, w_u·w_v / Σw) — expected degree of v
+  // approaches w_v wherever the min() does not clip.
+  const double gamma = -1.0 / (exponent - 1.0);
+  std::vector<double> w(n);
+  double sum = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    w[v] = std::pow(static_cast<double>(v) + 1.0, gamma);
+    sum += w[v];
+  }
+  const double scale = avg_degree * n / sum;
+  for (NodeId v = 0; v < n; ++v) w[v] *= scale;
+  const double total = avg_degree * n;
+  Graph g = Graph::undirected(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double p = std::min(1.0, w[u] * w[v] / total);
+      if (rng.next_bool(p)) g.add_edge(u, v);
+    }
+  return g;
+}
+
+Planted planted_communities(NodeId n, unsigned k, double p_in, double p_out,
+                            std::uint64_t seed) {
+  CCQ_CHECK_MSG(k >= 1, "community count must be >= 1");
+  CCQ_CHECK_MSG(p_in >= 0 && p_in <= 1 && p_out >= 0 && p_out <= 1,
+                "community densities must be probabilities");
+  SplitMix64 rng(seed);
+  std::vector<NodeId> community(n);
+  for (NodeId v = 0; v < n; ++v)
+    community[v] = static_cast<NodeId>(rng.next_below(k));
+  Graph g = Graph::undirected(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double p = community[u] == community[v] ? p_in : p_out;
+      if (rng.next_bool(p)) g.add_edge(u, v);
+    }
+  return {std::move(g), std::move(community)};
 }
 
 Planted planted_vertex_cover(NodeId n, unsigned k, std::size_t m,

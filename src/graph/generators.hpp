@@ -67,4 +67,20 @@ Planted planted_k_cycle(NodeId n, unsigned k, double p, std::uint64_t seed);
 Planted planted_vertex_cover(NodeId n, unsigned k, std::size_t m,
                              std::uint64_t seed);
 
+/// Chung–Lu power-law graph: node v gets target weight
+/// w_v ∝ (v+1)^(-1/(exponent-1)) scaled so the mean degree is avg_degree,
+/// and edge {u,v} is drawn independently with probability
+/// min(1, w_u·w_v / Σw). Degrees follow a power law with the given tail
+/// exponent (the heavy end sits at low node ids — deterministic, so tests
+/// can assert it). Requires exponent > 1 and 0 < avg_degree < n.
+Graph powerlaw_chung_lu(NodeId n, double exponent, double avg_degree,
+                        std::uint64_t seed);
+
+/// Planted-partition (stochastic-block-style) community graph: each node is
+/// assigned one of k communities uniformly at random; same-community pairs
+/// are connected with probability p_in, cross-community pairs with p_out.
+/// witness[v] = community of v.
+Planted planted_communities(NodeId n, unsigned k, double p_in, double p_out,
+                            std::uint64_t seed);
+
 }  // namespace ccq::gen

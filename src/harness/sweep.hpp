@@ -1,0 +1,52 @@
+#pragma once
+
+// Scenario-matrix sweep runner (DESIGN.md §14).
+//
+// run_cell() executes one manifest cell end to end: instantiate the graph
+// family, build the Engine::Config the cell names (plane, backend, workers,
+// bandwidth), attach a fresh RoundTrace (and, for chaos cells, a fresh
+// ChaosPlan), run the registered algorithm, and cross-check the CostMeter
+// against the trace ledger — per cell, every run. A cell whose ledger does
+// not reproduce its meter, or whose repeated trials disagree on outputs or
+// meters, reports ok == false with a reason; bench_matrix exits non-zero
+// on it, so a broken cell can never be committed as a baseline.
+//
+// Algorithms are node programs over the cell's graph instance, registered
+// by name (algorithm_names()): they exercise the routing, broadcast, and
+// distributed-MM collectives the benches measure, parameterised only by
+// the instance, so every cell is a pure function of its CellSpec.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clique/cost.hpp"
+#include "harness/manifest.hpp"
+
+namespace ccq::harness {
+
+/// Registered sweep algorithms: routing_direct, routing_balanced,
+/// broadcast_adj, mm_bool_3d, triangle_mm.
+const std::vector<std::string>& algorithm_names();
+
+struct CellResult {
+  CellSpec spec;
+  bool ok = false;          ///< ledger cross-check + trial agreement
+  std::string fail_reason;  ///< set when !ok
+  CostMeter cost;           ///< deterministic across trials (asserted)
+  double wall_ms = 0;       ///< best of trials
+  std::uint64_t output_fp = 0;  ///< FNV-1a over the per-node outputs
+  std::uint64_t faults = 0;     ///< chaos faults injected (0 when off)
+};
+
+/// Run one cell for `trials` repetitions (>= 1). Throws ModelViolation on
+/// unknown family/algorithm or unloadable corpus file; engine-level
+/// violations surface as ok == false with the exception text.
+CellResult run_cell(const CellSpec& spec, int trials);
+
+/// Determinism probe used by bench_matrix --check: rerun the cell at a
+/// different worker count and require bit-identical outputs and meters.
+/// Returns empty string on agreement, a diagnostic otherwise.
+std::string check_worker_determinism(const CellSpec& spec);
+
+}  // namespace ccq::harness

@@ -13,6 +13,14 @@ Two checks, both over the repository's own files only:
    `add_executable(bench_* ...)`) must be mentioned in EXPERIMENTS.md, so a
    new bench cannot land without its experiment-book section.
 
+3. The manifest schema documented in DESIGN.md §14 matches the keys the
+   parser accepts. The key lists in src/harness/manifest.cpp sit between
+   `// manifest-keys-begin` / `// manifest-keys-end` markers; the schema
+   table in DESIGN.md sits between `<!-- manifest-schema-begin -->` /
+   `<!-- manifest-schema-end -->`. A key documented but rejected, or
+   accepted but undocumented, fails the build — the schema table cannot
+   drift from the parser.
+
 Exit status 0 when clean; 1 with one `file:line: message` diagnostic per
 problem otherwise. No dependencies beyond the standard library.
 """
@@ -96,11 +104,49 @@ def check_bench_coverage() -> list[str]:
     return problems
 
 
+def _between(text: str, begin: str, end: str, where: str) -> tuple[str, int]:
+    """Return (slice, start-line) of text between two marker lines."""
+    b, e = text.find(begin), text.find(end)
+    if b < 0 or e < 0 or e < b:
+        raise ValueError(f"{where}: markers '{begin}' / '{end}' not found")
+    return text[b + len(begin):e], text[:b].count("\n") + 1
+
+
+def check_manifest_schema() -> list[str]:
+    cpp_path = REPO / "src" / "harness" / "manifest.cpp"
+    design_path = REPO / "DESIGN.md"
+    try:
+        cpp_block, cpp_line = _between(
+            cpp_path.read_text(encoding="utf-8"),
+            "// manifest-keys-begin", "// manifest-keys-end",
+            "src/harness/manifest.cpp")
+        md_block, md_line = _between(
+            design_path.read_text(encoding="utf-8"),
+            "<!-- manifest-schema-begin -->", "<!-- manifest-schema-end -->",
+            "DESIGN.md")
+    except (OSError, ValueError) as exc:
+        return [f"check_docs: manifest-schema check unavailable: {exc}"]
+    accepted = set(re.findall(r'"([a-z_]+)"', cpp_block))
+    # Schema-table rows document one key per row: | `key` | type | ...
+    documented = set(re.findall(r"^\|\s*`([a-z_]+)`", md_block, re.MULTILINE))
+    problems = []
+    for key in sorted(documented - accepted):
+        problems.append(
+            f"DESIGN.md:{md_line}: manifest key '{key}' is documented in "
+            f"§14 but src/harness/manifest.cpp does not accept it")
+    for key in sorted(accepted - documented):
+        problems.append(
+            f"src/harness/manifest.cpp:{cpp_line}: manifest key '{key}' is "
+            f"accepted by the parser but undocumented in DESIGN.md §14")
+    return problems
+
+
 def main() -> int:
     problems = []
     for md in tracked_markdown():
         problems.extend(check_links(md))
     problems.extend(check_bench_coverage())
+    problems.extend(check_manifest_schema())
     for p in problems:
         print(p)
     if problems:

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate over BENCH_matrix.json (CI `bench-smoke` job).
+
+Compares a freshly measured scenario matrix against the committed baseline
+and exits non-zero on any regression:
+
+* **Rounds** (and messages/bits) are deterministic model quantities — any
+  increase over the baseline for the same cell id is a hard failure, on any
+  machine. A *decrease* is reported as an improvement (refresh the baseline
+  to lock it in).
+
+* **Wall-clock** is machine-shaped, so the default mode (`normalized`)
+  first estimates the machine-speed ratio as the median of
+  wall_now/wall_base over all shared cells, then fails any cell slower
+  than `median * (1 + tolerance)` (default 15%). A uniformly slower
+  machine passes; one cell regressing against the fleet does not.
+  `--wall-mode=absolute` compares raw times (same-machine trajectories,
+  e.g. tools/refresh_bench.sh users); `--wall-mode=off` disables the gate.
+  Cells whose baseline time is under `--wall-min-ms` (default 2 ms) are
+  excluded from the wall gate — sub-millisecond timings cannot support a
+  15% bound — but their rounds/messages/bits still gate exactly.
+
+Cells present only in the baseline are reported but do not fail (CI runs
+the smoke manifest, a subset of the default grid); cells present only in
+the current run are new scenarios awaiting a baseline refresh.
+
+`--selftest` exercises the gate against synthetic fixtures — including the
+"baseline round count hand-lowered" case — and exits non-zero if the gate
+fails to fire. No dependencies beyond the standard library.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def load_cells(path):
+    """Parse a BENCH_matrix.json array into {cell_id: row}."""
+    try:
+        rows = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"check_trajectory: cannot read {path}: {e}")
+    if not isinstance(rows, list):
+        sys.exit(f"check_trajectory: {path}: expected a JSON array")
+    cells = {}
+    for row in rows:
+        cid = row.get("cell")
+        if cid is None:
+            continue  # non-cell rows (e.g. appended phase tables)
+        if cid in cells:
+            sys.exit(f"check_trajectory: {path}: duplicate cell id '{cid}'")
+        cells[cid] = row
+    if not cells:
+        sys.exit(f"check_trajectory: {path}: no cell rows found")
+    return cells
+
+
+def median(values):
+    s = sorted(values)
+    mid = len(s) // 2
+    return s[mid] if len(s) % 2 else (s[mid - 1] + s[mid]) / 2
+
+
+def compare(baseline, current, wall_mode, tolerance, wall_min_ms=0.0):
+    """Returns (failures, notes): lists of diagnostic strings."""
+    failures, notes = [], []
+    shared = [cid for cid in current if cid in baseline]
+    only_base = [cid for cid in baseline if cid not in current]
+    only_cur = [cid for cid in current if cid not in baseline]
+    if only_base:
+        notes.append(
+            f"{len(only_base)} baseline cell(s) not in this run "
+            f"(subset manifest?): {', '.join(sorted(only_base)[:3])}"
+            f"{', ...' if len(only_base) > 3 else ''}")
+    if only_cur:
+        notes.append(
+            f"{len(only_cur)} new cell(s) with no baseline yet "
+            f"(run tools/refresh_bench.sh to pin them): "
+            f"{', '.join(sorted(only_cur)[:3])}"
+            f"{', ...' if len(only_cur) > 3 else ''}")
+    if not shared:
+        failures.append("no cells in common with the baseline — the gate "
+                        "cannot certify anything")
+        return failures, notes
+
+    # Deterministic quantities: exact, machine-independent.
+    for cid in shared:
+        base, cur = baseline[cid], current[cid]
+        for field in ("rounds", "messages", "bits"):
+            b, c = base.get(field), cur.get(field)
+            if b is None or c is None:
+                continue
+            if c > b:
+                failures.append(
+                    f"{cid}: {field} regressed {b} -> {c}")
+            elif c < b:
+                notes.append(
+                    f"{cid}: {field} improved {b} -> {c} "
+                    f"(refresh the baseline to lock it in)")
+
+    # Wall clock: machine-shaped, gate per --wall-mode.
+    if wall_mode != "off":
+        ratios = {}
+        skipped = 0
+        for cid in shared:
+            b = baseline[cid].get("wall_ms")
+            c = current[cid].get("wall_ms")
+            if b is None or c is None or b <= 0:
+                continue
+            if b < wall_min_ms:
+                skipped += 1  # below the noise floor: rounds still gate it
+                continue
+            ratios[cid] = c / b
+        if skipped:
+            notes.append(f"{skipped} cell(s) under the {wall_min_ms:g} ms "
+                         f"noise floor excluded from the wall gate")
+        if ratios:
+            scale = median(ratios.values()) if wall_mode == "normalized" else 1.0
+            bound = scale * (1 + tolerance)
+            for cid, r in sorted(ratios.items()):
+                if r > bound:
+                    failures.append(
+                        f"{cid}: wall-clock regressed "
+                        f"{baseline[cid]['wall_ms']:.2f} ms -> "
+                        f"{current[cid]['wall_ms']:.2f} ms "
+                        f"(x{r:.2f} vs allowed x{bound:.2f}, "
+                        f"machine scale x{scale:.2f})")
+    return failures, notes
+
+
+def run_gate(args):
+    baseline = load_cells(args.baseline)
+    current = load_cells(args.current)
+    failures, notes = compare(baseline, current, args.wall_mode,
+                              args.wall_tolerance, args.wall_min_ms)
+    for n in notes:
+        print(f"note: {n}")
+    for f in failures:
+        print(f"FAIL: {f}")
+    shared = len([c for c in current if c in baseline])
+    if failures:
+        print(f"\ncheck_trajectory: {len(failures)} regression(s) across "
+              f"{shared} shared cell(s)", file=sys.stderr)
+        return 1
+    print(f"check_trajectory: OK ({shared} cell(s) within trajectory)")
+    return 0
+
+
+def selftest():
+    """The gate must fire on synthetic regressions and stay quiet on noise."""
+    def cell(cid, rounds, wall):
+        return {"cell": cid, "rounds": rounds, "messages": rounds * 10,
+                "bits": rounds * 100, "wall_ms": wall}
+
+    base = {r["cell"]: r for r in
+            [cell("a/x/n=64", 8, 1.0), cell("b/x/n=64", 12, 2.0),
+             cell("c/x/n=64", 3, 4.0)]}
+    same = {cid: dict(row) for cid, row in base.items()}
+
+    checks = []
+
+    f, _ = compare(base, same, "normalized", 0.15)
+    checks.append(("identical runs pass", not f))
+
+    # The acceptance demonstration: hand-lower a baseline round count and
+    # the gate must fail (the current run now "regresses" above it).
+    lowered = {cid: dict(row) for cid, row in base.items()}
+    lowered["b/x/n=64"]["rounds"] = 11
+    f, _ = compare(lowered, same, "off", 0.15)
+    checks.append(("hand-lowered baseline rounds fail", any(
+        "rounds regressed 11 -> 12" in x for x in f)))
+
+    worse = {cid: dict(row) for cid, row in same.items()}
+    worse["a/x/n=64"]["rounds"] = 9
+    f, _ = compare(base, worse, "off", 0.15)
+    checks.append(("round regression fails", any(
+        "rounds regressed 8 -> 9" in x for x in f)))
+
+    # Uniformly 3x slower machine: normalized mode passes, absolute fails.
+    slow = {cid: dict(row, wall_ms=row["wall_ms"] * 3) for cid, row
+            in same.items()}
+    f, _ = compare(base, slow, "normalized", 0.15)
+    checks.append(("uniform slowdown passes normalized", not f))
+    f, _ = compare(base, slow, "absolute", 0.15)
+    checks.append(("uniform slowdown fails absolute", len(f) == 3))
+
+    # One cell 2x slower than the fleet: normalized mode catches it.
+    skew = {cid: dict(row) for cid, row in same.items()}
+    skew["c/x/n=64"]["wall_ms"] *= 2
+    f, _ = compare(base, skew, "normalized", 0.15)
+    checks.append(("single-cell wall regression fails normalized", any(
+        "c/x/n=64: wall-clock regressed" in x for x in f)))
+
+    # Noise floor: a sub-floor cell's wall jitter is ignored, but its
+    # rounds still gate exactly.
+    jitter = {cid: dict(row) for cid, row in same.items()}
+    jitter["a/x/n=64"]["wall_ms"] *= 2  # baseline 1.0 ms < 2 ms floor
+    f, notes = compare(base, jitter, "normalized", 0.15, wall_min_ms=2.0)
+    checks.append(("sub-floor wall jitter ignored",
+                   not f and any("noise floor" in n for n in notes)))
+    jitter["a/x/n=64"]["rounds"] = 9
+    f, _ = compare(base, jitter, "normalized", 0.15, wall_min_ms=2.0)
+    checks.append(("sub-floor cell rounds still gate", any(
+        "rounds regressed 8 -> 9" in x for x in f)))
+
+    # Subset run (smoke manifest): missing baseline cells are a note only.
+    subset = {"a/x/n=64": dict(base["a/x/n=64"])}
+    f, notes = compare(base, subset, "normalized", 0.15)
+    checks.append(("subset run passes with a note",
+                   not f and any("not in this run" in n for n in notes)))
+
+    ok = True
+    for name, passed in checks:
+        print(f"  selftest: {'ok' if passed else 'FAILED'} — {name}")
+        ok &= passed
+    print(f"check_trajectory --selftest: {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default=str(REPO / "BENCH_matrix.json"),
+                    help="committed baseline (default: repo BENCH_matrix.json)")
+    ap.add_argument("--current", default="BENCH_matrix.current.json",
+                    help="freshly measured matrix to gate")
+    ap.add_argument("--wall-tolerance", type=float, default=0.15,
+                    help="allowed wall-clock slack (default 0.15 = 15%%)")
+    ap.add_argument("--wall-mode", choices=("normalized", "absolute", "off"),
+                    default="normalized",
+                    help="wall gate: normalized to the median machine-speed "
+                         "ratio (default), absolute, or off")
+    ap.add_argument("--wall-min-ms", type=float, default=2.0,
+                    help="exclude cells whose baseline wall time is below "
+                         "this floor from the wall gate (default 2 ms)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="verify the gate fires on synthetic regressions")
+    args = ap.parse_args()
+    if args.selftest:
+        return selftest()
+    return run_gate(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

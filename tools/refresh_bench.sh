@@ -10,26 +10,53 @@
 #   BENCH_chaos.json      bench_chaos_verifiers (soundness campaign)
 #   BENCH_sharding.json   bench_sharding    (owner-computes backend)
 #   BENCH_mm_sparse.json  bench_mm_sparse   (sparse vs dense MM)
+#   BENCH_matrix.json     bench_matrix      (scenario matrix, default manifest)
 #
 # Every bench self-verifies (fatal on any result divergence), so a baseline
-# refresh cannot silently bake in a correctness regression. Run from
-# anywhere; writes relative to the repo root.
+# refresh cannot silently bake in a correctness regression. Each bench runs
+# under a guard that names the culprit and aborts on the first failure —
+# a partial refresh never masquerades as a complete one. Run from anywhere;
+# writes relative to the repo root.
+#
+# After refreshing, sanity-check the new matrix baseline against itself:
+#   python3 tools/check_trajectory.py --baseline BENCH_matrix.json \
+#       --current BENCH_matrix.json
 
-set -euo pipefail
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=build-rel
-cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD" -j --target \
-  bench_routing bench_exchange bench_kernels bench_chaos_verifiers \
-  bench_sharding bench_mm_sparse
+BENCHES=(
+  bench_routing bench_exchange bench_kernels bench_chaos_verifiers
+  bench_sharding bench_mm_sparse bench_matrix
+)
 
-./"$BUILD"/bench/bench_routing
-./"$BUILD"/bench/bench_exchange
-./"$BUILD"/bench/bench_kernels
-./"$BUILD"/bench/bench_chaos_verifiers
-./"$BUILD"/bench/bench_sharding
-./"$BUILD"/bench/bench_mm_sparse
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release || {
+  echo "refresh_bench: FAILED during cmake configure" >&2; exit 1; }
+cmake --build "$BUILD" -j --target "${BENCHES[@]}" || {
+  echo "refresh_bench: FAILED during build" >&2; exit 1; }
+
+# Run one bench; on failure, name it and abort so nobody trusts a
+# half-refreshed set of baselines.
+run_bench() {
+  local name=$1; shift
+  echo "=== $name $*"
+  if ! ./"$BUILD"/bench/"$name" "$@"; then
+    echo >&2
+    echo "refresh_bench: FAILED in $name — baselines are NOT fully" \
+         "refreshed; fix $name before committing any BENCH_*.json" >&2
+    exit 1
+  fi
+}
+
+run_bench bench_routing
+run_bench bench_exchange
+run_bench bench_kernels
+run_bench bench_chaos_verifiers
+run_bench bench_sharding
+run_bench bench_mm_sparse
+run_bench bench_matrix --manifest=bench/manifests/default.json --check \
+  --out=BENCH_matrix.json
 
 echo
 echo "refreshed:"
