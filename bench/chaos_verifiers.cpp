@@ -48,9 +48,11 @@ int main(int argc, char** argv) {
   bool check = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--n=", 4) == 0) {
-      sizes = {static_cast<NodeId>(std::atoi(argv[i] + 4))};
+      sizes = {static_cast<NodeId>(
+          benchjson::parse_uint(argv[0], "--n", argv[i] + 4, 1, 8192))};
     } else if (std::strncmp(argv[i], "--trials=", 9) == 0) {
-      trials = static_cast<unsigned>(std::atoi(argv[i] + 9));
+      trials = static_cast<unsigned>(benchjson::parse_uint(
+          argv[0], "--trials", argv[i] + 9, 1, 1000000));
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
     } else {

@@ -158,7 +158,8 @@ int main(int argc, char** argv) {
   bool check = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--n=", 4) == 0) {
-      only_n = static_cast<NodeId>(std::atoi(argv[i] + 4));
+      only_n = static_cast<NodeId>(
+          benchjson::parse_uint(argv[0], "--n", argv[i] + 4, 1, 8192));
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
     } else {

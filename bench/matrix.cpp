@@ -142,7 +142,8 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     } else if (std::strncmp(argv[i], "--trials=", 9) == 0) {
-      trials = std::atoi(argv[i] + 9);
+      trials = static_cast<int>(benchjson::parse_uint(
+          argv[0], "--trials", argv[i] + 9, 1, 100));
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
     } else {

@@ -247,7 +247,8 @@ int main(int argc, char** argv) {
   bool check = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--n=", 4) == 0) {
-      sizes = {static_cast<NodeId>(std::strtoul(argv[i] + 4, nullptr, 10))};
+      sizes = {static_cast<NodeId>(
+          benchjson::parse_uint(argv[0], "--n", argv[i] + 4, 1, 8192))};
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
     } else {

@@ -1,12 +1,12 @@
 #include "algebra/kernels.hpp"
 
 #include <bit>
-#include <cstdlib>
 #include <cstring>
 #include <utility>
 #include <vector>
 
 #include "clique/scheduler.hpp"
+#include "util/env.hpp"
 
 namespace ccq::kernels {
 
@@ -18,9 +18,10 @@ std::size_t configured_threads() {
   // CCQ_KERNEL_THREADS sizes the kernel pool independently of the
   // scheduler's superstep pool (CCQ_POOL_THREADS), so single-core CI hosts
   // can oversubscribe the parallel kernels without perturbing the engine.
-  if (const char* env = std::getenv("CCQ_KERNEL_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<std::size_t>(v);
+  // Strict parse (util/env.hpp): a malformed value throws instead of
+  // silently falling back to hardware concurrency.
+  if (const auto env = parse_env_uint("CCQ_KERNEL_THREADS", 1, 1024)) {
+    return static_cast<std::size_t>(*env);
   }
   return 0;  // ThreadPool default: CCQ_POOL_THREADS / hardware_concurrency
 }

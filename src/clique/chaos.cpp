@@ -36,8 +36,8 @@ ChaosPlan* global() { return g_plan; }
 // delivers the corrupted traffic exactly as it would honest traffic.
 class ChaosPlane final : public detail::MessagePlane {
  public:
-  ChaosPlane(std::unique_ptr<detail::MessagePlane> inner, ChaosPlan* plan)
-      : inner_(std::move(inner)), plan_(plan) {}
+  ChaosPlane(detail::MessagePlane* inner, ChaosPlan* plan)
+      : inner_(inner), plan_(plan) {}
 
   MessagePlaneKind kind() const override { return inner_->kind(); }
 
@@ -193,7 +193,7 @@ class ChaosPlane final : public detail::MessagePlane {
 
   void note(NodeId src, const FaultEvent& e) { pending_[src].push_back(e); }
 
-  std::unique_ptr<detail::MessagePlane> inner_;
+  detail::MessagePlane* inner_;  // borrowed; outlives this wrapper
   ChaosPlan* plan_;
   NodeId n_ = 0;
   std::uint64_t collective_ = 0;  // written by the leader, read by deposits
@@ -206,10 +206,10 @@ class ChaosPlane final : public detail::MessagePlane {
 
 namespace detail {
 
-std::unique_ptr<MessagePlane> wrap_chaos(std::unique_ptr<MessagePlane> inner,
+std::unique_ptr<MessagePlane> wrap_chaos(MessagePlane* inner,
                                          ChaosPlan* plan) {
-  CCQ_CHECK(plan != nullptr);
-  return std::make_unique<ChaosPlane>(std::move(inner), plan);
+  CCQ_CHECK(inner != nullptr && plan != nullptr);
+  return std::make_unique<ChaosPlane>(inner, plan);
 }
 
 }  // namespace detail

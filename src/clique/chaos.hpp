@@ -172,8 +172,10 @@ ChaosPlan* global();
 
 namespace detail {
 /// Wrap `inner` so every deposited word passes through `plan`'s fault
-/// schedule before delivery. `plan` must outlive the returned plane.
-std::unique_ptr<MessagePlane> wrap_chaos(std::unique_ptr<MessagePlane> inner,
+/// schedule before delivery. The wrapper *borrows* `inner` — both `inner`
+/// and `plan` must outlive the returned plane. (Borrowing is what lets an
+/// EngineSession keep its warm plane across chaos and chaos-free runs.)
+std::unique_ptr<MessagePlane> wrap_chaos(MessagePlane* inner,
                                          ChaosPlan* plan);
 }  // namespace detail
 

@@ -26,8 +26,12 @@ struct SharedState {
   unsigned bandwidth = 1;
   std::uint64_t max_rounds = 0;
   std::uint64_t seed = 0;
-  std::vector<BitVector> in_rows;       // transposed adjacency (directed)
-  std::vector<BitVector> private_bits;  // resolved §3 encoding
+  std::vector<BitVector> in_rows;  // transposed adjacency (directed)
+  // Resolved §3 encoding: instance-provided bits are borrowed (no per-run
+  // O(n²) copy — warm-path instances precompute them once), the fallback
+  // encoding is computed into the owned storage.
+  const std::vector<BitVector>* private_bits = nullptr;
+  std::vector<BitVector> private_bits_storage;
 
   // Rendezvous backend; provides the ordering guarantees for the plane and
   // accounting below (deposits write only node-owned slots; the serial
@@ -36,8 +40,13 @@ struct SharedState {
 
   // Delivery substrate (Config::plane). Owns outbox slots, the inbox
   // storage, and — for the flat plane — the persistent counting-sort
-  // arrays, so steady-state collectives allocate nothing.
-  std::unique_ptr<MessagePlane> plane;
+  // arrays, so steady-state collectives allocate nothing. `plane` is the
+  // active substrate for this run: either `owned_plane` (plain Engine::run),
+  // a session's warm plane (EngineSession::run), or — for chaos runs — the
+  // `chaos_wrapper` borrowing one of those.
+  MessagePlane* plane = nullptr;
+  std::unique_ptr<MessagePlane> owned_plane;
+  std::unique_ptr<MessagePlane> chaos_wrapper;
 
   // Results. `cost` and the per-node totals are mutated only by the serial
   // leader; `rounds_committed` mirrors cost.rounds for mid-run reads
@@ -199,7 +208,7 @@ std::uint32_t NodeCtx::edge_weight(NodeId u) const {
 }
 
 const BitVector& NodeCtx::private_bits() const {
-  return st_->private_bits[id_];
+  return (*st_->private_bits)[id_];
 }
 
 const BitVector& NodeCtx::label(std::size_t i) const {
@@ -363,8 +372,26 @@ void NodeCtx::output(std::uint64_t value) {
   st_->has_output[id_] = 1;
 }
 
-RunResult Engine::run(const Instance& instance, const NodeProgram& program,
-                      const Config& config) {
+namespace detail {
+
+// NodeCtx's constructor is private to keep user code from forging
+// contexts; the run body below mints them through this keyhole.
+struct EngineAccess {
+  static NodeCtx make(NodeId id, SharedState* st) { return NodeCtx(id, st); }
+};
+
+namespace {
+
+// The one engine-run body. Plain Engine::run passes null session hooks and
+// gets ephemeral construction (a fresh scheduler and plane per run);
+// EngineSession::run passes its persistent scheduler + plane so the fiber
+// stacks, plane arenas and counting-sort arrays stay warm across runs.
+// Results are bit-for-bit identical either way: the session objects are
+// re-initialised per run (MessagePlane::init, Scheduler::run entry reset)
+// and nothing downstream reads anything but the run's own state.
+RunResult run_engine(const Instance& instance, const NodeProgram& program,
+                     const Engine::Config& config, Scheduler* session_sched,
+                     MessagePlane* session_plane) {
   const NodeId n = instance.graph.n();
   CCQ_CHECK_MSG(n >= 1, "empty clique");
   CCQ_CHECK_MSG(n <= 8192, "clique too large for the simulator");
@@ -409,7 +436,14 @@ RunResult Engine::run(const Instance& instance, const NodeProgram& program,
   st.bandwidth = static_cast<unsigned>(wide);
   st.max_rounds = config.max_rounds;
   st.seed = config.seed;
-  st.plane = detail::make_message_plane(config.plane);
+  if (session_plane != nullptr) {
+    CCQ_CHECK_MSG(session_plane->kind() == config.plane,
+                  "session plane kind does not match config.plane");
+    st.plane = session_plane;
+  } else {
+    st.owned_plane = detail::make_message_plane(config.plane);
+    st.plane = st.owned_plane.get();
+  }
   // Attach the fault plane, if any: Config::chaos wins, else the
   // process-wide default. Same single-run protocol as the trace below — a
   // plan already driving another run leaves this run fault-free.
@@ -425,7 +459,8 @@ RunResult Engine::run(const Instance& instance, const NodeProgram& program,
     }
   } chaos_closer{chaos_plan};
   if (chaos_plan != nullptr) {
-    st.plane = detail::wrap_chaos(std::move(st.plane), chaos_plan);
+    st.chaos_wrapper = detail::wrap_chaos(st.plane, chaos_plan);
+    st.plane = st.chaos_wrapper.get();
   }
   st.plane->init(n, st.bandwidth);
   st.outputs.assign(n, 0);
@@ -443,9 +478,12 @@ RunResult Engine::run(const Instance& instance, const NodeProgram& program,
       }
     }
   }
-  st.private_bits = instance.private_bits.empty()
-                        ? private_bit_encoding(instance.graph)
-                        : instance.private_bits;
+  if (instance.private_bits.empty()) {
+    st.private_bits_storage = private_bit_encoding(instance.graph);
+    st.private_bits = &st.private_bits_storage;
+  } else {
+    st.private_bits = &instance.private_bits;
+  }
 
   // Attach the round trace, if any: Config::trace wins, else the
   // process-wide default (benches' --trace). try_acquire keeps a trace
@@ -478,16 +516,27 @@ RunResult Engine::run(const Instance& instance, const NodeProgram& program,
 
   // A node program that itself calls Engine::run (nested simulation) must
   // not re-enter the shared worker pool from one of its fibers.
-  ExecutionBackend backend = config.backend;
-  if (detail::on_scheduler_fiber()) {
-    backend = ExecutionBackend::kThreadPerNode;
+  Scheduler* sched = session_sched;
+  std::unique_ptr<Scheduler> owned_sched;
+  if (sched == nullptr) {
+    ExecutionBackend backend = config.backend;
+    if (detail::on_scheduler_fiber()) {
+      backend = ExecutionBackend::kThreadPerNode;
+    }
+    owned_sched = detail::make_scheduler(backend, config.workers,
+                                         config.fiber_stack_bytes);
+    sched = owned_sched.get();
+  } else {
+    // A session scheduler cannot be rerouted to thread-per-node mid-run;
+    // nested simulation must go through plain Engine::run.
+    CCQ_CHECK_MSG(!detail::on_scheduler_fiber(),
+                  "EngineSession::run called from inside a node program; "
+                  "nested simulation must use Engine::run");
   }
-  auto sched = detail::make_scheduler(backend, config.workers,
-                                      config.fiber_stack_bytes);
   sched->enable_stats(trace != nullptr);
-  st.sched = sched.get();
+  st.sched = sched;
   sched->run(n, [&st, &program](NodeId v) {
-    NodeCtx ctx(v, &st);
+    NodeCtx ctx = EngineAccess::make(v, &st);
     program(ctx);
   });
 
@@ -504,6 +553,48 @@ RunResult Engine::run(const Instance& instance, const NodeProgram& program,
     result.cost.max_node_received =
         std::max(result.cost.max_node_received, st.received_words[v]);
   }
+  return result;
+}
+
+}  // namespace
+}  // namespace detail
+
+RunResult Engine::run(const Instance& instance, const NodeProgram& program,
+                      const Config& config) {
+  return detail::run_engine(instance, program, config, nullptr, nullptr);
+}
+
+EngineSession::EngineSession(const Shape& shape) : shape_(shape) {
+  CCQ_CHECK_MSG(shape.n >= 1 && shape.n <= 8192,
+                "EngineSession shape.n = " << shape.n
+                                           << " outside [1, 8192]");
+  sched_ = detail::make_scheduler(shape.backend, shape.workers,
+                                  shape.fiber_stack_bytes);
+  plane_ = detail::make_message_plane(shape.plane);
+}
+
+EngineSession::~EngineSession() = default;
+
+RunResult EngineSession::run(const Instance& instance,
+                             const NodeProgram& program,
+                             const Engine::Config& config) {
+  // The warm objects are shaped by (n, B, plane, backend, workers, stacks);
+  // a config naming a different shape must not silently run on them — the
+  // caller keyed its cache wrong.
+  CCQ_CHECK_MSG(instance.graph.n() == shape_.n,
+                "EngineSession built for n = "
+                    << shape_.n << " got an instance with n = "
+                    << instance.graph.n());
+  CCQ_CHECK_MSG(config.bandwidth_multiplier == shape_.bandwidth_multiplier &&
+                    config.plane == shape_.plane &&
+                    config.backend == shape_.backend &&
+                    config.workers == shape_.workers &&
+                    config.fiber_stack_bytes == shape_.fiber_stack_bytes,
+                "EngineSession::run config names a different engine shape "
+                "than the session was built for");
+  RunResult result = detail::run_engine(instance, program, config,
+                                        sched_.get(), plane_.get());
+  ++runs_;  // only counted when the run completed without throwing
   return result;
 }
 

@@ -46,6 +46,7 @@ class ChaosPlan;   // clique/chaos.hpp
 
 namespace detail {
 struct SharedState;
+struct EngineAccess;  // engine.cpp-internal NodeCtx factory
 }  // namespace detail
 
 class NodeCtx {
@@ -133,6 +134,7 @@ class NodeCtx {
 
  private:
   friend class Engine;
+  friend struct detail::EngineAccess;
   NodeCtx(NodeId id, detail::SharedState* st) : id_(id), st_(st) {}
 
   NodeId id_;
@@ -246,6 +248,55 @@ class Engine {
   static RunResult run(const Graph& g, const NodeProgram& program) {
     return run(Instance::of(g), program, Config{});
   }
+};
+
+/// A warm engine for repeated runs of one fixed *shape*. Engine::run
+/// constructs a fresh scheduler (n fiber stacks) and message plane per
+/// call; a session constructs them once and re-initialises them per run,
+/// so the fiber stacks, plane arenas and counting-sort arrays carry over —
+/// at a fixed n the steady state allocates nothing per run. Results are
+/// bit-for-bit identical to Engine::run with the same config (pinned by
+/// tests/clique/session_test.cpp); only wall-clock changes.
+///
+/// Per-run parameters (seed, max_rounds, trace, chaos) vary freely through
+/// the config passed to run(); the shape-valued fields of that config must
+/// equal the session's shape (ModelViolation otherwise — a mismatched
+/// config means the caller keyed its session cache wrong). Sessions are
+/// single-threaded: one run at a time, and run() must not be called from
+/// inside a node program (nested simulation goes through Engine::run).
+class EngineSession {
+ public:
+  /// The cache key: everything that sizes the warm objects.
+  struct Shape {
+    NodeId n = 0;
+    unsigned bandwidth_multiplier = 1;
+    MessagePlaneKind plane = MessagePlaneKind::kFlat;
+    ExecutionBackend backend = ExecutionBackend::kPooled;
+    std::size_t workers = 0;
+    std::size_t fiber_stack_bytes = 0;
+
+    bool operator==(const Shape&) const = default;
+  };
+
+  explicit EngineSession(const Shape& shape);
+  ~EngineSession();
+  EngineSession(const EngineSession&) = delete;
+  EngineSession& operator=(const EngineSession&) = delete;
+
+  /// Engine::run semantics on the warm scheduler + plane. The instance must
+  /// have shape().n nodes and `config`'s shape fields must match shape().
+  RunResult run(const Instance& instance, const NodeProgram& program,
+                const Engine::Config& config);
+
+  const Shape& shape() const { return shape_; }
+  /// Completed (non-throwing) runs — the service's warm-hit telemetry.
+  std::uint64_t runs_completed() const { return runs_; }
+
+ private:
+  Shape shape_;
+  std::unique_ptr<detail::Scheduler> sched_;
+  std::unique_ptr<detail::MessagePlane> plane_;
+  std::uint64_t runs_ = 0;
 };
 
 }  // namespace ccq

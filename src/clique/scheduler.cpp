@@ -397,9 +397,22 @@ class FiberSchedulerBase : public Scheduler {
     auto f = std::make_unique<Fiber>();
     f->sched = this;
     f->id = v;
-    // Default-initialised (not value-initialised) so untouched stack pages
-    // stay lazily unmapped — 4096 fibers must not commit a gigabyte.
-    f->stack.reset(new char[stack_bytes_]);
+    // Recycle a banked stack from the previous run if one is available
+    // (EngineSession reuse: at a fixed n the steady state allocates no
+    // stacks). The pool is mutex-guarded because the sharded backend calls
+    // make_fiber from its owning workers in parallel; all stacks in the
+    // pool were sized by this instance's fixed stack_bytes_, so any one
+    // fits. Default-initialised (not value-initialised) allocation so
+    // untouched stack pages stay lazily unmapped — 4096 fibers must not
+    // commit a gigabyte.
+    {
+      std::lock_guard<std::mutex> lk(stack_pool_mu_);
+      if (!stack_pool_.empty()) {
+        f->stack = std::move(stack_pool_.back());
+        stack_pool_.pop_back();
+      }
+    }
+    if (f->stack == nullptr) f->stack.reset(new char[stack_bytes_]);
 #ifdef CCQ_FAST_FIBER
     // Seed the stack so the first ccq_fiber_swap "returns" into
     // ccq_fiber_entry with the Fiber* in r12. The slot order matches the
@@ -444,11 +457,17 @@ class FiberSchedulerBase : public Scheduler {
 
  private:
   void destroy_fibers() {
-#ifdef CCQ_TSAN
+    // Bank the stacks for the next run (serial: called from run() entry and
+    // exit only). The fiber bookkeeping itself is rebuilt per run — only
+    // the stack allocations, the expensive part, survive.
+    std::lock_guard<std::mutex> lk(stack_pool_mu_);
     for (auto& f : fibers_) {
-      if (f && f->tsan_fiber) __tsan_destroy_fiber(f->tsan_fiber);
-    }
+      if (!f) continue;
+#ifdef CCQ_TSAN
+      if (f->tsan_fiber) __tsan_destroy_fiber(f->tsan_fiber);
 #endif
+      stack_pool_.push_back(std::move(f->stack));
+    }
     fibers_.clear();
   }
 
@@ -622,6 +641,9 @@ class FiberSchedulerBase : public Scheduler {
   }
 
   const std::size_t stack_bytes_;
+  // Recycled fiber stacks (all of size stack_bytes_); see make_fiber.
+  std::mutex stack_pool_mu_;
+  std::vector<std::unique_ptr<char[]>> stack_pool_;
 
   NodeId n_ = 0;
   const NodeBody* body_ = nullptr;

@@ -1,19 +1,28 @@
 #include "harness/manifest.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <set>
 #include <sstream>
 
 #include "harness/sweep.hpp"
 #include "util/check.hpp"
+#include "util/json.hpp"
 
 namespace ccq::harness {
 
 namespace {
+
+// The strict JSON reader lives in util/json.{hpp,cpp} (shared with the
+// ccqd service protocol); these aliases keep the validation code below
+// reading as before.
+using JsonValue = json::Value;
+using json::as_bool;
+using json::as_number;
+using json::as_prob;
+using json::as_string;
+using json::as_uint;
+using json::fail_at;
 
 // Accepted keys — the single source of truth for the schema. The DESIGN.md
 // §14 schema table documents exactly these names; tools/check_docs.py
@@ -28,193 +37,7 @@ constexpr const char* kCellKeys[] = {
     "chaos_dup"};
 // manifest-keys-end
 
-// ---- minimal JSON ---------------------------------------------------------
-//
-// Objects, arrays, strings (no escapes beyond \" \\ \/ \n \t), numbers,
-// true/false/null. Line numbers are tracked for error messages. This is a
-// reader for the repo's own manifests, not a general JSON library.
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool b = false;
-  double num = 0;
-  std::string str;
-  std::vector<JsonValue> arr;
-  std::vector<std::pair<std::string, JsonValue>> obj;
-  std::size_t line = 0;  ///< 1-based source line where the value starts
-
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : obj)
-      if (k == key) return &v;
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  JsonParser(const std::string& text, const std::string& origin)
-      : text_(text), origin_(origin) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing content after JSON document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& msg) const {
-    std::ostringstream os;
-    os << origin_ << ":" << line_ << ": " << msg;
-    throw ModelViolation(os.str());
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '\n') ++line_;
-      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  JsonValue value() {
-    const char c = peek();
-    JsonValue v;
-    v.line = line_;
-    switch (c) {
-      case '{': {
-        v.kind = JsonValue::Kind::kObject;
-        ++pos_;
-        if (peek() == '}') {
-          ++pos_;
-          return v;
-        }
-        while (true) {
-          JsonValue key = value();
-          if (key.kind != JsonValue::Kind::kString)
-            fail("object key must be a string");
-          if (key.str.empty()) fail("object key must be non-empty");
-          if (v.find(key.str) != nullptr)
-            fail("duplicate key '" + key.str + "'");
-          expect(':');
-          v.obj.emplace_back(key.str, value());
-          if (peek() == ',') {
-            ++pos_;
-            continue;
-          }
-          expect('}');
-          return v;
-        }
-      }
-      case '[': {
-        v.kind = JsonValue::Kind::kArray;
-        ++pos_;
-        if (peek() == ']') {
-          ++pos_;
-          return v;
-        }
-        while (true) {
-          v.arr.push_back(value());
-          if (peek() == ',') {
-            ++pos_;
-            continue;
-          }
-          expect(']');
-          return v;
-        }
-      }
-      case '"': {
-        v.kind = JsonValue::Kind::kString;
-        ++pos_;
-        while (true) {
-          if (pos_ >= text_.size()) fail("unterminated string");
-          const char s = text_[pos_++];
-          if (s == '"') break;
-          if (s == '\n') fail("raw newline in string");
-          if (s == '\\') {
-            if (pos_ >= text_.size()) fail("unterminated escape");
-            const char e = text_[pos_++];
-            switch (e) {
-              case '"': v.str.push_back('"'); break;
-              case '\\': v.str.push_back('\\'); break;
-              case '/': v.str.push_back('/'); break;
-              case 'n': v.str.push_back('\n'); break;
-              case 't': v.str.push_back('\t'); break;
-              default: fail("unsupported escape sequence");
-            }
-          } else {
-            v.str.push_back(s);
-          }
-        }
-        return v;
-      }
-      default: {
-        if (c == 't' || c == 'f' || c == 'n') {
-          const char* lit = c == 't' ? "true" : c == 'f' ? "false" : "null";
-          const std::size_t len = std::strlen(lit);
-          if (text_.compare(pos_, len, lit) != 0) fail("malformed literal");
-          pos_ += len;
-          if (c == 'n') {
-            v.kind = JsonValue::Kind::kNull;
-          } else {
-            v.kind = JsonValue::Kind::kBool;
-            v.b = (c == 't');
-          }
-          return v;
-        }
-        // number
-        const std::size_t start = pos_;
-        if (text_[pos_] == '-') ++pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E' || text_[pos_] == '+' ||
-                text_[pos_] == '-'))
-          ++pos_;
-        if (pos_ == start) fail("unexpected character");
-        std::size_t used = 0;
-        double d = 0;
-        const std::string tok = text_.substr(start, pos_ - start);
-        try {
-          d = std::stod(tok, &used);
-        } catch (const std::exception&) {
-          fail("malformed number '" + tok + "'");
-        }
-        if (used != tok.size()) fail("malformed number '" + tok + "'");
-        v.kind = JsonValue::Kind::kNumber;
-        v.num = d;
-        return v;
-      }
-    }
-  }
-
-  const std::string& text_;
-  std::string origin_;
-  std::size_t pos_ = 0;
-  std::size_t line_ = 1;
-};
-
 // ---- manifest validation --------------------------------------------------
-
-[[noreturn]] void fail_at(const std::string& origin, std::size_t line,
-                          const std::string& msg) {
-  std::ostringstream os;
-  os << origin << ":" << line << ": " << msg;
-  throw ModelViolation(os.str());
-}
 
 template <std::size_t N>
 void check_keys(const JsonValue& obj, const char* const (&known)[N],
@@ -230,45 +53,6 @@ void check_keys(const JsonValue& obj, const char* const (&known)[N],
       fail_at(origin, v.line, os.str());
     }
   }
-}
-
-std::uint64_t as_uint(const JsonValue& v, std::uint64_t lo, std::uint64_t hi,
-                      const char* what, const std::string& origin) {
-  if (v.kind != JsonValue::Kind::kNumber)
-    fail_at(origin, v.line, std::string(what) + " must be a number");
-  const double d = v.num;
-  if (d < 0 || d != std::floor(d))
-    fail_at(origin, v.line, std::string(what) + " must be a whole number");
-  const auto u = static_cast<std::uint64_t>(d);
-  if (u < lo || u > hi) {
-    std::ostringstream os;
-    os << what << " " << u << " out of range [" << lo << ", " << hi << "]";
-    fail_at(origin, v.line, os.str());
-  }
-  return u;
-}
-
-double as_prob(const JsonValue& v, const char* what,
-               const std::string& origin) {
-  if (v.kind != JsonValue::Kind::kNumber)
-    fail_at(origin, v.line, std::string(what) + " must be a number");
-  if (v.num < 0 || v.num > 1)
-    fail_at(origin, v.line, std::string(what) + " must be in [0, 1]");
-  return v.num;
-}
-
-double as_number(const JsonValue& v, const char* what,
-                 const std::string& origin) {
-  if (v.kind != JsonValue::Kind::kNumber)
-    fail_at(origin, v.line, std::string(what) + " must be a number");
-  return v.num;
-}
-
-std::string as_string(const JsonValue& v, const char* what,
-                      const std::string& origin) {
-  if (v.kind != JsonValue::Kind::kString)
-    fail_at(origin, v.line, std::string(what) + " must be a string");
-  return v.str;
 }
 
 /// Scalar-or-array axis: returns the scalar, or each array element, as
@@ -300,13 +84,6 @@ ExecutionBackend parse_backend(const JsonValue& v,
   if (s == "threaded") return ExecutionBackend::kThreadPerNode;
   fail_at(origin, v.line,
           "unknown backend '" + s + "' (accepted: pooled, sharded, threaded)");
-}
-
-bool as_bool(const JsonValue& v, const char* what,
-             const std::string& origin) {
-  if (v.kind != JsonValue::Kind::kBool)
-    fail_at(origin, v.line, std::string(what) + " must be true or false");
-  return v.b;
 }
 
 std::string read_file(const std::string& path) {
@@ -346,8 +123,146 @@ std::string CellSpec::id() const {
   return os.str();
 }
 
+namespace {
+
+// Expand one cell group (a JSON object with scalar-or-array axis keys) into
+// `out`, checking expanded ids against `seen_ids`. Shared by parse_manifest
+// (each entry of "cells") and parse_job_cell (a ccqd job body, which must
+// expand to exactly one cell).
+void expand_cell_group(const JsonValue& group, const std::string& origin,
+                       std::set<std::string>& seen_ids,
+                       std::vector<CellSpec>& out) {
+  if (group.kind != JsonValue::Kind::kObject)
+    fail_at(origin, group.line, "each cell must be a JSON object");
+  check_keys(group, kCellKeys, "cell", origin);
+
+  CellSpec base;
+  if (const JsonValue* v = group.find("label"))
+    base.label = as_string(*v, "label", origin);
+  if (const JsonValue* v = group.find("workers"))
+    base.workers = static_cast<std::size_t>(
+        as_uint(*v, 0, 8192, "workers", origin));
+  if (const JsonValue* v = group.find("bandwidth"))
+    base.bandwidth =
+        static_cast<unsigned>(as_uint(*v, 1, 4, "bandwidth", origin));
+  if (const JsonValue* v = group.find("seed"))
+    base.seed = as_uint(*v, 0, ~std::uint64_t{0}, "seed", origin);
+  if (const JsonValue* v = group.find("p"))
+    base.family.p = as_prob(*v, "p", origin);
+  if (const JsonValue* v = group.find("max_w"))
+    base.family.max_w = static_cast<std::uint32_t>(
+        as_uint(*v, 1, 0xffffffffu, "max_w", origin));
+  if (const JsonValue* v = group.find("exponent")) {
+    base.family.exponent = as_number(*v, "exponent", origin);
+    if (base.family.exponent <= 1.0)
+      fail_at(origin, v->line, "exponent must be > 1");
+  }
+  if (const JsonValue* v = group.find("avg_degree")) {
+    base.family.avg_degree = as_number(*v, "avg_degree", origin);
+    if (base.family.avg_degree <= 0)
+      fail_at(origin, v->line, "avg_degree must be > 0");
+  }
+  if (const JsonValue* v = group.find("k"))
+    base.family.k =
+        static_cast<unsigned>(as_uint(*v, 1, 1u << 20, "k", origin));
+  if (const JsonValue* v = group.find("p_in"))
+    base.family.p_in = as_prob(*v, "p_in", origin);
+  if (const JsonValue* v = group.find("p_out"))
+    base.family.p_out = as_prob(*v, "p_out", origin);
+  if (const JsonValue* v = group.find("path"))
+    base.family.path = as_string(*v, "path", origin);
+  if (const JsonValue* v = group.find("chaos_flip"))
+    base.chaos_flip = as_prob(*v, "chaos_flip", origin);
+  if (const JsonValue* v = group.find("chaos_drop"))
+    base.chaos_drop = as_prob(*v, "chaos_drop", origin);
+  if (const JsonValue* v = group.find("chaos_dup"))
+    base.chaos_dup = as_prob(*v, "chaos_dup", origin);
+  base.family.seed = base.seed;
+
+  const JsonValue* alg = group.find("algorithm");
+  if (alg == nullptr) fail_at(origin, group.line, "missing 'algorithm'");
+  const JsonValue* fam = group.find("family");
+  if (fam == nullptr) fail_at(origin, group.line, "missing 'family'");
+  const JsonValue* nv = group.find("n");
+  if (nv == nullptr) fail_at(origin, group.line, "missing 'n'");
+
+  const auto algs = axis_values(alg);
+  const auto fams = axis_values(fam);
+  const auto ns = axis_values(nv);
+  auto planes = axis_values(group.find("plane"));
+  auto backends = axis_values(group.find("backend"));
+  auto chaoses = axis_values(group.find("chaos"));
+
+  for (const JsonValue* av : algs) {
+    CellSpec a = base;
+    a.algorithm = as_string(*av, "algorithm", origin);
+    const auto& known = algorithm_names();
+    if (std::find(known.begin(), known.end(), a.algorithm) == known.end()) {
+      std::ostringstream os;
+      os << "unknown algorithm '" << a.algorithm << "' (known:";
+      for (const auto& s : known) os << " " << s;
+      os << ")";
+      fail_at(origin, av->line, os.str());
+    }
+    for (const JsonValue* fv : fams) {
+      CellSpec f = a;
+      f.family.name = as_string(*fv, "family", origin);
+      const auto& fnames = corpus::family_names();
+      if (std::find(fnames.begin(), fnames.end(), f.family.name) ==
+          fnames.end()) {
+        std::ostringstream os;
+        os << "unknown family '" << f.family.name << "' (known:";
+        for (const auto& s : fnames) os << " " << s;
+        os << ")";
+        fail_at(origin, fv->line, os.str());
+      }
+      for (const JsonValue* nn : ns) {
+        CellSpec c = f;
+        c.n = static_cast<NodeId>(as_uint(*nn, 1, 8192, "n", origin));
+        std::vector<MessagePlaneKind> pl;
+        if (planes.empty()) {
+          pl.push_back(MessagePlaneKind::kFlat);
+        } else {
+          for (const JsonValue* pv : planes)
+            pl.push_back(parse_plane(*pv, origin));
+        }
+        std::vector<ExecutionBackend> be;
+        if (backends.empty()) {
+          be.push_back(ExecutionBackend::kPooled);
+        } else {
+          for (const JsonValue* bv : backends)
+            be.push_back(parse_backend(*bv, origin));
+        }
+        std::vector<bool> ch;
+        if (chaoses.empty()) {
+          ch.push_back(false);
+        } else {
+          for (const JsonValue* cv : chaoses)
+            ch.push_back(as_bool(*cv, "chaos", origin));
+        }
+        for (MessagePlaneKind p : pl)
+          for (ExecutionBackend b : be)
+            for (bool cx : ch) {
+              CellSpec cell = c;
+              cell.plane = p;
+              cell.backend = b;
+              cell.chaos = cx;
+              const std::string cid = cell.id();
+              if (!seen_ids.insert(cid).second)
+                fail_at(origin, group.line,
+                        "duplicate expanded cell id '" + cid +
+                            "' (use 'label' to disambiguate)");
+              out.push_back(std::move(cell));
+            }
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Manifest parse_manifest(const std::string& text, const std::string& origin) {
-  const JsonValue root = JsonParser(text, origin).parse();
+  const JsonValue root = json::parse(text, origin);
   if (root.kind != JsonValue::Kind::kObject)
     fail_at(origin, root.line, "manifest must be a JSON object");
   check_keys(root, kTopLevelKeys, "manifest", origin);
@@ -365,134 +280,21 @@ Manifest parse_manifest(const std::string& text, const std::string& origin) {
     fail_at(origin, root.line, "'cells' must be a non-empty array");
 
   std::set<std::string> seen_ids;
-  for (const JsonValue& group : cells->arr) {
-    if (group.kind != JsonValue::Kind::kObject)
-      fail_at(origin, group.line, "each cell must be a JSON object");
-    check_keys(group, kCellKeys, "cell", origin);
-
-    CellSpec base;
-    if (const JsonValue* v = group.find("label"))
-      base.label = as_string(*v, "label", origin);
-    if (const JsonValue* v = group.find("workers"))
-      base.workers = static_cast<std::size_t>(
-          as_uint(*v, 0, 8192, "workers", origin));
-    if (const JsonValue* v = group.find("bandwidth"))
-      base.bandwidth =
-          static_cast<unsigned>(as_uint(*v, 1, 4, "bandwidth", origin));
-    if (const JsonValue* v = group.find("seed"))
-      base.seed = as_uint(*v, 0, ~std::uint64_t{0}, "seed", origin);
-    if (const JsonValue* v = group.find("p"))
-      base.family.p = as_prob(*v, "p", origin);
-    if (const JsonValue* v = group.find("max_w"))
-      base.family.max_w = static_cast<std::uint32_t>(
-          as_uint(*v, 1, 0xffffffffu, "max_w", origin));
-    if (const JsonValue* v = group.find("exponent")) {
-      base.family.exponent = as_number(*v, "exponent", origin);
-      if (base.family.exponent <= 1.0)
-        fail_at(origin, v->line, "exponent must be > 1");
-    }
-    if (const JsonValue* v = group.find("avg_degree")) {
-      base.family.avg_degree = as_number(*v, "avg_degree", origin);
-      if (base.family.avg_degree <= 0)
-        fail_at(origin, v->line, "avg_degree must be > 0");
-    }
-    if (const JsonValue* v = group.find("k"))
-      base.family.k =
-          static_cast<unsigned>(as_uint(*v, 1, 1u << 20, "k", origin));
-    if (const JsonValue* v = group.find("p_in"))
-      base.family.p_in = as_prob(*v, "p_in", origin);
-    if (const JsonValue* v = group.find("p_out"))
-      base.family.p_out = as_prob(*v, "p_out", origin);
-    if (const JsonValue* v = group.find("path"))
-      base.family.path = as_string(*v, "path", origin);
-    if (const JsonValue* v = group.find("chaos_flip"))
-      base.chaos_flip = as_prob(*v, "chaos_flip", origin);
-    if (const JsonValue* v = group.find("chaos_drop"))
-      base.chaos_drop = as_prob(*v, "chaos_drop", origin);
-    if (const JsonValue* v = group.find("chaos_dup"))
-      base.chaos_dup = as_prob(*v, "chaos_dup", origin);
-    base.family.seed = base.seed;
-
-    const JsonValue* alg = group.find("algorithm");
-    if (alg == nullptr) fail_at(origin, group.line, "missing 'algorithm'");
-    const JsonValue* fam = group.find("family");
-    if (fam == nullptr) fail_at(origin, group.line, "missing 'family'");
-    const JsonValue* nv = group.find("n");
-    if (nv == nullptr) fail_at(origin, group.line, "missing 'n'");
-
-    const auto algs = axis_values(alg);
-    const auto fams = axis_values(fam);
-    const auto ns = axis_values(nv);
-    auto planes = axis_values(group.find("plane"));
-    auto backends = axis_values(group.find("backend"));
-    auto chaoses = axis_values(group.find("chaos"));
-
-    for (const JsonValue* av : algs) {
-      CellSpec a = base;
-      a.algorithm = as_string(*av, "algorithm", origin);
-      const auto& known = algorithm_names();
-      if (std::find(known.begin(), known.end(), a.algorithm) == known.end()) {
-        std::ostringstream os;
-        os << "unknown algorithm '" << a.algorithm << "' (known:";
-        for (const auto& s : known) os << " " << s;
-        os << ")";
-        fail_at(origin, av->line, os.str());
-      }
-      for (const JsonValue* fv : fams) {
-        CellSpec f = a;
-        f.family.name = as_string(*fv, "family", origin);
-        const auto& fnames = corpus::family_names();
-        if (std::find(fnames.begin(), fnames.end(), f.family.name) ==
-            fnames.end()) {
-          std::ostringstream os;
-          os << "unknown family '" << f.family.name << "' (known:";
-          for (const auto& s : fnames) os << " " << s;
-          os << ")";
-          fail_at(origin, fv->line, os.str());
-        }
-        for (const JsonValue* nn : ns) {
-          CellSpec c = f;
-          c.n = static_cast<NodeId>(as_uint(*nn, 1, 8192, "n", origin));
-          std::vector<MessagePlaneKind> pl;
-          if (planes.empty()) {
-            pl.push_back(MessagePlaneKind::kFlat);
-          } else {
-            for (const JsonValue* pv : planes)
-              pl.push_back(parse_plane(*pv, origin));
-          }
-          std::vector<ExecutionBackend> be;
-          if (backends.empty()) {
-            be.push_back(ExecutionBackend::kPooled);
-          } else {
-            for (const JsonValue* bv : backends)
-              be.push_back(parse_backend(*bv, origin));
-          }
-          std::vector<bool> ch;
-          if (chaoses.empty()) {
-            ch.push_back(false);
-          } else {
-            for (const JsonValue* cv : chaoses)
-              ch.push_back(as_bool(*cv, "chaos", origin));
-          }
-          for (MessagePlaneKind p : pl)
-            for (ExecutionBackend b : be)
-              for (bool cx : ch) {
-                CellSpec cell = c;
-                cell.plane = p;
-                cell.backend = b;
-                cell.chaos = cx;
-                const std::string cid = cell.id();
-                if (!seen_ids.insert(cid).second)
-                  fail_at(origin, group.line,
-                          "duplicate expanded cell id '" + cid +
-                              "' (use 'label' to disambiguate)");
-                m.cells.push_back(std::move(cell));
-              }
-        }
-      }
-    }
-  }
+  for (const JsonValue& group : cells->arr)
+    expand_cell_group(group, origin, seen_ids, m.cells);
   return m;
+}
+
+CellSpec parse_job_cell(const json::Value& job, const std::string& origin) {
+  std::set<std::string> seen_ids;
+  std::vector<CellSpec> cells;
+  expand_cell_group(job, origin, seen_ids, cells);
+  if (cells.size() != 1)
+    fail_at(origin, job.line,
+            "a job must describe exactly one cell (axis arrays expand to " +
+                std::to_string(cells.size()) + "; sweep grids are for "
+                "manifests, not ccqd jobs)");
+  return cells.front();
 }
 
 Manifest load_manifest(const std::string& path) {

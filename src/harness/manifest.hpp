@@ -21,6 +21,7 @@
 
 #include "clique/engine.hpp"
 #include "graph/corpus.hpp"
+#include "util/json.hpp"
 
 namespace ccq::harness {
 
@@ -65,6 +66,12 @@ Manifest parse_manifest(const std::string& text, const std::string& origin);
 /// Load and parse `path` (ModelViolation on unreadable file or any
 /// validation failure).
 Manifest load_manifest(const std::string& path);
+
+/// Parse one ccqd job body (an already-parsed JSON object using the cell
+/// schema above). Same validation as a manifest cell group, but the object
+/// must expand to exactly one cell — axis arrays are rejected. `origin`
+/// names the connection in errors.
+CellSpec parse_job_cell(const json::Value& job, const std::string& origin);
 
 const char* plane_name(MessagePlaneKind k);
 const char* backend_name(ExecutionBackend b);

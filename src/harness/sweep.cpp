@@ -109,6 +109,8 @@ constexpr Algo kAlgos[] = {
     {"triangle_mm", triangle_mm_program},
 };
 
+}  // namespace
+
 NodeProgram find_algorithm(const std::string& name) {
   for (const Algo& a : kAlgos)
     if (name == a.name) return NodeProgram(a.fn);
@@ -130,7 +132,30 @@ std::uint64_t outputs_fp(const std::vector<std::uint64_t>& outputs) {
   return fp;
 }
 
-Engine::Config cell_config(const CellSpec& spec) {
+std::uint64_t ledger_fingerprint(const RoundTrace& trace) {
+  std::uint64_t fp = kFnvOffset;
+  auto fold_str = [&](const std::string& s) {
+    for (unsigned char c : s) fp = (fp ^ c) * kFnvPrime;
+    fp = (fp ^ 0xff) * kFnvPrime;  // terminator: "ab","c" != "a","bc"
+  };
+  for (const TraceRecord& r : trace.records()) {
+    fold_str(r.op);
+    fold_str(r.phase);
+    fp = fnv_fold(fp, r.run);
+    fp = fnv_fold(fp, r.collective);
+    fp = fnv_fold(fp, r.round_begin);
+    fp = fnv_fold(fp, r.rounds);
+    fp = fnv_fold(fp, r.messages);
+    fp = fnv_fold(fp, r.bits);
+    fp = fnv_fold(fp, r.max_sent);
+    fp = fnv_fold(fp, r.max_received);
+    for (std::uint32_t b : r.sent_hist.bucket) fp = fnv_fold(fp, b);
+    for (std::uint32_t b : r.received_hist.bucket) fp = fnv_fold(fp, b);
+  }
+  return fp;
+}
+
+Engine::Config cell_engine_config(const CellSpec& spec) {
   Engine::Config cfg;
   cfg.plane = spec.plane;
   cfg.backend = spec.backend;
@@ -149,8 +174,6 @@ ChaosPlan::Config cell_chaos_config(const CellSpec& spec) {
   return ch;
 }
 
-}  // namespace
-
 const std::vector<std::string>& algorithm_names() {
   static const std::vector<std::string> names = [] {
     std::vector<std::string> v;
@@ -167,7 +190,7 @@ CellResult run_cell(const CellSpec& spec, int trials) {
 
   const Graph g = corpus::make_family(spec.family, spec.n);
   const NodeProgram program = find_algorithm(spec.algorithm);
-  Engine::Config cfg = cell_config(spec);
+  Engine::Config cfg = cell_engine_config(spec);
 
   bool have_ref = false;
   std::vector<std::uint64_t> ref_outputs;

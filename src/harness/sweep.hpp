@@ -20,7 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "clique/chaos.hpp"
 #include "clique/cost.hpp"
+#include "clique/trace.hpp"
 #include "harness/manifest.hpp"
 
 namespace ccq::harness {
@@ -28,6 +30,29 @@ namespace ccq::harness {
 /// Registered sweep algorithms: routing_direct, routing_balanced,
 /// broadcast_adj, mm_bool_3d, triangle_mm.
 const std::vector<std::string>& algorithm_names();
+
+/// Resolve a registered algorithm by name (ModelViolation if unknown).
+NodeProgram find_algorithm(const std::string& name);
+
+/// The Engine::Config a cell names: plane, backend, workers (clamped to n),
+/// bandwidth, and the cell-derived engine seed. trace/chaos are left null —
+/// callers attach per-run instruments.
+Engine::Config cell_engine_config(const CellSpec& spec);
+
+/// The cell's deterministic fault schedule (seeded from the cell seed).
+ChaosPlan::Config cell_chaos_config(const CellSpec& spec);
+
+/// FNV-1a over the per-node outputs — the cross-run output join key.
+std::uint64_t outputs_fp(const std::vector<std::uint64_t>& outputs);
+
+/// FNV-1a over the deterministic fields of every trace record, in ledger
+/// order. Two runs of the same cell must produce equal fingerprints on any
+/// backend/plane/worker count; ccqd results carry this so a service-side
+/// ledger can be compared bit-for-bit against a library-path run.
+std::uint64_t ledger_fingerprint(const RoundTrace& trace);
+
+/// Exact CostMeter equality (every deterministic field).
+bool meters_equal(const CostMeter& a, const CostMeter& b);
 
 struct CellResult {
   CellSpec spec;

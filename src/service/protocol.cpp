@@ -1,0 +1,207 @@
+#include "service/protocol.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace ccq::service {
+
+namespace {
+
+// Retry-on-EINTR full read. Returns bytes read (< len only on EOF/error).
+std::size_t read_exact(int fd, char* buf, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t r = ::read(fd, buf + got, len - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+    } else if (r == 0) {
+      break;  // EOF
+    } else if (errno != EINTR) {
+      break;
+    }
+  }
+  return got;
+}
+
+bool send_exact(int fd, const char* buf, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a client that disconnected mid-job turns the write
+    // into an EPIPE return instead of a process-killing SIGPIPE.
+    const ssize_t r = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+    if (r > 0) {
+      sent += static_cast<std::size_t>(r);
+    } else if (r < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  CCQ_CHECK_MSG(fd >= 0, "ccqd client: socket(): " << std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  CCQ_CHECK_MSG(path.size() < sizeof addr.sun_path,
+                "ccqd client: socket path too long: " << path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw ModelViolation("ccqd client: connect(" + path +
+                         "): " + std::strerror(err));
+  }
+  return fd;
+}
+
+int connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  CCQ_CHECK_MSG(fd >= 0, "ccqd client: socket(): " << std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw ModelViolation("ccqd client: connect(127.0.0.1:" +
+                         std::to_string(port) + "): " + std::strerror(err));
+  }
+  return fd;
+}
+
+}  // namespace
+
+FrameStatus read_frame(int fd, std::string* out) {
+  unsigned char len_buf[4];
+  const std::size_t got =
+      read_exact(fd, reinterpret_cast<char*>(len_buf), sizeof len_buf);
+  if (got == 0) return FrameStatus::kClosed;
+  if (got < sizeof len_buf) return FrameStatus::kTruncated;
+  const std::uint32_t len = (std::uint32_t{len_buf[0]} << 24) |
+                            (std::uint32_t{len_buf[1]} << 16) |
+                            (std::uint32_t{len_buf[2]} << 8) |
+                            std::uint32_t{len_buf[3]};
+  if (len > kMaxFrameBytes) return FrameStatus::kTooLarge;
+  out->resize(len);
+  if (read_exact(fd, out->data(), len) < len) return FrameStatus::kTruncated;
+  return FrameStatus::kOk;
+}
+
+bool write_frame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const unsigned char len_buf[4] = {
+      static_cast<unsigned char>(len >> 24),
+      static_cast<unsigned char>(len >> 16),
+      static_cast<unsigned char>(len >> 8),
+      static_cast<unsigned char>(len),
+  };
+  return send_exact(fd, reinterpret_cast<const char*>(len_buf),
+                    sizeof len_buf) &&
+         send_exact(fd, payload.data(), payload.size());
+}
+
+Request parse_request(const std::string& payload, const std::string& origin) {
+  Request req;
+  try {
+    req.body = json::parse(payload, origin);
+  } catch (const std::exception& e) {
+    throw ProtocolError(kErrBadJson, e.what());
+  }
+  if (req.body.kind != json::Value::Kind::kObject)
+    throw ProtocolError(kErrBadRequest,
+                        origin + ": request must be a JSON object");
+  const json::Value* type = req.body.find("type");
+  if (type == nullptr)
+    throw ProtocolError(kErrBadRequest, origin + ": missing request 'type'");
+  if (type->kind != json::Value::Kind::kString)
+    throw ProtocolError(kErrBadRequest,
+                        origin + ": request 'type' must be a string");
+  const std::string& t = type->str;
+  if (t == "ping") {
+    req.type = RequestType::kPing;
+  } else if (t == "stats") {
+    req.type = RequestType::kStats;
+  } else if (t == "submit") {
+    req.type = RequestType::kSubmit;
+    const json::Value* job = req.body.find("job");
+    if (job == nullptr || job->kind != json::Value::Kind::kObject)
+      throw ProtocolError(kErrBadRequest,
+                          origin + ": submit requires an object-valued 'job'");
+  } else if (t == "shutdown") {
+    req.type = RequestType::kShutdown;
+  } else {
+    throw ProtocolError(kErrUnknownType,
+                        origin + ": unknown request type '" + t +
+                            "' (accepted: ping, stats, submit, shutdown)");
+  }
+  return req;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string error_response(const std::string& code,
+                           const std::string& message) {
+  return "{\"type\": \"error\", \"code\": \"" + code + "\", \"message\": \"" +
+         json_escape(message) + "\"}";
+}
+
+Client::Client(const std::string& unix_path) : fd_(connect_unix(unix_path)) {}
+Client::Client(std::uint16_t tcp_port) : fd_(connect_tcp(tcp_port)) {}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+int Client::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+std::string Client::request(const std::string& payload) {
+  CCQ_CHECK_MSG(fd_ >= 0, "ccqd client: request() after release()");
+  CCQ_CHECK_MSG(write_frame(fd_, payload),
+                "ccqd client: send failed (server gone?)");
+  std::string response;
+  const FrameStatus st = read_frame(fd_, &response);
+  CCQ_CHECK_MSG(st == FrameStatus::kOk,
+                "ccqd client: connection closed without a response");
+  return response;
+}
+
+}  // namespace ccq::service

@@ -1,0 +1,135 @@
+#pragma once
+
+// ccqd wire protocol (DESIGN.md §15).
+//
+// Transport: a stream socket (Unix domain or loopback TCP). Each message —
+// request or response — is one *frame*: a 4-byte big-endian payload length
+// followed by exactly that many bytes of strict JSON (the same parser the
+// sweep manifests use, util/json.hpp, so a job body is validated with the
+// identical rules and error shapes as a manifest cell). Frames above
+// kMaxFrameBytes are refused before the payload is read.
+//
+// Requests are objects with a "type" key:
+//   {"type":"ping"}                      → {"type":"pong"}
+//   {"type":"stats"}                     → {"type":"stats", ...counters}
+//   {"type":"submit", "job":{<cell>}}    → {"type":"result", ...} | error
+//   {"type":"shutdown"}                  → {"type":"ok"}; server drains
+//
+// Every failure is a *named* error response, never a closed socket with no
+// explanation and never a crashed worker:
+//   {"type":"error", "code":"<code>", "message":"<human text>"}
+// with code one of kErr* below. The server replies to every frame it
+// manages to read; a malformed frame (bad length, oversized, truncated
+// JSON) gets an error response and then the connection is closed, since
+// framing can no longer be trusted.
+//
+// The job body is exactly one scenario-matrix cell (harness/manifest.hpp
+// schema, DESIGN.md §14) — axis arrays are rejected: sweeps grids belong in
+// manifests, a job names one cell.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace ccq::service {
+
+/// Frame ceiling: far above any job or result this protocol produces (a
+/// job body is a manifest cell, a result a few hundred bytes), low enough
+/// that a garbage length prefix cannot make the server buffer gigabytes.
+constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+// ---- error codes (the protocol's contract; tests pin these names) --------
+inline constexpr const char* kErrBadFrame = "bad_frame";
+inline constexpr const char* kErrFrameTooLarge = "frame_too_large";
+inline constexpr const char* kErrBadJson = "bad_json";
+inline constexpr const char* kErrBadRequest = "bad_request";
+inline constexpr const char* kErrUnknownType = "unknown_type";
+inline constexpr const char* kErrBadJob = "bad_job";
+inline constexpr const char* kErrQueueFull = "queue_full";
+inline constexpr const char* kErrDraining = "draining";
+inline constexpr const char* kErrJobFailed = "job_failed";
+
+// ---- framing over a connected stream fd ----------------------------------
+
+enum class FrameStatus {
+  kOk,        ///< *out holds one payload
+  kClosed,    ///< clean EOF before any length byte (peer hung up)
+  kTruncated, ///< EOF or error mid-length or mid-payload
+  kTooLarge,  ///< declared length exceeds kMaxFrameBytes (payload unread)
+};
+
+/// Read one length-prefixed frame. Blocking; never throws.
+FrameStatus read_frame(int fd, std::string* out);
+
+/// Write one frame. Returns false on any short write or error (e.g. the
+/// peer disconnected mid-job: EPIPE is suppressed via MSG_NOSIGNAL — a
+/// dead client must never signal the server). Never throws.
+bool write_frame(int fd, const std::string& payload);
+
+// ---- request / response bodies -------------------------------------------
+
+enum class RequestType { kPing, kStats, kSubmit, kShutdown };
+
+struct Request {
+  RequestType type = RequestType::kPing;
+  json::Value body;  ///< whole parsed request (submit: find("job"))
+};
+
+/// A protocol failure carrying its wire error code; the server turns it
+/// into an error_response(code(), what()) frame.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(const char* code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  const char* code() const { return code_; }
+
+ private:
+  const char* code_;
+};
+
+/// Parse a request payload. Throws ProtocolError — kErrBadJson for
+/// malformed JSON, kErrBadRequest for a non-object / missing "type" / a
+/// submit without an object-valued "job", kErrUnknownType for an
+/// unrecognised "type". Errors name `origin` and the offending line.
+Request parse_request(const std::string& payload, const std::string& origin);
+
+/// {"type":"error","code":code,"message":message} (message JSON-escaped).
+std::string error_response(const std::string& code,
+                           const std::string& message);
+
+/// Minimal JSON string escaping for text that travels in responses
+/// (quotes, backslashes, control bytes).
+std::string json_escape(const std::string& s);
+
+// ---- client --------------------------------------------------------------
+
+/// Blocking single-connection client used by bench_service, the protocol
+/// tests and tools/ccqd_client.py's C++ twin. Connects on construction;
+/// request() sends one frame and waits for the response frame.
+class Client {
+ public:
+  /// Connect to a Unix-domain socket path. Throws ModelViolation on
+  /// failure to connect.
+  explicit Client(const std::string& unix_path);
+  /// Connect to 127.0.0.1:port.
+  explicit Client(std::uint16_t tcp_port);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One request/response round trip. Throws ModelViolation if the send
+  /// fails or the server closes the connection without responding.
+  std::string request(const std::string& payload);
+
+  int fd() const { return fd_; }
+  /// Release ownership of the socket (the caller closes it) — lets tests
+  /// speak raw bytes mid-conversation.
+  int release();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace ccq::service

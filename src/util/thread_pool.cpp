@@ -1,14 +1,17 @@
 #include "util/thread_pool.hpp"
 
-#include <cstdlib>
 #include <exception>
+
+#include "util/env.hpp"
 
 namespace ccq {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
-    if (const char* env = std::getenv("CCQ_POOL_THREADS")) {
-      threads = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    // Strict parse: "8x" or garbage must fail here, not silently run some
+    // other worker count (1024 is far beyond any useful oversubscription).
+    if (const auto env = parse_env_uint("CCQ_POOL_THREADS", 1, 1024)) {
+      threads = static_cast<std::size_t>(*env);
     }
   }
   if (threads == 0) {

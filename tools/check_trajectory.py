@@ -24,6 +24,16 @@ Cells present only in the baseline are reported but do not fail (CI runs
 the smoke manifest, a subset of the default grid); cells present only in
 the current run are new scenarios awaiting a baseline refresh.
 
+With `--service` the gate reads BENCH_service.json (bench_service: the
+ccqd daemon bench) instead, keyed by (mode, clients). Throughput
+(jobs_per_sec) and tail latency (p99_ms) are machine-shaped, so both are
+normalized to the median current/baseline ratio across configs — a config
+falling behind the fleet by more than `--service-tolerance` fails, a
+uniformly slower machine does not. The warm-over-cold invariant (warm
+jobs/sec strictly above cold at every shared client count) is checked
+within the *current* run, unnormalized: it is the service's reason to
+exist, not a machine artifact.
+
 `--selftest` exercises the gate against synthetic fixtures — including the
 "baseline round count hand-lowered" case — and exits non-zero if the gate
 fails to fire. No dependencies beyond the standard library.
@@ -131,6 +141,132 @@ def compare(baseline, current, wall_mode, tolerance, wall_min_ms=0.0):
     return failures, notes
 
 
+def load_service(path):
+    """Parse a BENCH_service.json array into {"mode/clients=N": row}."""
+    try:
+        rows = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"check_trajectory: cannot read {path}: {e}")
+    if not isinstance(rows, list):
+        sys.exit(f"check_trajectory: {path}: expected a JSON array")
+    configs = {}
+    for row in rows:
+        mode, clients = row.get("mode"), row.get("clients")
+        if mode is None or clients is None:
+            continue
+        key = f"{mode}/clients={clients}"
+        if key in configs:
+            sys.exit(f"check_trajectory: {path}: duplicate config '{key}'")
+        configs[key] = row
+    if not configs:
+        sys.exit(f"check_trajectory: {path}: no service config rows found")
+    return configs
+
+
+def compare_service(baseline, current, tolerance):
+    """Service gate: (failures, notes) over BENCH_service.json configs."""
+    failures, notes = [], []
+    shared = [k for k in current if k in baseline]
+    only_base = [k for k in baseline if k not in current]
+    only_cur = [k for k in current if k not in baseline]
+    if only_base:
+        notes.append(f"{len(only_base)} baseline config(s) not in this run: "
+                     f"{', '.join(sorted(only_base))}")
+    if only_cur:
+        notes.append(f"{len(only_cur)} new config(s) with no baseline yet: "
+                     f"{', '.join(sorted(only_cur))}")
+
+    # Warm-over-cold: checked within the current run, per client count.
+    # This is the acceptance invariant — the warm engine cache must buy
+    # actual throughput — so it holds on any machine, unnormalized.
+    clients_seen = sorted({row["clients"] for row in current.values()})
+    for n in clients_seen:
+        warm = current.get(f"warm/clients={n}")
+        cold = current.get(f"cold/clients={n}")
+        if warm is None or cold is None:
+            continue
+        w, c = warm.get("jobs_per_sec", 0), cold.get("jobs_per_sec", 0)
+        if not w > c:
+            failures.append(
+                f"warm/clients={n}: warm throughput {w:.1f} jobs/sec not "
+                f"above cold {c:.1f} — the engine cache buys nothing")
+
+    # Rejected-then-hung detector: the bench answers every job or fails
+    # itself, so a nonzero error count in a committed/current file is a
+    # hard failure, not a perf matter.
+    for key, row in sorted(current.items()):
+        if row.get("errors", 0):
+            failures.append(f"{key}: {row['errors']} unanswered/errored "
+                            f"job(s) in a bench run")
+
+    if not shared:
+        if baseline:
+            failures.append("no service configs in common with the baseline")
+        return failures, notes
+
+    # Throughput: normalized to the median machine-speed ratio, like the
+    # matrix wall gate. Falling behind the fleet fails; a slow machine
+    # does not.
+    ratios = {}
+    for key in shared:
+        b = baseline[key].get("jobs_per_sec")
+        c = current[key].get("jobs_per_sec")
+        if b and c and b > 0:
+            ratios[key] = c / b
+    if ratios:
+        scale = median(ratios.values())
+        floor = scale * (1 - tolerance)
+        for key, r in sorted(ratios.items()):
+            if r < floor:
+                failures.append(
+                    f"{key}: jobs/sec regressed "
+                    f"{baseline[key]['jobs_per_sec']:.1f} -> "
+                    f"{current[key]['jobs_per_sec']:.1f} "
+                    f"(x{r:.2f} vs allowed x{floor:.2f}, "
+                    f"machine scale x{scale:.2f})")
+
+    # p99 latency: same normalization, upper-bounded. p99 over a short
+    # closed loop is the noisiest statistic here, so it shares the
+    # (generous) service tolerance rather than the matrix wall tolerance.
+    ratios = {}
+    for key in shared:
+        b = baseline[key].get("p99_ms")
+        c = current[key].get("p99_ms")
+        if b and c and b > 0:
+            ratios[key] = c / b
+    if ratios:
+        scale = median(ratios.values())
+        bound = scale * (1 + tolerance)
+        for key, r in sorted(ratios.items()):
+            if r > bound:
+                failures.append(
+                    f"{key}: p99 latency regressed "
+                    f"{baseline[key]['p99_ms']:.3f} ms -> "
+                    f"{current[key]['p99_ms']:.3f} ms "
+                    f"(x{r:.2f} vs allowed x{bound:.2f}, "
+                    f"machine scale x{scale:.2f})")
+    return failures, notes
+
+
+def run_service_gate(args):
+    baseline = load_service(args.baseline)
+    current = load_service(args.current)
+    failures, notes = compare_service(baseline, current,
+                                      args.service_tolerance)
+    for n in notes:
+        print(f"note: {n}")
+    for f in failures:
+        print(f"FAIL: {f}")
+    shared = len([k for k in current if k in baseline])
+    if failures:
+        print(f"\ncheck_trajectory: {len(failures)} service regression(s) "
+              f"across {shared} shared config(s)", file=sys.stderr)
+        return 1
+    print(f"check_trajectory: OK ({shared} service config(s) within "
+          f"trajectory, warm > cold holds)")
+    return 0
+
+
 def run_gate(args):
     baseline = load_cells(args.baseline)
     current = load_cells(args.current)
@@ -212,6 +348,55 @@ def selftest():
     checks.append(("subset run passes with a note",
                    not f and any("not in this run" in n for n in notes)))
 
+    # --- service gate fixtures (BENCH_service.json shape) ---
+    def svc(mode, clients, jps, p99):
+        return {"mode": mode, "clients": clients, "jobs_per_sec": jps,
+                "p99_ms": p99, "errors": 0}
+
+    sbase = {f"{r['mode']}/clients={r['clients']}": r for r in [
+        svc("cold", 1, 100.0, 12.0), svc("cold", 8, 150.0, 60.0),
+        svc("warm", 1, 300.0, 4.0), svc("warm", 8, 450.0, 20.0)]}
+    ssame = {k: dict(row) for k, row in sbase.items()}
+
+    f, _ = compare_service(sbase, ssame, 0.40)
+    checks.append(("identical service runs pass", not f))
+
+    # Uniformly half-speed machine: normalized gate stays quiet.
+    shalf = {k: dict(row, jobs_per_sec=row["jobs_per_sec"] / 2,
+                     p99_ms=row["p99_ms"] * 2) for k, row in ssame.items()}
+    f, _ = compare_service(sbase, shalf, 0.40)
+    checks.append(("uniform service slowdown passes", not f))
+
+    # One config falling behind the fleet: throughput gate fires.
+    sdrop = {k: dict(row) for k, row in ssame.items()}
+    sdrop["warm/clients=8"]["jobs_per_sec"] = 200.0
+    f, _ = compare_service(sbase, sdrop, 0.40)
+    checks.append(("single-config jobs/sec drop fails", any(
+        "warm/clients=8: jobs/sec regressed" in x for x in f)))
+
+    # One config's tail latency blowing up: p99 gate fires.
+    stail = {k: dict(row) for k, row in ssame.items()}
+    stail["cold/clients=8"]["p99_ms"] = 300.0
+    f, _ = compare_service(sbase, stail, 0.40)
+    checks.append(("single-config p99 blowup fails", any(
+        "cold/clients=8: p99 latency regressed" in x for x in f)))
+
+    # Warm no faster than cold in the current run: invariant fires even
+    # if the baseline had the same (broken) shape.
+    sflat = {k: dict(row) for k, row in ssame.items()}
+    sflat["warm/clients=8"]["jobs_per_sec"] = sflat["cold/clients=8"][
+        "jobs_per_sec"]
+    f, _ = compare_service(sflat, sflat, 0.40)
+    checks.append(("warm <= cold fails", any(
+        "not above cold" in x for x in f)))
+
+    # Errored jobs in a bench run are a hard failure, not noise.
+    serr = {k: dict(row) for k, row in ssame.items()}
+    serr["warm/clients=1"]["errors"] = 2
+    f, _ = compare_service(sbase, serr, 0.40)
+    checks.append(("errored service jobs fail", any(
+        "unanswered/errored" in x for x in f)))
+
     ok = True
     for name, passed in checks:
         print(f"  selftest: {'ok' if passed else 'FAILED'} — {name}")
@@ -235,11 +420,19 @@ def main():
     ap.add_argument("--wall-min-ms", type=float, default=2.0,
                     help="exclude cells whose baseline wall time is below "
                          "this floor from the wall gate (default 2 ms)")
+    ap.add_argument("--service", action="store_true",
+                    help="gate BENCH_service.json (ccqd daemon bench) "
+                         "instead of the scenario matrix")
+    ap.add_argument("--service-tolerance", type=float, default=0.40,
+                    help="allowed normalized jobs/sec + p99 slack for "
+                         "--service (default 0.40 = 40%%)")
     ap.add_argument("--selftest", action="store_true",
                     help="verify the gate fires on synthetic regressions")
     args = ap.parse_args()
     if args.selftest:
         return selftest()
+    if args.service:
+        return run_service_gate(args)
     return run_gate(args)
 
 

@@ -11,6 +11,7 @@
 #   BENCH_sharding.json   bench_sharding    (owner-computes backend)
 #   BENCH_mm_sparse.json  bench_mm_sparse   (sparse vs dense MM)
 #   BENCH_matrix.json     bench_matrix      (scenario matrix, default manifest)
+#   BENCH_service.json    bench_service     (ccqd daemon, warm vs cold load)
 #
 # Every bench self-verifies (fatal on any result divergence), so a baseline
 # refresh cannot silently bake in a correctness regression. Each bench runs
@@ -28,7 +29,7 @@ cd "$(dirname "$0")/.."
 BUILD=build-rel
 BENCHES=(
   bench_routing bench_exchange bench_kernels bench_chaos_verifiers
-  bench_sharding bench_mm_sparse bench_matrix
+  bench_sharding bench_mm_sparse bench_matrix bench_service
 )
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release || {
@@ -57,6 +58,7 @@ run_bench bench_sharding
 run_bench bench_mm_sparse
 run_bench bench_matrix --manifest=bench/manifests/default.json --check \
   --out=BENCH_matrix.json
+run_bench bench_service --check --out=BENCH_service.json
 
 echo
 echo "refreshed:"
