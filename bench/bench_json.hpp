@@ -21,43 +21,15 @@
 #include <variant>
 #include <vector>
 
+#include "bench_args.hpp"
 #include "clique/trace.hpp"
 
 namespace ccq::benchjson {
 
-/// Strict numeric-flag parsing for bench mains. The text after "--flag="
-/// must be a whole decimal number in [lo, hi]; anything else — empty,
-/// trailing garbage ("--trials=abc"), a sign ("--trials=-1"), overflow —
-/// prints a diagnostic naming the flag and exits 2 (the usage-error
-/// status). The std::atoi calls this replaces silently turned "abc" into 0
-/// and "-1" into a negative count, so a typo'd sweep ran the wrong
-/// experiment instead of refusing to run.
-inline std::uint64_t parse_uint(const char* prog, const char* flag,
-                                const char* text, std::uint64_t lo,
-                                std::uint64_t hi) {
-  std::uint64_t value = 0;
-  bool ok = text[0] != '\0';
-  for (const char* p = text; ok && *p != '\0'; ++p) {
-    if (*p < '0' || *p > '9') {
-      ok = false;
-      break;
-    }
-    const auto digit = static_cast<std::uint64_t>(*p - '0');
-    if (value > (~std::uint64_t{0} - digit) / 10) {
-      ok = false;
-      break;
-    }
-    value = value * 10 + digit;
-  }
-  if (!ok || value < lo || value > hi) {
-    std::fprintf(stderr,
-                 "%s: %s expects a whole number in [%llu, %llu], got '%s'\n",
-                 prog, flag, static_cast<unsigned long long>(lo),
-                 static_cast<unsigned long long>(hi), text);
-    std::exit(2);
-  }
-  return value;
-}
+/// Strict numeric-flag parsing now lives in bench_args.hpp (next to
+/// parse_double and the flag matchers); re-exported here for the bench
+/// mains that predate the split.
+using benchargs::parse_uint;
 
 struct Field {
   Field(const char* k, const char* v) : key(k), value(v) {}

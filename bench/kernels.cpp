@@ -14,9 +14,15 @@
 //   --check   CI smoke mode: exit non-zero if any kernel disagrees with
 //             mm_naive, if mm_parallel is not identical across worker
 //             counts, or if the headline speedups regress (bit-packed
-//             Boolean < 4x, best min-plus < 1.2x at n ≥ 256 — generous
-//             against the measured ~8-30x / ~1.5-2x so timer noise on a
-//             shared runner cannot flake the gate)
+//             Boolean < 4x, best min-plus < 1.2x at n ≥ 256, and — when
+//             AVX2 is active — SIMD min-plus tiled ≥ 1.3x over the forced
+//             scalar tiled kernel at n ≥ 512; the issue's target is 1.5x
+//             and the gate keeps a 15% noise margin so a shared runner
+//             cannot flake it)
+//
+// Respects CCQ_SIMD=off (forces the scalar paths); the SIMD columns are
+// measured by forcing each dispatch level around the same kernel, so the
+// scalar/SIMD comparison works regardless of the ambient policy.
 //   --micro   run the google-benchmark micro-benchmarks (engine
 //             collectives, routing, oracles) instead; remaining flags go
 //             to google-benchmark
@@ -38,6 +44,8 @@
 #include "algebra/distributed_mm.hpp"
 #include "algebra/kernels.hpp"
 #include "algebra/mm.hpp"
+#include "algebra/simd.hpp"
+#include "bench_args.hpp"
 #include "bench_json.hpp"
 #include "clique/routing.hpp"
 #include "graph/generators.hpp"
@@ -125,13 +133,25 @@ std::string fmt_speedup(double naive_ms, double ms) {
   return Table::fmt(ms > 0 ? naive_ms / ms : 1.0, 1) + "x";
 }
 
+// Pins the SIMD dispatch level around one kernel invocation so the scalar
+// and vector paths of the *same* kernel can sit side by side in a table.
+// force/clear_force are single atomic stores — noise, not overhead, next to
+// an n^3 kernel.
+template <typename Fn>
+auto at_level(simd::Level level, Fn&& fn) {
+  simd::force(level);
+  auto result = fn();
+  simd::clear_force();
+  return result;
+}
+
 void bool_mm_table(benchjson::Writer& json, CheckState& cs,
                    const std::vector<std::size_t>& sizes, int trials) {
   std::printf("Boolean MM (byte-wide mm_naive vs bit-packed kernels; the\n"
               "bitpacked column includes the Matrix<->BitMatrix "
               "conversions):\n\n");
-  Table t({"n", "naive ms", "blocked ms", "tiled ms", "bitpacked ms",
-           "auto ms", "bitpacked speedup"});
+  Table t({"n", "naive ms", "blocked ms", "tiled ms", "bitpk scalar ms",
+           "bitpacked ms", "auto ms", "bitpacked speedup"});
   for (std::size_t n : sizes) {
     const auto a = random_square<BoolSemiring>(n, 11, 2);
     const auto b = random_square<BoolSemiring>(n, 12, 2);
@@ -149,6 +169,12 @@ void bool_mm_table(benchjson::Writer& json, CheckState& cs,
     const double tiled_ms =
         mm_row(json, n, "bool", "tiled", trials, expect, naive_ms,
                [&] { return kernels::mm_tiled<BoolSemiring>(a, b); });
+    const double bit_scalar_ms =
+        mm_row(json, n, "bool", "bitpacked_scalar", trials, expect, naive_ms,
+               [&] {
+                 return at_level(simd::Level::kScalar,
+                                 [&] { return kernels::bool_mm_bitpacked(a, b); });
+               });
     const double bit_ms =
         mm_row(json, n, "bool", "bitpacked", trials, expect, naive_ms,
                [&] { return kernels::bool_mm_bitpacked(a, b); });
@@ -157,8 +183,8 @@ void bool_mm_table(benchjson::Writer& json, CheckState& cs,
                [&] { return kernels::mm_auto<BoolSemiring>(a, b); });
     t.add_row({std::to_string(n), Table::fmt(naive_ms, 2),
                Table::fmt(blocked_ms, 2), Table::fmt(tiled_ms, 2),
-               Table::fmt(bit_ms, 2), Table::fmt(auto_ms, 2),
-               fmt_speedup(naive_ms, bit_ms)});
+               Table::fmt(bit_scalar_ms, 2), Table::fmt(bit_ms, 2),
+               Table::fmt(auto_ms, 2), fmt_speedup(naive_ms, bit_ms)});
     if (cs.check && n >= 256 && naive_ms < 4.0 * bit_ms)
       cs.fail("boolean bitpacked speedup < 4x at n=" + std::to_string(n));
   }
@@ -171,8 +197,8 @@ void minplus_mm_table(benchjson::Writer& json, CheckState& cs,
               "saturation-shortcut\nmicro-kernel, parallel shards rows over "
               "the kernel pool, %zu worker(s)):\n\n",
               kernels::pool().size());
-  Table t({"n", "naive ms", "blocked ms", "tiled ms", "parallel ms",
-           "auto ms", "best speedup"});
+  Table t({"n", "naive ms", "blocked ms", "tiled scalar ms", "tiled ms",
+           "parallel ms", "auto ms", "simd speedup"});
   for (std::size_t n : sizes) {
     const auto a = random_minplus(n, 21);
     const auto b = random_minplus(n, 22);
@@ -187,6 +213,13 @@ void minplus_mm_table(benchjson::Writer& json, CheckState& cs,
     const double blocked_ms =
         mm_row(json, n, "minplus", "blocked", trials, expect, naive_ms,
                [&] { return mm_blocked<MinPlusSemiring>(a, b, 32); });
+    const double tiled_scalar_ms =
+        mm_row(json, n, "minplus", "tiled_scalar", trials, expect, naive_ms,
+               [&] {
+                 return at_level(simd::Level::kScalar, [&] {
+                   return kernels::mm_tiled<MinPlusSemiring>(a, b);
+                 });
+               });
     const double tiled_ms =
         mm_row(json, n, "minplus", "tiled", trials, expect, naive_ms,
                [&] { return kernels::mm_tiled<MinPlusSemiring>(a, b); });
@@ -199,11 +232,19 @@ void minplus_mm_table(benchjson::Writer& json, CheckState& cs,
     const double best =
         std::min({tiled_ms, parallel_ms, auto_ms});
     t.add_row({std::to_string(n), Table::fmt(naive_ms, 2),
-               Table::fmt(blocked_ms, 2), Table::fmt(tiled_ms, 2),
-               Table::fmt(parallel_ms, 2), Table::fmt(auto_ms, 2),
-               fmt_speedup(naive_ms, best)});
+               Table::fmt(blocked_ms, 2), Table::fmt(tiled_scalar_ms, 2),
+               Table::fmt(tiled_ms, 2), Table::fmt(parallel_ms, 2),
+               Table::fmt(auto_ms, 2),
+               fmt_speedup(tiled_scalar_ms, tiled_ms)});
     if (cs.check && n >= 256 && naive_ms < 1.2 * best)
       cs.fail("min-plus best kernel speedup < 1.2x at n=" +
+              std::to_string(n));
+    // The SIMD gate: issue target is 1.5x over the scalar tiled kernel at
+    // n=512; 1.3 = 1.5 with the 15% noise tolerance. Only meaningful when
+    // the vector path can actually run (AVX2 detected, not CCQ_SIMD=off).
+    if (cs.check && n >= 512 && simd::active() == simd::Level::kAvx2 &&
+        tiled_scalar_ms < 1.3 * tiled_ms)
+      cs.fail("min-plus SIMD tiled speedup < 1.3x over scalar tiled at n=" +
               std::to_string(n));
   }
   t.print();
@@ -259,8 +300,9 @@ void packing_table(benchjson::Writer& json, int trials) {
               "pack_entries/\nunpack_entries, ref = per-entry "
               "append_bits/read_bits):\n\n",
               kCount);
-  Table t({"entry_bits", "pack ref ms", "pack bulk ms", "unpack ref ms",
-           "unpack bulk ms", "pack speedup"});
+  Table t({"entry_bits", "pack ref ms", "pack scalar ms", "pack bulk ms",
+           "unpack ref ms", "unpack scalar ms", "unpack bulk ms",
+           "pack speedup"});
   for (unsigned entry_bits : {1u, 8u, 13u, 32u}) {
     SplitMix64 rng(1000 + entry_bits);
     const std::uint64_t cap = (std::uint64_t{1} << entry_bits) - 1;
@@ -269,28 +311,39 @@ void packing_table(benchjson::Writer& json, int trials) {
       v = static_cast<std::int64_t>(rng.next_below(cap + 1));
     const std::span<const std::int64_t> span(values);
 
-    BitVector bulk, ref;
+    BitVector bulk, ref, bulk_scalar;
     const double ref_pack_ms = time_best_ms(
         trials, [&] { ref = pack_per_entry(values, entry_bits); });
+    const double scalar_pack_ms = time_best_ms(trials, [&] {
+      bulk_scalar = at_level(simd::Level::kScalar, [&] {
+        return pack_entries<I64Ring>(span, entry_bits);
+      });
+    });
     const double bulk_pack_ms = time_best_ms(
         trials, [&] { bulk = pack_entries<I64Ring>(span, entry_bits); });
-    if (!(bulk == ref)) {
+    if (!(bulk == ref) || !(bulk_scalar == ref)) {
       std::printf("FATAL: bulk pack disagrees with per-entry reference at "
                   "entry_bits=%u\n",
                   entry_bits);
       std::exit(1);
     }
-    std::vector<std::int64_t> ref_out, bulk_out;
+    std::vector<std::int64_t> ref_out, bulk_out, scalar_out;
     const double ref_unpack_ms = time_best_ms(trials, [&] {
       ref_out.clear();
       for (std::size_t i = 0; i < kCount; ++i)
         ref_out.push_back(decode_value<I64Ring>(
             bulk.read_bits(i * entry_bits, entry_bits), entry_bits));
     });
+    const double scalar_unpack_ms = time_best_ms(trials, [&] {
+      scalar_out = at_level(simd::Level::kScalar, [&] {
+        return unpack_entries<I64Ring>(bulk, kCount, entry_bits);
+      });
+    });
     const double bulk_unpack_ms = time_best_ms(trials, [&] {
       bulk_out = unpack_entries<I64Ring>(bulk, kCount, entry_bits);
     });
-    if (!(bulk_out == ref_out) || !(bulk_out == values)) {
+    if (!(bulk_out == ref_out) || !(bulk_out == values) ||
+        !(scalar_out == values)) {
       std::printf("FATAL: bulk unpack disagrees at entry_bits=%u\n",
                   entry_bits);
       std::exit(1);
@@ -302,12 +355,19 @@ void packing_table(benchjson::Writer& json, int trials) {
               {"wall_ms", bulk_pack_ms},
               {"mentries_per_s", mentries}});
     json.add({{"entry_bits", entry_bits},
+              {"path", "bulk_scalar"},
+              {"wall_ms", scalar_pack_ms},
+              {"mentries_per_s",
+               scalar_pack_ms > 0 ? kCount / (scalar_pack_ms * 1000.0)
+                                  : 0.0}});
+    json.add({{"entry_bits", entry_bits},
               {"path", "per_entry"},
               {"wall_ms", ref_pack_ms},
               {"mentries_per_s",
                ref_pack_ms > 0 ? kCount / (ref_pack_ms * 1000.0) : 0.0}});
     t.add_row({std::to_string(entry_bits), Table::fmt(ref_pack_ms, 2),
-               Table::fmt(bulk_pack_ms, 2), Table::fmt(ref_unpack_ms, 2),
+               Table::fmt(scalar_pack_ms, 2), Table::fmt(bulk_pack_ms, 2),
+               Table::fmt(ref_unpack_ms, 2), Table::fmt(scalar_unpack_ms, 2),
                Table::fmt(bulk_unpack_ms, 2),
                fmt_speedup(ref_pack_ms, bulk_pack_ms)});
   }
@@ -348,7 +408,12 @@ int run_comparison(std::vector<std::size_t> sizes, bool check) {
   const int trials = check ? 5 : 3;
   CheckState cs;
   cs.check = check;
-  std::printf("Local-compute kernels (best of %d trials):\n\n", trials);
+  std::printf("Local-compute kernels (best of %d trials):\n", trials);
+  std::printf("SIMD dispatch: detected=%s active=%s (CCQ_SIMD=%s)\n\n",
+              simd::level_name(simd::detected()),
+              simd::level_name(simd::active()),
+              std::getenv("CCQ_SIMD") != nullptr ? std::getenv("CCQ_SIMD")
+                                                 : "<unset>");
 
   benchjson::Writer json;
   bool_mm_table(json, cs, sizes, trials);
@@ -521,10 +586,10 @@ int main(int argc, char** argv) {
   std::size_t only_n = 0;
   bool check = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--n=", 4) == 0) {
-      only_n = static_cast<std::size_t>(ccq::benchjson::parse_uint(
-          argv[0], "--n", argv[i] + 4, 1, 8192));
-    } else if (std::strcmp(argv[i], "--check") == 0) {
+    if (const char* v = ccq::benchargs::flag_value(argv[i], "--n")) {
+      only_n = static_cast<std::size_t>(
+          ccq::benchargs::parse_uint(argv[0], "--n", v, 1, 8192));
+    } else if (ccq::benchargs::flag_is(argv[i], "--check")) {
       check = true;
     } else {
       std::fprintf(stderr,

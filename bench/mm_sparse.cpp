@@ -13,14 +13,29 @@
 // n = 256, where descriptor overhead is proportionally larger), and sparse
 // bits must grow monotonically with density. Violations are fatal.
 //
-// Usage: bench_mm_sparse [--n=N] [--check] [--trace=PATH]
-//   --n=N     run a single clique size instead of the default sweep
-//   --check   CI smoke mode (same gates, smaller default is advised:
-//             bench_mm_sparse --n=256 --check)
+// A second, purely local table compares the SpGEMM kernels themselves
+// (serial Gustavson, rowmerge, and their pool-parallel shardings) at one
+// density — this is the compute that Step B of the sparse schedule runs on
+// the centralized callers. Every parallel result is verified CSR-for-CSR
+// against the serial kernel (and the serial kernel against mm_naive at
+// n ≤ 512) before any time is reported.
+//
+// Usage: bench_mm_sparse [--n=N] [--density=D] [--check] [--trace=PATH]
+//   --n=N       run a single clique size instead of the default sweep
+//   --density=D density for the local SpGEMM kernel table (default 0.1;
+//               the distributed sweep always runs its fixed density grid)
+//   --check     CI smoke mode (same gates, smaller default is advised:
+//               bench_mm_sparse --n=256 --check); additionally requires
+//               pool-parallel SpGEMM ≥ 1.7x over serial at n ≥ 512 and
+//               density ≥ 0.1 when the kernel pool has > 1 workers (the
+//               issue's 2x target with a 15% noise margin; printed as
+//               skipped on single-core hosts)
 //   --trace=PATH  record a round trace of every run (chrome://tracing)
 //
 // Writes BENCH_mm_sparse.json ({n, density, semiring, nnz, algo, rounds,
-// messages, bits, wall_ms} per row) into the current directory.
+// messages, bits, wall_ms} per distributed row; {n, density, semiring,
+// kernel, wall_ms, speedup} per local-kernel row) into the current
+// directory.
 
 #include <chrono>
 #include <cstdio>
@@ -30,6 +45,10 @@
 #include <vector>
 
 #include "algebra/distributed_mm.hpp"
+#include "algebra/kernels.hpp"
+#include "algebra/simd.hpp"
+#include "algebra/sparse.hpp"
+#include "bench_args.hpp"
 #include "bench_json.hpp"
 #include "graph/generators.hpp"
 #include "graphalg/common.hpp"
@@ -198,20 +217,150 @@ void sweep(const char* semiring, NodeId n, unsigned entry_bits,
   t.print();
 }
 
+// ---- local SpGEMM kernel comparison ---------------------------------------
+
+template <typename Fn>
+double time_best_ms(int trials, Fn&& fn) {
+  double best = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (t == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+Matrix<std::uint64_t> random_minplus_dense(std::size_t n, double density,
+                                           std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  Matrix<std::uint64_t> m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      m.at(i, j) = rng.next_bool(density) ? rng.next_below(100000)
+                                          : MinPlusSemiring::infinity();
+  return m;
+}
+
+// One timed SpGEMM kernel row: best-of-`trials`, CSR-for-CSR equal to the
+// serial kernel's output or the bench dies.
+template <typename Fn>
+double spgemm_row(NodeId n, double density, const char* kernel, int trials,
+                  const SparseMatrix<std::uint64_t>& expect, double serial_ms,
+                  Fn&& fn) {
+  SparseMatrix<std::uint64_t> got;
+  const double ms = time_best_ms(trials, [&] { got = fn(); });
+  if (!(got == expect)) {
+    std::printf("FATAL: SpGEMM kernel %s disagrees with serial spgemm at "
+                "n=%u d=%g\n",
+                kernel, n, density);
+    std::exit(1);
+  }
+  g_json.add({{"n", n},
+              {"density", density},
+              {"semiring", "minplus"},
+              {"kernel", kernel},
+              {"wall_ms", ms},
+              {"speedup", ms > 0 ? serial_ms / ms : 1.0}});
+  return ms;
+}
+
+// The local kernels behind Step B of the sparse schedule (and spgemm_auto
+// on any centralized caller). Node programs run on scheduler fibers where
+// the pool is unavailable, so this table is about the *centralized* users
+// of the sparse kernels — the determinism contract (bit-identical output
+// for every worker count) is what makes routing them to the pool safe.
+void spgemm_kernel_table(const std::vector<NodeId>& sizes, double density,
+                         bool check) {
+  const std::size_t workers = kernels::pool().size();
+  std::printf("\nLocal (min,+) SpGEMM kernels at density %g (pool: %zu "
+              "worker(s), SIMD %s;\nparallel kernels shard rows over the "
+              "pool, output bit-identical to serial):\n\n",
+              density, workers, simd::level_name(simd::active()));
+  Table t({"n", "serial ms", "rowmerge ms", "parallel ms", "par-rm ms",
+           "serial/parallel"});
+  for (NodeId n : sizes) {
+    const auto da = random_minplus_dense(n, density, 0x5b9 + n);
+    const auto db = random_minplus_dense(n, density, 0x5ca + n);
+    const auto a = SparseMatrix<std::uint64_t>::from_dense<MinPlusSemiring>(da);
+    const auto b = SparseMatrix<std::uint64_t>::from_dense<MinPlusSemiring>(db);
+    const int trials = 3;
+
+    SparseMatrix<std::uint64_t> expect;
+    const double serial_ms = time_best_ms(
+        trials, [&] { expect = kernels::spgemm<MinPlusSemiring>(a, b); });
+    if (n <= 512 &&
+        !(expect.to_dense<MinPlusSemiring>() ==
+          mm_naive<MinPlusSemiring>(da, db))) {
+      std::printf("FATAL: serial spgemm disagrees with mm_naive at n=%u\n",
+                  n);
+      std::exit(1);
+    }
+    g_json.add({{"n", n},
+                {"density", density},
+                {"semiring", "minplus"},
+                {"kernel", "spgemm_serial"},
+                {"wall_ms", serial_ms},
+                {"speedup", 1.0}});
+    const double rowmerge_ms =
+        spgemm_row(n, density, "spgemm_rowmerge", trials, expect, serial_ms,
+                   [&] { return kernels::spgemm_rowmerge<MinPlusSemiring>(a, b); });
+    const double parallel_ms =
+        spgemm_row(n, density, "spgemm_parallel", trials, expect, serial_ms,
+                   [&] { return kernels::spgemm_parallel<MinPlusSemiring>(a, b); });
+    const double par_rm_ms = spgemm_row(
+        n, density, "spgemm_rowmerge_parallel", trials, expect, serial_ms,
+        [&] { return kernels::spgemm_rowmerge_parallel<MinPlusSemiring>(a, b); });
+    t.add_row({std::to_string(n), Table::fmt(serial_ms, 2),
+               Table::fmt(rowmerge_ms, 2), Table::fmt(parallel_ms, 2),
+               Table::fmt(par_rm_ms, 2),
+               Table::fmt(parallel_ms > 0 ? serial_ms / parallel_ms : 1.0,
+                          1) +
+                   "x"});
+
+    // Parallel-speedup gate: the issue's 2x target at n ≥ 512, 10%
+    // density, with the 15% noise tolerance → 1.7. A 1-worker pool cannot
+    // speed anything up, so the gate only applies on multi-core hosts (CI
+    // runners have ≥ 2; the determinism checks above still ran).
+    if (check && n >= 512 && density >= 0.1) {
+      if (workers <= 1) {
+        std::printf("  gate: parallel speedup check skipped (single-core "
+                    "host, pool=%zu)\n",
+                    workers);
+      } else if (serial_ms < 1.7 * parallel_ms) {
+        std::printf("GATE FAILED: parallel SpGEMM speedup %.2f < 1.7x over "
+                    "serial at n=%u d=%g (pool=%zu)\n",
+                    parallel_ms > 0 ? serial_ms / parallel_ms : 0.0, n,
+                    density, workers);
+        g_gates_ok = false;
+      }
+    }
+  }
+  t.print();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchjson::TraceSession trace_session(&argc, argv);
   std::vector<NodeId> sizes = {256, 512, 1024};
   bool check = false;
+  double kernel_density = 0.1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--n=", 4) == 0) {
+    if (const char* v = benchargs::flag_value(argv[i], "--n")) {
       sizes = {static_cast<NodeId>(
-          benchjson::parse_uint(argv[0], "--n", argv[i] + 4, 1, 8192))};
-    } else if (std::strcmp(argv[i], "--check") == 0) {
+          benchargs::parse_uint(argv[0], "--n", v, 1, 8192))};
+    } else if (const char* d = benchargs::flag_value(argv[i], "--density")) {
+      kernel_density =
+          benchargs::parse_double(argv[0], "--density", d, 0.0, 1.0);
+    } else if (benchargs::flag_is(argv[i], "--check")) {
       check = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--n=N] [--check] [--trace=PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--n=N] [--density=D] [--check] "
+                   "[--trace=PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -222,6 +371,7 @@ int main(int argc, char** argv) {
   // One (min,+) table at the smallest size: wider entries, same protocol.
   sweep<MinPlusSemiring>("(min,+)", sizes.front(), 8, 30,
                          0x317 + sizes.front());
+  spgemm_kernel_table(sizes, kernel_density, check);
 
   if (!trace_session.finish(&g_json)) return 1;
   if (g_json.write("BENCH_mm_sparse.json"))

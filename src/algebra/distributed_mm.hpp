@@ -27,10 +27,19 @@
 
 #include "algebra/kernels.hpp"
 #include "algebra/mm.hpp"
+#include "algebra/simd.hpp"
 #include "clique/engine.hpp"
 #include "util/math.hpp"
 
 namespace ccq {
+
+/// True when encode_value<S>/decode_value<S> are the identity cast (plus a
+/// range check): the packed stream is then a plain little-endian scalar
+/// stream and the simd word-stream paths may (un)pack it directly. MinPlus
+/// is the one exception — its all-ones ∞ codepoint remaps values.
+template <Semiring S>
+inline constexpr bool kIdentityEncoding =
+    !std::is_same_v<S, MinPlusSemiring>;
 
 // ---- value <-> fixed-width bits -----------------------------------------
 
@@ -83,8 +92,25 @@ template <Semiring S>
 BitVector pack_entries(std::span<const typename S::Value> values,
                        unsigned entry_bits) {
   CCQ_CHECK(entry_bits >= 1 && entry_bits <= 64);
+  using V = typename S::Value;
   const std::size_t total = values.size() * entry_bits;
   std::vector<std::uint64_t> words(ceil_div(total, 64), 0);
+  // Vector word-stream paths for identity-encoded value types. On any
+  // out-of-range entry (or a scalar-only dispatch level) they leave `words`
+  // in a fully-overwritable state and return false, and the generic writers
+  // below redo the pack — re-checking every entry so the canonical range
+  // error fires at the exact offending value.
+  if constexpr (kIdentityEncoding<S> && sizeof(V) == 1) {
+    if (entry_bits == 1 &&
+        simd::pack_bits_u8(reinterpret_cast<const std::uint8_t*>(values.data()),
+                           values.size(), words.data()))
+      return BitVector::from_words(std::move(words), total);
+  } else if constexpr (kIdentityEncoding<S> && sizeof(V) == 8) {
+    if (simd::pack_words_u64(
+            reinterpret_cast<const std::uint64_t*>(values.data()),
+            values.size(), entry_bits, words.data()))
+      return BitVector::from_words(std::move(words), total);
+  }
   if (64 % entry_bits == 0) {
     const unsigned per = 64u / entry_bits;
     std::size_t idx = 0;
@@ -127,7 +153,29 @@ std::vector<typename S::Value> unpack_entries(const BitVector& bv,
                                               unsigned entry_bits) {
   CCQ_CHECK(entry_bits >= 1 && entry_bits <= 64);
   CCQ_CHECK(bv.size() == count * entry_bits);
-  std::vector<typename S::Value> out;
+  using V = typename S::Value;
+  std::vector<V> out;
+  // Vector word-stream paths (identity encodings only; bit-for-bit the
+  // generic extraction below). False means the scalar dispatch level is
+  // active — fall through with the buffer reset.
+  if constexpr (kIdentityEncoding<S> && sizeof(V) == 1) {
+    if (entry_bits == 1) {
+      out.resize(count);
+      if (simd::unpack_bits_u8(bv.words().data(), count,
+                               reinterpret_cast<std::uint8_t*>(out.data())))
+        return out;
+      out.clear();
+    }
+  } else if constexpr (kIdentityEncoding<S> && sizeof(V) == 8) {
+    if (entry_bits == 8 || entry_bits == 16 || entry_bits == 32) {
+      out.resize(count);
+      if (simd::unpack_words_u64(
+              bv.words().data(), count, entry_bits,
+              reinterpret_cast<std::uint64_t*>(out.data())))
+        return out;
+      out.clear();
+    }
+  }
   out.reserve(count);
   const std::uint64_t mask =
       entry_bits == 64 ? ~std::uint64_t{0}
@@ -864,7 +912,10 @@ std::vector<typename S::Value> mm_distributed_sparse(
         a_csr.density() <= kernels::kSparseDispatchMaxDensity &&
         b_csr.density() <= kernels::kSparseDispatchMaxDensity;
     if (sparse_local) {
-      const auto c_csr = kernels::spgemm<S>(a_csr, b_csr);
+      // spgemm_auto: serial here (node programs run on engine fibers, so
+      // the kernel pool is never available), pool-parallel for any future
+      // centralised caller — identical output either way.
+      const auto c_csr = kernels::spgemm_auto<S>(a_csr, b_csr);
       for (NodeId r = 0; r < ri; ++r)
         for (std::size_t t = c_csr.row_begin(r); t < c_csr.row_end(r); ++t)
           if (c_csr.values()[t] != S::zero())

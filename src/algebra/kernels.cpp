@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "algebra/simd.hpp"
 #include "clique/scheduler.hpp"
 #include "util/env.hpp"
 
@@ -138,54 +139,11 @@ BitMatrix bit_mm(const BitMatrix& a, const BitMatrix& b) {
       }
     }
     if (ks.empty()) continue;
-    std::uint64_t* cr = c.row(i);
-    const std::uint64_t* bbase = b.row(0);
-    // OR the selected b rows into 4-word output chunks held in registers;
-    // one pass over ks per chunk keeps all accumulator traffic out of
-    // memory (the whole b matrix is typically L1/L2-resident anyway).
-    std::size_t t = 0;
-    for (; t + 8 <= wpr_b; t += 8) {
-      std::uint64_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
-      std::uint64_t a4 = 0, a5 = 0, a6 = 0, a7 = 0;
-      for (const std::uint32_t k : ks) {
-        const std::uint64_t* br = bbase + k * wpr_b + t;
-        a0 |= br[0];
-        a1 |= br[1];
-        a2 |= br[2];
-        a3 |= br[3];
-        a4 |= br[4];
-        a5 |= br[5];
-        a6 |= br[6];
-        a7 |= br[7];
-      }
-      cr[t] = a0;
-      cr[t + 1] = a1;
-      cr[t + 2] = a2;
-      cr[t + 3] = a3;
-      cr[t + 4] = a4;
-      cr[t + 5] = a5;
-      cr[t + 6] = a6;
-      cr[t + 7] = a7;
-    }
-    for (; t + 4 <= wpr_b; t += 4) {
-      std::uint64_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
-      for (const std::uint32_t k : ks) {
-        const std::uint64_t* br = bbase + k * wpr_b + t;
-        a0 |= br[0];
-        a1 |= br[1];
-        a2 |= br[2];
-        a3 |= br[3];
-      }
-      cr[t] = a0;
-      cr[t + 1] = a1;
-      cr[t + 2] = a2;
-      cr[t + 3] = a3;
-    }
-    for (; t < wpr_b; ++t) {
-      std::uint64_t acc = 0;
-      for (const std::uint32_t k : ks) acc |= bbase[k * wpr_b + t];
-      cr[t] = acc;
-    }
+    // OR the selected b rows into register-held output chunks; the vector
+    // micro-kernel (or its bit-identical scalar fallback) keeps all
+    // accumulator traffic out of memory.
+    simd::or_select_rows(b.row(0), wpr_b, ks.data(), ks.size(), c.row(i),
+                         wpr_b);
   }
   return c;
 }
@@ -199,13 +157,9 @@ BitMatrix bit_mm_popcount(const BitMatrix& a, const BitMatrix& b) {
     const std::uint64_t* ar = a.row(i);
     std::uint64_t* cr = c.row(i);
     for (std::size_t j = 0; j < b.cols(); ++j) {
-      const std::uint64_t* br = bt.row(j);
-      for (std::size_t w = 0; w < wpr; ++w) {
-        if (ar[w] & br[w]) {  // popcount > 0 — existence is enough
-          cr[j >> 6] |= std::uint64_t{1} << (j & 63);
-          break;
-        }
-      }
+      // popcount > 0 — existence is enough, tested four words at a time.
+      if (simd::rows_intersect(ar, bt.row(j), wpr))
+        cr[j >> 6] |= std::uint64_t{1} << (j & 63);
     }
   }
   return c;
@@ -233,14 +187,13 @@ std::size_t bit_first_common(const BitVector& a, const BitVector& b,
   const auto& wa = a.words();
   const auto& wb = b.words();
   std::size_t w = from >> 6;
-  std::uint64_t cur = (wa[w] & wb[w]) >> (from & 63);
+  const std::uint64_t cur = (wa[w] & wb[w]) >> (from & 63);
   if (cur != 0)
     return from + static_cast<std::size_t>(std::countr_zero(cur));
-  for (++w; w < wa.size(); ++w) {
-    const std::uint64_t both = wa[w] & wb[w];
-    if (both != 0)
-      return (w << 6) + static_cast<std::size_t>(std::countr_zero(both));
-  }
+  w = simd::first_common_word(wa.data(), wb.data(), w + 1, wa.size());
+  if (w < wa.size())
+    return (w << 6) +
+           static_cast<std::size_t>(std::countr_zero(wa[w] & wb[w]));
   return a.size();
 }
 
@@ -258,8 +211,7 @@ BitMatrix bit_spgemm(const SparseMatrix<std::uint8_t>& a, const BitMatrix& b) {
     std::uint64_t* cr = c.row(i);
     for (std::size_t t = a.row_begin(i); t < a.row_end(i); ++t) {
       if (a.values()[t] == 0) continue;  // stored zero: no contribution
-      const std::uint64_t* br = b.row(a.col_idx()[t]);
-      for (std::size_t w = 0; w < wpr; ++w) cr[w] |= br[w];
+      simd::or_row(cr, b.row(a.col_idx()[t]), wpr);
     }
   }
   return c;

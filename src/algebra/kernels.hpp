@@ -40,6 +40,7 @@
 
 #include "algebra/matrix.hpp"
 #include "algebra/mm.hpp"
+#include "algebra/simd.hpp"
 #include "algebra/sparse.hpp"
 #include "util/bit_vector.hpp"
 #include "util/check.hpp"
@@ -192,11 +193,9 @@ void mm_rows(const Matrix<typename S::Value>& a,
           const V* brow = b.row_data(k);
           if constexpr (std::is_same_v<S, MinPlusSemiring>) {
             if (fast) {
-              // One add + one compare per entry; see minplus_in_domain.
-              for (std::size_t j = 0; j < N; ++j) {
-                const std::uint64_t t = aik + brow[j];
-                crow[j] = crow[j] < t ? crow[j] : t;
-              }
+              // One add + one compare per entry (vectorized when the CPU
+              // allows — bit-identical either way); see minplus_in_domain.
+              simd::minplus_row(crow, aik, brow, N);
               continue;
             }
           }
@@ -290,6 +289,89 @@ Matrix<typename S::Value> mm_local(const Matrix<typename S::Value>& a,
 /// fork/join overhead exceeds the row work.
 inline constexpr std::size_t kParallelMinRows = 128;
 
+/// Pool-parallel Gustavson SpGEMM over fixed-grain row blocks — the same
+/// determinism contract mm_parallel pins: the partition is never derived
+/// from the worker count, each output row is produced by the serial
+/// Gustavson core with block-local scratch, and the rows are assembled
+/// serially in order afterwards, so the result is bit-for-bit identical to
+/// spgemm<S> for every pool size and grain.
+template <Semiring S>
+SparseMatrix<typename S::Value> spgemm_parallel(
+    const SparseMatrix<typename S::Value>& a,
+    const SparseMatrix<typename S::Value>& b, std::size_t grain = 0,
+    ThreadPool* tp = nullptr) {
+  using V = typename S::Value;
+  CCQ_CHECK(a.cols() == b.rows());
+  if (grain == 0) grain = kParallelGrainRows;
+  const std::size_t blocks = ceil_div(a.rows(), grain);
+  ThreadPool& workers = tp != nullptr ? *tp : pool();
+  if (blocks <= 1 || workers.size() <= 1) return spgemm<S>(a, b);
+  std::vector<std::vector<std::uint32_t>> cols(a.rows());
+  std::vector<std::vector<V>> vals(a.rows());
+  workers.parallel_for(blocks, [&](std::size_t blk) {
+    const std::size_t lo = blk * grain;
+    const std::size_t hi = lo + grain < a.rows() ? lo + grain : a.rows();
+    std::vector<V> acc(b.cols(), S::zero());
+    std::vector<std::uint8_t> touched(b.cols(), 0);
+    detail::spgemm_rows<S>(a, b, lo, hi, acc, touched,
+                           [&](std::size_t i,
+                               const std::vector<std::uint32_t>& rcols,
+                               const std::vector<V>& rvals) {
+                             cols[i] = rcols;
+                             vals[i] = rvals;
+                           });
+  });
+  SparseMatrix<V> c(b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) c.push_row(cols[i], vals[i]);
+  return c;
+}
+
+/// Pool-parallel row-merge SpGEMM; same block/assembly scheme (and the same
+/// determinism argument) as spgemm_parallel, identical output to
+/// spgemm_rowmerge<S> — which is itself identical to spgemm<S>.
+template <Semiring S>
+SparseMatrix<typename S::Value> spgemm_rowmerge_parallel(
+    const SparseMatrix<typename S::Value>& a,
+    const SparseMatrix<typename S::Value>& b, std::size_t grain = 0,
+    ThreadPool* tp = nullptr) {
+  using V = typename S::Value;
+  CCQ_CHECK(a.cols() == b.rows());
+  if (grain == 0) grain = kParallelGrainRows;
+  const std::size_t blocks = ceil_div(a.rows(), grain);
+  ThreadPool& workers = tp != nullptr ? *tp : pool();
+  if (blocks <= 1 || workers.size() <= 1) return spgemm_rowmerge<S>(a, b);
+  std::vector<std::vector<std::uint32_t>> cols(a.rows());
+  std::vector<std::vector<V>> vals(a.rows());
+  workers.parallel_for(blocks, [&](std::size_t blk) {
+    const std::size_t lo = blk * grain;
+    const std::size_t hi = lo + grain < a.rows() ? lo + grain : a.rows();
+    std::vector<std::pair<std::uint32_t, V>> terms;
+    detail::spgemm_rowmerge_rows<S>(a, b, lo, hi, terms,
+                                    [&](std::size_t i,
+                                        const std::vector<std::uint32_t>& rc,
+                                        const std::vector<V>& rv) {
+                                      cols[i] = rc;
+                                      vals[i] = rv;
+                                    });
+  });
+  SparseMatrix<V> c(b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) c.push_row(cols[i], vals[i]);
+  return c;
+}
+
+/// Serial-or-parallel sparse dispatch: shard over the kernel pool when it
+/// is available (never on an engine fiber — mm_distributed_sparse Step B
+/// calls this from node programs and stays serial there) and the row count
+/// clears the same threshold the dense dispatch uses.
+template <Semiring S>
+SparseMatrix<typename S::Value> spgemm_auto(
+    const SparseMatrix<typename S::Value>& a,
+    const SparseMatrix<typename S::Value>& b) {
+  if (a.rows() >= kParallelMinRows && pool_available())
+    return spgemm_parallel<S>(a, b);
+  return spgemm<S>(a, b);
+}
+
 /// Minimum square dimension before a Ring product routes to Strassen
 /// (cutoff-64 leaves win ~(7/8) per halving; padding waste is gated below).
 inline constexpr std::size_t kStrassenMinN = 256;
@@ -320,8 +402,8 @@ Matrix<typename S::Value> mm_auto(const Matrix<typename S::Value>& a,
             .to_matrix();
       }
     }
-    return spgemm<S>(SparseMatrix<V>::template from_dense<S>(a),
-                     SparseMatrix<V>::template from_dense<S>(b))
+    return spgemm_auto<S>(SparseMatrix<V>::template from_dense<S>(a),
+                          SparseMatrix<V>::template from_dense<S>(b))
         .template to_dense<S>();
   }
   if constexpr (std::is_same_v<S, BoolSemiring>) {

@@ -126,24 +126,25 @@ class SparseMatrix {
 
 namespace kernels {
 
-/// Gustavson SpGEMM with a dense accumulator row. For each output row, the
-/// stored a-entries are walked in increasing k (CSR order), so every output
-/// entry folds its contributions exactly as mm_naive does. Every *touched*
-/// column is stored, even when the folded value lands on S::zero() — the
-/// structural support of a product is input-shape-, not value-, determined,
-/// which keeps the output identical across kernel variants.
-template <Semiring S>
-SparseMatrix<typename S::Value> spgemm(
-    const SparseMatrix<typename S::Value>& a,
-    const SparseMatrix<typename S::Value>& b) {
+namespace detail {
+
+/// Gustavson core over output rows [r0, r1): for each row the stored
+/// a-entries are walked in increasing k (CSR order), so every output entry
+/// folds its contributions exactly as mm_naive does, and the per-row
+/// (cols, vals) pair is handed to `emit(i, cols, vals)` in increasing i.
+/// Shared by the serial driver and the pool-parallel row blocks, so the
+/// fold order — hence the result — is identical by construction. `acc` and
+/// `touched` are caller-provided scratch of size b.cols() (all-zero on
+/// entry, restored to all-zero on return).
+template <Semiring S, typename Emit>
+void spgemm_rows(const SparseMatrix<typename S::Value>& a,
+                 const SparseMatrix<typename S::Value>& b, std::size_t r0,
+                 std::size_t r1, std::vector<typename S::Value>& acc,
+                 std::vector<std::uint8_t>& touched, Emit&& emit) {
   using V = typename S::Value;
-  CCQ_CHECK(a.cols() == b.rows());
-  SparseMatrix<V> c(b.cols());
-  std::vector<V> acc(b.cols(), S::zero());
-  std::vector<std::uint8_t> touched(b.cols(), 0);
   std::vector<std::uint32_t> cols;
   std::vector<V> vals;
-  for (std::size_t i = 0; i < a.rows(); ++i) {
+  for (std::size_t i = r0; i < r1; ++i) {
     cols.clear();
     for (std::size_t t = a.row_begin(i); t < a.row_end(i); ++t) {
       const std::uint32_t k = a.col_idx()[t];
@@ -165,27 +166,23 @@ SparseMatrix<typename S::Value> spgemm(
       acc[j] = S::zero();
       touched[j] = 0;
     }
-    c.push_row(cols, vals);
+    emit(i, cols, vals);
   }
-  return c;
 }
 
-/// Row-merge SpGEMM: gather (j, a_ik·b_kj) pairs in increasing-k order,
-/// stable-sort by j (preserving k order within a column), fold adjacent
-/// runs. Identical output to spgemm — the per-column fold sequence is the
-/// same increasing-k sequence, just reached through a sort instead of a
-/// scatter.
-template <Semiring S>
-SparseMatrix<typename S::Value> spgemm_rowmerge(
+/// Row-merge core over output rows [r0, r1): gather (j, a_ik·b_kj) pairs in
+/// increasing-k order, stable-sort by j (preserving k order within a
+/// column), fold adjacent runs. `terms` is caller-provided scratch.
+template <Semiring S, typename Emit>
+void spgemm_rowmerge_rows(
     const SparseMatrix<typename S::Value>& a,
-    const SparseMatrix<typename S::Value>& b) {
+    const SparseMatrix<typename S::Value>& b, std::size_t r0, std::size_t r1,
+    std::vector<std::pair<std::uint32_t, typename S::Value>>& terms,
+    Emit&& emit) {
   using V = typename S::Value;
-  CCQ_CHECK(a.cols() == b.rows());
-  SparseMatrix<V> c(b.cols());
-  std::vector<std::pair<std::uint32_t, V>> terms;
   std::vector<std::uint32_t> cols;
   std::vector<V> vals;
-  for (std::size_t i = 0; i < a.rows(); ++i) {
+  for (std::size_t i = r0; i < r1; ++i) {
     terms.clear();
     for (std::size_t t = a.row_begin(i); t < a.row_end(i); ++t) {
       const std::uint32_t k = a.col_idx()[t];
@@ -208,8 +205,49 @@ SparseMatrix<typename S::Value> spgemm_rowmerge(
         vals.push_back(S::add(S::zero(), terms[t].second));
       }
     }
-    c.push_row(cols, vals);
+    emit(i, cols, vals);
   }
+}
+
+}  // namespace detail
+
+/// Gustavson SpGEMM with a dense accumulator row. Every *touched* column is
+/// stored, even when the folded value lands on S::zero() — the structural
+/// support of a product is input-shape-, not value-, determined, which
+/// keeps the output identical across kernel variants (including the
+/// pool-parallel drivers in kernels.hpp, which run this same core per row
+/// block).
+template <Semiring S>
+SparseMatrix<typename S::Value> spgemm(
+    const SparseMatrix<typename S::Value>& a,
+    const SparseMatrix<typename S::Value>& b) {
+  using V = typename S::Value;
+  CCQ_CHECK(a.cols() == b.rows());
+  SparseMatrix<V> c(b.cols());
+  std::vector<V> acc(b.cols(), S::zero());
+  std::vector<std::uint8_t> touched(b.cols(), 0);
+  detail::spgemm_rows<S>(
+      a, b, 0, a.rows(), acc, touched,
+      [&](std::size_t, const std::vector<std::uint32_t>& cols,
+          const std::vector<V>& vals) { c.push_row(cols, vals); });
+  return c;
+}
+
+/// Row-merge SpGEMM: no O(cols) scratch, best for very sparse outputs.
+/// Identical output to spgemm — the per-column fold sequence is the same
+/// increasing-k sequence, just reached through a sort instead of a scatter.
+template <Semiring S>
+SparseMatrix<typename S::Value> spgemm_rowmerge(
+    const SparseMatrix<typename S::Value>& a,
+    const SparseMatrix<typename S::Value>& b) {
+  using V = typename S::Value;
+  CCQ_CHECK(a.cols() == b.rows());
+  SparseMatrix<V> c(b.cols());
+  std::vector<std::pair<std::uint32_t, V>> terms;
+  detail::spgemm_rowmerge_rows<S>(
+      a, b, 0, a.rows(), terms,
+      [&](std::size_t, const std::vector<std::uint32_t>& cols,
+          const std::vector<V>& vals) { c.push_row(cols, vals); });
   return c;
 }
 

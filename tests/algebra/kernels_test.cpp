@@ -13,6 +13,10 @@
 
 #include "algebra/distributed_mm.hpp"
 #include "algebra/mm.hpp"
+#include "algebra/simd.hpp"
+#include "clique/engine.hpp"
+#include "graph/generators.hpp"
+#include "graphalg/common.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -408,6 +412,132 @@ TEST(EntryPackingBulk, OverflowStillThrows) {
   std::vector<S::Value> values = {1 << 9};
   EXPECT_THROW(pack_entries<S>(std::span<const S::Value>(values), 9),
                ModelViolation);
+}
+
+// ---- SIMD dispatch levels (DESIGN.md §16) ---------------------------------
+
+// CCQ_SIMD=off vs on must be bit-identical: pin every dense kernel against
+// mm_naive under both forced dispatch levels, for all four semirings. On a
+// host without AVX2 the forced vector level clamps to scalar and this
+// degenerates to the plain equivalence check.
+template <Semiring S>
+void check_simd_levels(std::uint64_t seed) {
+  const auto a = random_matrix<S>(150, 150, seed);
+  const auto b = random_matrix<S>(150, 150, seed + 1);
+  const auto expect = mm_naive<S>(a, b);
+  for (const simd::Level lvl : {simd::Level::kScalar, simd::Level::kAvx2}) {
+    simd::force(lvl);
+    EXPECT_EQ(kernels::mm_tiled<S>(a, b), expect)
+        << "tiled @" << simd::level_name(lvl);
+    EXPECT_EQ(kernels::mm_local<S>(a, b), expect)
+        << "local @" << simd::level_name(lvl);
+    EXPECT_EQ(kernels::mm_auto<S>(a, b), expect)
+        << "auto @" << simd::level_name(lvl);
+  }
+  simd::clear_force();
+}
+
+TEST(SimdLevels, DenseKernelsBitEqualAcrossSemirings) {
+  check_simd_levels<BoolSemiring>(61);
+  check_simd_levels<MinPlusSemiring>(63);
+  check_simd_levels<I64Ring>(65);
+  check_simd_levels<MaxMinSemiring>(67);
+}
+
+TEST(SimdLevels, BitKernelsBitEqual) {
+  const auto am = random_bool(130, 130, 91);
+  const auto bm = random_bool(130, 130, 92);
+  const BitMatrix a = BitMatrix::from_matrix(am);
+  const BitMatrix b = BitMatrix::from_matrix(bm);
+  simd::force(simd::Level::kScalar);
+  const BitMatrix or_s = kernels::bit_mm(a, b);
+  const BitMatrix pc_s = kernels::bit_mm_popcount(a, b);
+  const BitMatrix cl_s = kernels::bit_closure(a);
+  simd::force(simd::Level::kAvx2);
+  EXPECT_TRUE(kernels::bit_mm(a, b) == or_s);
+  EXPECT_TRUE(kernels::bit_mm_popcount(a, b) == pc_s);
+  EXPECT_TRUE(kernels::bit_closure(a) == cl_s);
+  simd::clear_force();
+  EXPECT_TRUE(or_s == pc_s);
+}
+
+// ---- mm_auto dispatch boundaries ------------------------------------------
+
+/// n×n matrix with exactly `nnz` entries ≠ S::zero(), scattered on a stride
+/// coprime to n² so no row or column is privileged.
+template <Semiring S>
+Matrix<typename S::Value> matrix_with_nnz(std::size_t n, std::size_t nnz) {
+  using V = typename S::Value;
+  Matrix<V> m(n, n, S::zero());
+  const std::size_t cells = n * n;
+  std::size_t idx = 0;
+  for (std::size_t k = 0; k < nnz; ++k) {
+    idx = (idx + 37) % cells;
+    if constexpr (std::is_same_v<S, BoolSemiring>) {
+      m.at(idx / n, idx % n) = 1;
+    } else {
+      m.at(idx / n, idx % n) = static_cast<V>(1 + k % 90);
+    }
+  }
+  return m;
+}
+
+TEST(Dispatch, SparseDensityBoundaryExact) {
+  // n = 160 makes 5% of n² a whole number, so a matrix can sit *exactly* on
+  // kSparseDispatchMaxDensity (routed sparse: the comparison is ≤) while
+  // one extra nonzero tips it onto the dense path. Both must match
+  // mm_naive; the density arithmetic itself is pinned explicitly.
+  const std::size_t n = 160;
+  const std::size_t at = static_cast<std::size_t>(
+      kernels::kSparseDispatchMaxDensity * static_cast<double>(n * n));
+  ASSERT_EQ(at, 1280u);
+  const auto check = [&](auto tag, std::uint64_t) {
+    using S = decltype(tag);
+    const auto a_at = matrix_with_nnz<S>(n, at);
+    const auto b_at = matrix_with_nnz<S>(n, at);
+    EXPECT_EQ(kernels::density_of<S>(a_at),
+              kernels::kSparseDispatchMaxDensity);
+    EXPECT_EQ(kernels::mm_auto<S>(a_at, b_at), mm_naive<S>(a_at, b_at));
+    const auto a_over = matrix_with_nnz<S>(n, at + 1);
+    EXPECT_GT(kernels::density_of<S>(a_over),
+              kernels::kSparseDispatchMaxDensity);
+    EXPECT_EQ(kernels::mm_auto<S>(a_over, b_at), mm_naive<S>(a_over, b_at));
+  };
+  check(BoolSemiring{}, 1);
+  check(MinPlusSemiring{}, 2);
+}
+
+TEST(Dispatch, SparseMinDimBoundary) {
+  // The sparse route needs every dimension ≥ kSparseDispatchMinDim = 64: at
+  // n = 64 a low-density input routes sparse, at n = 63 it must not. Both
+  // sides of the boundary stay bit-equal to mm_naive.
+  ASSERT_EQ(kernels::kSparseDispatchMinDim, 64u);
+  for (const std::size_t n : {63UL, 64UL}) {
+    const std::size_t nnz = n * n / 50;  // 2% — well under the ceiling
+    const auto a = matrix_with_nnz<MinPlusSemiring>(n, nnz);
+    const auto b = matrix_with_nnz<MinPlusSemiring>(n, nnz);
+    EXPECT_EQ(kernels::mm_auto<MinPlusSemiring>(a, b),
+              mm_naive<MinPlusSemiring>(a, b))
+        << "n=" << n;
+  }
+}
+
+TEST(Dispatch, PoolStaysUnavailableOnEngineFibers) {
+  // Node programs run on scheduler fibers, where mm_auto and spgemm_auto
+  // must never shard onto the kernel pool (a fiber blocking on the pool
+  // could deadlock the superstep). pool_available() is the single gate.
+  const NodeId nn = 4;
+  const auto a = random_matrix<MinPlusSemiring>(40, 40, 301);
+  const auto b = random_matrix<MinPlusSemiring>(40, 40, 302);
+  const auto expect = mm_naive<MinPlusSemiring>(a, b);
+  PerNode<int> ok(nn);
+  Engine::run(gen::empty(nn), [&](NodeCtx& ctx) {
+    const bool unavailable = !kernels::pool_available();
+    const bool match = kernels::mm_auto<MinPlusSemiring>(a, b) == expect;
+    ok.set(ctx.id(), unavailable && match ? 1 : 0);
+    ctx.output(0);
+  });
+  for (const int v : ok.take()) EXPECT_EQ(v, 1);
 }
 
 }  // namespace

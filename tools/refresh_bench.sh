@@ -19,6 +19,11 @@
 # a partial refresh never masquerades as a complete one. Run from anywhere;
 # writes relative to the repo root.
 #
+# Usage: refresh_bench.sh [--only=<bench>]...
+#   --only=<bench>  refresh only the named bench (repeatable; must be one of
+#                   the BENCHES below — an unknown name aborts before
+#                   anything is built or overwritten)
+#
 # After refreshing, sanity-check the new matrix baseline against itself:
 #   python3 tools/check_trajectory.py --baseline BENCH_matrix.json \
 #       --current BENCH_matrix.json
@@ -32,15 +37,56 @@ BENCHES=(
   bench_sharding bench_mm_sparse bench_matrix bench_service
 )
 
+# --only=<bench> selects a subset; the selection is validated against
+# BENCHES up front so a typo aborts instead of silently refreshing nothing.
+ONLY=()
+for arg in "$@"; do
+  case "$arg" in
+    --only=*)
+      sel="${arg#--only=}"
+      known=0
+      for b in "${BENCHES[@]}"; do
+        [[ "$b" == "$sel" ]] && known=1
+      done
+      if [[ $known -eq 0 ]]; then
+        echo "refresh_bench: unknown bench '$sel' (choose from:" \
+             "${BENCHES[*]})" >&2
+        exit 1
+      fi
+      ONLY+=("$sel")
+      ;;
+    *)
+      echo "usage: $0 [--only=<bench>]..." >&2
+      exit 1
+      ;;
+  esac
+done
+
+# selected <name> — true when <name> should be refreshed this run.
+selected() {
+  [[ ${#ONLY[@]} -eq 0 ]] && return 0
+  local b
+  for b in "${ONLY[@]}"; do
+    [[ "$b" == "$1" ]] && return 0
+  done
+  return 1
+}
+
+TARGETS=()
+for b in "${BENCHES[@]}"; do
+  selected "$b" && TARGETS+=("$b")
+done
+
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release || {
   echo "refresh_bench: FAILED during cmake configure" >&2; exit 1; }
-cmake --build "$BUILD" -j --target "${BENCHES[@]}" || {
+cmake --build "$BUILD" -j --target "${TARGETS[@]}" || {
   echo "refresh_bench: FAILED during build" >&2; exit 1; }
 
-# Run one bench; on failure, name it and abort so nobody trusts a
-# half-refreshed set of baselines.
+# Run one bench (skipping it when deselected by --only); on failure, name it
+# and abort so nobody trusts a half-refreshed set of baselines.
 run_bench() {
   local name=$1; shift
+  selected "$name" || return 0
   echo "=== $name $*"
   if ! ./"$BUILD"/bench/"$name" "$@"; then
     echo >&2
